@@ -1,0 +1,47 @@
+"""Shared workload builders for the experiment benchmarks.
+
+Graphs are built once per session and copied where a benchmark mutates
+them.  Every benchmark file corresponds to one experiment id in
+DESIGN.md / EXPERIMENTS.md and carries deterministic *shape assertions*
+(who wins, by roughly what factor) alongside the timing measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.workloads.generators import inline_expansion_program, random_program
+from repro.workloads.ladders import (
+    defuse_worst_case,
+    diamond_chain,
+    loop_nest,
+    sparse_use_program,
+    wide_variable_program,
+)
+
+
+@pytest.fixture(scope="session")
+def medium_random_graph():
+    return build_cfg(random_program(42, size=60, num_vars=5))
+
+
+@pytest.fixture(scope="session")
+def large_random_graph():
+    return build_cfg(random_program(7, size=200, num_vars=6))
+
+
+@pytest.fixture(scope="session")
+def inline_graph():
+    return build_cfg(inline_expansion_program(3, calls=12, num_vars=4))
+
+
+def ladder_graphs(kind: str, sizes):
+    makers = {
+        "defuse": defuse_worst_case,
+        "diamond": diamond_chain,
+        "loops": loop_nest,
+        "wide": wide_variable_program,
+        "sparse": sparse_use_program,
+    }
+    return {n: build_cfg(makers[kind](n)) for n in sizes}

@@ -1,0 +1,68 @@
+"""Ablation A1: region bypassing on/off (Section 3.3).
+
+The design choice DESIGN.md calls out: bypassing is an optimization of
+the representation, not a correctness requirement.  Measured: identical
+analysis results (asserted), smaller graphs and less propagation work
+with bypassing on, on workloads where variables cross regions that do
+not touch them.
+"""
+
+from repro.cfg.builder import build_cfg
+from repro.core.build import build_dfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.core.dfg import CTRL_VAR
+from repro.lang.parser import parse_program
+from repro.util.counters import WorkCounter
+
+
+def crossing_workload(diamonds: int = 20, crossers: int = 5):
+    lines = [f"x{k} := {k};" for k in range(crossers)]
+    for i in range(diamonds):
+        lines.append(
+            f"if (c{i} > 0) {{ y := y + 1; }} else {{ y := y - 1; }}"
+        )
+    lines.extend(f"print x{k};" for k in range(crossers))
+    lines.append("print y;")
+    return build_cfg(parse_program("\n".join(lines)))
+
+
+GRAPH = crossing_workload()
+FAST = build_dfg(GRAPH)
+BASE = build_dfg(GRAPH, bypass=False)
+
+
+def analysis_work(dfg) -> int:
+    counter = WorkCounter()
+    dfg_constant_propagation(GRAPH, dfg, counter)
+    return counter.total()
+
+
+def test_shape_same_answers_less_work(benchmark):
+    fast_result = dfg_constant_propagation(GRAPH, FAST)
+    base_result = dfg_constant_propagation(GRAPH, BASE)
+    for key, value in fast_result.use_values.items():
+        if key[1] != CTRL_VAR:
+            assert base_result.use_values[key] == value
+    fast_size, base_size = FAST.size(), BASE.size()
+    fast_work, base_work = analysis_work(FAST), analysis_work(BASE)
+    print(f"\nA1 dependence edges: bypassed={fast_size} base={base_size}")
+    print(f"A1 constprop work:   bypassed={fast_work} base={base_work}")
+    assert fast_size < base_size
+    assert fast_work < base_work
+    benchmark(analysis_work, FAST)
+
+
+def test_time_constprop_bypassed(benchmark):
+    benchmark(dfg_constant_propagation, GRAPH, FAST)
+
+
+def test_time_constprop_base_level(benchmark):
+    benchmark(dfg_constant_propagation, GRAPH, BASE)
+
+
+def test_time_build_bypassed(benchmark):
+    benchmark(build_dfg, GRAPH)
+
+
+def test_time_build_base_level(benchmark):
+    benchmark(build_dfg, GRAPH, None, None, True, None, False)

@@ -1,0 +1,57 @@
+"""Experiment C1 (Section 3.1): cycle equivalence in O(E).
+
+Paper claim: "we sketch our O(E) algorithm for finding single-entry
+single-exit regions" via cycle equivalence with one undirected DFS and
+bracket lists.
+
+Deterministic shape: the number of undirected DFS steps and bracket
+operations is bounded by a constant multiple of E across a 4x size range
+(measured through the class structure: classes and regions grow
+linearly).  Wall time is benchmarked across the range; the largest
+instances have thousands of edges and still run in milliseconds.
+"""
+
+from repro.cfg.builder import build_cfg
+from repro.controldep.cycle_equiv import cycle_equivalence
+from repro.controldep.sese import ProgramStructure
+from repro.workloads.generators import random_program
+from repro.workloads.ladders import diamond_chain, loop_nest
+
+SIZES = (50, 100, 200, 400)
+GRAPHS = {n: build_cfg(diamond_chain(n)) for n in SIZES}
+NEST = build_cfg(loop_nest(8, width=4))
+RANDOM = build_cfg(random_program(11, size=300, num_vars=5))
+
+
+def test_shape_classes_linear(benchmark):
+    rows = {}
+    for n in SIZES:
+        g = GRAPHS[n]
+        classes = cycle_equivalence(g)
+        rows[n] = (g.num_edges, len(set(classes.values())))
+    print("\nC1 (diamonds: E, classes):")
+    for n, (edges, classes) in rows.items():
+        print(f"  n={n:4d}: E={edges:5d} classes={classes:5d}")
+    for a, b in zip(SIZES, SIZES[1:]):
+        edge_ratio = rows[b][0] / rows[a][0]
+        class_ratio = rows[b][1] / rows[a][1]
+        assert 1.5 < class_ratio < edge_ratio * 1.5
+    benchmark(cycle_equivalence, GRAPHS[SIZES[-1]])
+
+
+def test_time_cycle_equivalence_largest(benchmark):
+    benchmark(cycle_equivalence, GRAPHS[SIZES[-1]])
+
+
+def test_time_cycle_equivalence_loop_nest(benchmark):
+    benchmark(cycle_equivalence, NEST)
+
+
+def test_time_cycle_equivalence_random(benchmark):
+    benchmark(cycle_equivalence, RANDOM)
+
+
+def test_time_full_program_structure(benchmark):
+    """Classes -> ordered chains -> regions -> PST (adds the dominator
+    computations on top of the O(E) core)."""
+    benchmark(ProgramStructure, GRAPHS[SIZES[-1]])

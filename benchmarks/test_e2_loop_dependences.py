@@ -1,0 +1,67 @@
+"""Extension experiment E2: loop-carried dependence analysis.
+
+Section 6 names "loop recognition and distance/direction information for
+loop-carried dependences" as the parallelization extension of the DFG
+picture.  Shape assertions: the DOALL verdicts on the canonical kernel
+shapes (elementwise parallel, stencil serial, parity-independent), and
+analysis cost linear in the number of accesses.
+"""
+
+from repro.cfg.builder import build_cfg
+from repro.core.loopdeps import analyze_loop_dependences, parallelizable_loops
+from repro.graphs.loops import natural_loops
+from repro.lang.parser import parse_program
+
+
+def kernel(accesses: int, stencil: bool):
+    body_lines = []
+    for k in range(accesses):
+        if stencil:
+            body_lines.append(f"a{k}[i] := a{k}[i - 1] + {k};")
+        else:
+            body_lines.append(f"a{k}[i] := b{k}[i] + {k};")
+    source = (
+        "i := 1;\nwhile (i < n) {\n"
+        + "\n".join(body_lines)
+        + "\ni := i + 1;\n}\nprint a0[2];"
+    )
+    return build_cfg(parse_program(source))
+
+
+PARALLEL = kernel(6, stencil=False)
+SERIAL = kernel(6, stencil=True)
+SIZES = (4, 8, 16)
+SWEEP = {m: kernel(m, stencil=True) for m in SIZES}
+
+
+def analyze(graph):
+    loops = natural_loops(graph)
+    (header, body), = loops.items()
+    return analyze_loop_dependences(graph, header, body)
+
+
+def test_shape_verdicts(benchmark):
+    assert all(parallelizable_loops(PARALLEL).values())
+    assert not all(parallelizable_loops(SERIAL).values())
+    serial_deps = analyze(SERIAL)
+    carried = [d for d in serial_deps if d.distance == 1]
+    print(f"\nE2 stencil kernel: {len(carried)} carried flow deps "
+          f"(one per array), DOALL=False")
+    assert len(carried) == 6
+    benchmark(analyze, SERIAL)
+
+
+def test_shape_cost_linear_in_accesses(benchmark):
+    counts = {}
+    for m in SIZES:
+        counts[m] = len(analyze(SWEEP[m]))
+    print("\nE2 dependences found per kernel size:")
+    for m in SIZES:
+        print(f"  accesses={2 * m:3d} deps={counts[m]:3d}")
+    for a, b in zip(SIZES, SIZES[1:]):
+        assert counts[b] / counts[a] < 3.0  # per-array, linear
+    benchmark(analyze, SWEEP[SIZES[-1]])
+
+
+def test_time_doall_check(benchmark):
+    benchmark(parallelizable_loops, PARALLEL)

@@ -1,0 +1,52 @@
+"""Experiment F1 (Figure 1 / Section 2): representation sizes.
+
+Paper claim: def-use chains are O(E^2 V) in the worst case; SSA and the
+DFG are O(EV).  On the n-conditional-definitions / n-uses family,
+doubling n must roughly quadruple the chain count while the SSA and DFG
+sizes roughly double.  The benchmark also times the three constructions.
+"""
+
+from repro.cfg.builder import build_cfg
+from repro.core.build import build_dfg
+from repro.defuse.chains import build_def_use_chains
+from repro.ssa.cytron import build_ssa_cytron
+from repro.workloads.ladders import defuse_worst_case
+
+SIZES = (8, 16, 32)
+GRAPHS = {n: build_cfg(defuse_worst_case(n)) for n in SIZES}
+
+
+def sizes_at(n):
+    g = GRAPHS[n]
+    return {
+        "chains": build_def_use_chains(g).size(),
+        "ssa": build_ssa_cytron(g).size(),
+        "dfg": build_dfg(g).size(include_control=False),
+    }
+
+
+def test_shape_chains_quadratic_ssa_dfg_linear(benchmark):
+    rows = {n: sizes_at(n) for n in SIZES}
+    for a, b in zip(SIZES, SIZES[1:]):
+        chain_ratio = rows[b]["chains"] / rows[a]["chains"]
+        ssa_ratio = rows[b]["ssa"] / rows[a]["ssa"]
+        dfg_ratio = rows[b]["dfg"] / rows[a]["dfg"]
+        assert chain_ratio > 3.0, f"chains should ~quadruple: {chain_ratio}"
+        assert ssa_ratio < 3.0, f"SSA should ~double: {ssa_ratio}"
+        assert dfg_ratio < 3.0, f"DFG should ~double: {dfg_ratio}"
+    print("\nF1 sizes (n: chains / ssa / dfg):")
+    for n, row in rows.items():
+        print(f"  n={n:3d}: {row['chains']:6d} / {row['ssa']:5d} / {row['dfg']:5d}")
+    benchmark(sizes_at, SIZES[-1])
+
+
+def test_time_build_def_use_chains(benchmark):
+    benchmark(build_def_use_chains, GRAPHS[SIZES[-1]])
+
+
+def test_time_build_ssa(benchmark):
+    benchmark(build_ssa_cytron, GRAPHS[SIZES[-1]])
+
+
+def test_time_build_dfg(benchmark):
+    benchmark(build_dfg, GRAPHS[SIZES[-1]])

@@ -1,0 +1,65 @@
+"""Experiment F2 (Figure 2 / Section 3.2): DFG construction cost.
+
+Paper claim: the DFG is built in O(EV) time.  Work counters (source
+resolutions are the unit of construction work) must grow linearly along
+a diamond chain (E grows, V fixed) and linearly in V on the
+wide-variable family (V grows, statements per variable fixed).
+"""
+
+from repro.cfg.builder import build_cfg
+from repro.controldep.sese import ProgramStructure
+from repro.core.build import build_dfg
+from repro.util.counters import WorkCounter
+from repro.workloads.ladders import diamond_chain, wide_variable_program
+
+E_SIZES = (20, 40, 80)
+V_SIZES = (16, 32, 64)
+E_GRAPHS = {n: build_cfg(diamond_chain(n, num_vars=3)) for n in E_SIZES}
+V_GRAPHS = {n: build_cfg(wide_variable_program(n)) for n in V_SIZES}
+
+
+def construction_work(graph) -> int:
+    counter = WorkCounter()
+    build_dfg(graph, counter=counter)
+    return counter["source_resolutions"]
+
+
+def test_shape_work_linear_in_E(benchmark):
+    work = {n: construction_work(E_GRAPHS[n]) for n in E_SIZES}
+    print("\nF2 construction work vs E:")
+    for n in E_SIZES:
+        print(f"  diamonds={n:3d}  E={E_GRAPHS[n].num_edges:4d}  "
+              f"work={work[n]:6d}")
+    for a, b in zip(E_SIZES, E_SIZES[1:]):
+        ratio = work[b] / work[a]
+        assert ratio < 3.0, f"work should ~double when E doubles: {ratio}"
+    benchmark(construction_work, E_GRAPHS[E_SIZES[-1]])
+
+
+def test_shape_work_bounded_by_EV(benchmark):
+    """On the wide family both E and V grow with n (live ranges span the
+    block), so the paper's bound is O(E*V); the work per E*V unit must
+    stay flat across a 4x sweep."""
+    rows = {}
+    for n in V_SIZES:
+        g = V_GRAPHS[n]
+        work = construction_work(g)
+        ev = g.num_edges * len(g.variables())
+        rows[n] = (work, ev, work / ev)
+    print("\nF2 construction work vs E*V:")
+    for n, (work, ev, density) in rows.items():
+        print(f"  vars={n:3d}  work={work:6d}  E*V={ev:6d}  "
+              f"work/(E*V)={density:.3f}")
+    densities = [d for _, _, d in rows.values()]
+    assert max(densities) < 2.5 * min(densities), densities
+    assert max(densities) < 4.0, "work must stay within a small constant of E*V"
+    benchmark(construction_work, V_GRAPHS[V_SIZES[-1]])
+
+
+def test_time_full_construction(benchmark, large_random_graph):
+    benchmark(build_dfg, large_random_graph)
+
+
+def test_time_structure_only(benchmark, large_random_graph):
+    """The SESE/cycle-equivalence prerequisite, timed separately."""
+    benchmark(ProgramStructure, large_random_graph)

@@ -1,0 +1,77 @@
+"""Experiment F3 (Figure 3): all-paths vs possible-paths constants.
+
+Paper claim: def-use-chain propagation finds only all-paths constants
+(Figure 3(a)); the CFG and DFG algorithms additionally find
+possible-paths constants (Figure 3(b)), which are "common in code
+generated from inline expansion of procedures or macros".
+
+Shape assertions: on the inline-expansion family the DFG/CFG/SCCP trio
+find strictly more constants at live uses than the chain algorithm and
+exactly agree among themselves; on Figure 3(a) all four agree.
+"""
+
+from repro.cfg.builder import build_cfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.core.dfg import CTRL_VAR
+from repro.defuse.constprop import defuse_constant_propagation
+from repro.opt.cfg_constprop import cfg_constant_propagation
+from repro.ssa.cytron import build_ssa_cytron
+from repro.ssa.sccp import sparse_conditional_constant_propagation
+from repro.workloads import suites
+from repro.workloads.generators import inline_expansion_program
+
+INLINE = build_cfg(inline_expansion_program(5, calls=10, num_vars=4))
+FIG3A = build_cfg(suites.figure3a())
+FIG3B = build_cfg(suites.figure3b())
+
+
+def counts(graph):
+    dfg_result = dfg_constant_propagation(graph)
+    live = set(graph.nodes) - dfg_result.dead_nodes
+    chain = {
+        k: v
+        for k, v in defuse_constant_propagation(graph).constant_uses().items()
+        if k[0] in live
+    }
+    cfg = {
+        k: v
+        for k, v in cfg_constant_propagation(graph).constant_uses().items()
+        if k[0] in live and k[1] != CTRL_VAR
+    }
+    dfg = dfg_result.constant_uses()
+    return chain, cfg, dfg
+
+
+def test_shape_possible_paths_gap(benchmark):
+    chain, cfg, dfg = counts(INLINE)
+    print(f"\nF3 constants at live uses: chains={len(chain)} "
+          f"cfg={len(cfg)} dfg={len(dfg)}")
+    assert dfg == cfg
+    assert set(chain) <= set(dfg)
+    assert len(dfg) > len(chain), "possible-paths constants must appear"
+    # Figure 3(a): all-paths constants -- everyone finds y = 3.
+    for result in counts(FIG3A):
+        y_use = [v for (n, var), v in result.items() if var == "x"]
+        assert 3 in y_use
+    # Figure 3(b): only the dead-region-aware algorithms find x = 1.
+    chain_b, cfg_b, dfg_b = counts(FIG3B)
+    assert any(v == 1 for (_, var), v in dfg_b.items() if var == "x")
+    assert not any(var == "x" for (_, var) in chain_b)
+    benchmark(counts, INLINE)
+
+
+def test_time_defuse_constprop(benchmark):
+    benchmark(defuse_constant_propagation, INLINE)
+
+
+def test_time_cfg_constprop(benchmark):
+    benchmark(cfg_constant_propagation, INLINE)
+
+
+def test_time_dfg_constprop(benchmark):
+    benchmark(dfg_constant_propagation, INLINE)
+
+
+def test_time_sccp(benchmark):
+    ssa = build_ssa_cytron(INLINE)
+    benchmark(sparse_conditional_constant_propagation, ssa)

@@ -1,0 +1,76 @@
+"""Experiment F4 (Figure 4 / Section 4): O(EV^2) vs O(EV).
+
+Paper claim: "Whereas the control flow algorithm performed O(V) work
+each time a node is processed, the DFG algorithm performs work only for
+the relevant dependences ... the asymptotic complexity of the DFG
+algorithm is O(EV)" against O(EV^2) for the vector algorithm.
+
+On the wide-variable family (V grows, uses per variable fixed) the CFG
+algorithm's lattice work grows ~quadratically in V while the DFG
+algorithm's propagation work grows ~linearly, and both find identical
+constants.  Analysis-time benchmarks at the largest V time the solved
+fixpoints alone (structures prebuilt where the algorithm allows).
+"""
+
+from repro.cfg.builder import build_cfg
+from repro.core.build import build_dfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.core.dfg import CTRL_VAR
+from repro.opt.cfg_constprop import cfg_constant_propagation
+from repro.util.counters import WorkCounter
+from repro.workloads.ladders import wide_variable_program
+
+V_SIZES = (16, 32, 64)
+GRAPHS = {n: build_cfg(wide_variable_program(n)) for n in V_SIZES}
+DFGS = {n: build_dfg(GRAPHS[n]) for n in V_SIZES}
+
+
+def cfg_work(n):
+    counter = WorkCounter()
+    cfg_constant_propagation(GRAPHS[n], counter)
+    return counter["vector_entries"]
+
+
+def dfg_work(n):
+    counter = WorkCounter()
+    dfg_constant_propagation(GRAPHS[n], DFGS[n], counter)
+    return counter["port_recomputations"] + counter["dfg_evaluations"]
+
+
+def test_shape_quadratic_vs_linear(benchmark):
+    cfg_rows = {n: cfg_work(n) for n in V_SIZES}
+    dfg_rows = {n: dfg_work(n) for n in V_SIZES}
+    print("\nF4 work units (V: CFG vectors / DFG ports):")
+    for n in V_SIZES:
+        print(f"  V={n:3d}: {cfg_rows[n]:8d} / {dfg_rows[n]:6d}")
+    for a, b in zip(V_SIZES, V_SIZES[1:]):
+        cfg_ratio = cfg_rows[b] / cfg_rows[a]
+        dfg_ratio = dfg_rows[b] / dfg_rows[a]
+        assert cfg_ratio > 3.0, f"CFG work should ~quadruple: {cfg_ratio}"
+        assert dfg_ratio < 3.0, f"DFG work should ~double: {dfg_ratio}"
+        assert cfg_ratio > dfg_ratio * 1.5
+    benchmark(dfg_work, V_SIZES[-1])
+
+
+def test_shape_identical_precision(benchmark):
+    n = V_SIZES[-1]
+    cfg_result = cfg_constant_propagation(GRAPHS[n])
+    dfg_result = dfg_constant_propagation(GRAPHS[n], DFGS[n])
+    for key, value in dfg_result.use_values.items():
+        if key[1] != CTRL_VAR:
+            assert cfg_result.use_values[key] == value
+    benchmark(cfg_constant_propagation, GRAPHS[n])
+
+
+def test_time_cfg_constprop_largest(benchmark):
+    benchmark(cfg_constant_propagation, GRAPHS[V_SIZES[-1]])
+
+
+def test_time_dfg_constprop_largest(benchmark):
+    benchmark(
+        dfg_constant_propagation, GRAPHS[V_SIZES[-1]], DFGS[V_SIZES[-1]]
+    )
+
+
+def test_time_dfg_constprop_including_construction(benchmark):
+    benchmark(dfg_constant_propagation, GRAPHS[V_SIZES[-1]])

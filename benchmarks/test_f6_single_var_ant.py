@@ -1,0 +1,77 @@
+"""Experiment F6 (Figure 6): single-variable anticipatability.
+
+Reproduces the figure's dependence-edge values exactly (d4 false at the
+unrelated use of x, d5/d6 true at the computations of x+1, multiedge OR
+making the tails true), checks the projection matches the CFG solution,
+and times the dependence-based computation against the dense CFG
+formulation on a scaled-up variant.
+"""
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.core.anticipate import dfg_anticipatability
+from repro.core.dfg import Head, HeadKind, Port, PortKind
+from repro.dataflow.anticipatable import anticipatable_expressions
+from repro.lang.parser import parse_expr, parse_program
+from repro.workloads import suites
+
+EXPR = parse_expr("x + 1")
+FIG6 = build_cfg(suites.figure6())
+
+
+def scaled_variant(branches: int = 12):
+    """Figure 6's shape, repeated: one definition of x, many branches
+    with mixed uses, every branch computing x+1 eventually."""
+    arms = []
+    for i in range(branches):
+        arms.append(
+            f"if (c{i} > 0) {{ y{i} := x * 3; z{i} := x + 1; }} "
+            f"else {{ w{i} := x + 1; }}"
+        )
+        arms.append(f"print z{i} + w{i} + y{i};")
+        arms.append(f"x := a{i};")
+    return build_cfg(parse_program("x := a;\n" + "\n".join(arms)))
+
+
+SCALED = scaled_variant()
+
+
+def test_shape_figure6_exact(benchmark):
+    result = dfg_anticipatability(FIG6, EXPR)
+    rel = result.per_var["x"]
+    other_use = next(n for n in FIG6.assign_nodes() if n.target == "y")
+    assert rel.ant_heads[Head(HeadKind.USE, other_use.id, "x")] is False
+    for target in ("z", "w"):
+        node = next(n for n in FIG6.assign_nodes() if n.target == target)
+        assert rel.ant_heads[Head(HeadKind.USE, node.id, "x")] is True
+    x_def = next(n for n in FIG6.assign_nodes() if n.target == "x")
+    assert rel.ant_tails[Port(PortKind.DEF, "x", x_def.id)] is True
+    switch = next(
+        n.id for n in FIG6.nodes.values() if n.kind is NodeKind.SWITCH
+    )
+    assert rel.ant_heads[Head(HeadKind.SWITCH_IN, switch, "x")] is True
+    # Projection == CFG solution ("ANT true at every point between the
+    # definition of x and the two computations of x+1").
+    cfg_set = {
+        eid
+        for eid, s in anticipatable_expressions(FIG6).items()
+        if EXPR in s
+    }
+    assert result.ant_edges == cfg_set
+    print(f"\nF6 ANT edges: {sorted(result.ant_edges)} (== CFG answer)")
+    benchmark(dfg_anticipatability, FIG6, EXPR)
+
+
+def test_shape_scaled_agreement(benchmark):
+    result = dfg_anticipatability(SCALED, EXPR)
+    cfg_set = {
+        eid
+        for eid, s in anticipatable_expressions(SCALED).items()
+        if EXPR in s
+    }
+    assert result.ant_edges <= cfg_set
+    benchmark(dfg_anticipatability, SCALED, EXPR)
+
+
+def test_time_cfg_ant_dense(benchmark):
+    benchmark(anticipatable_expressions, SCALED)

@@ -1,0 +1,71 @@
+"""Constant propagation, four ways (Section 4 of the paper).
+
+Compares, on inline-expansion-shaped code (the paper's motivating
+workload for possible-paths constants):
+
+* def-use chain propagation  -- sparse but all-paths only;
+* CFG vector propagation     -- possible-paths, O(EV^2) work;
+* DFG propagation            -- possible-paths, O(EV) work;
+* SCCP on SSA                -- possible-paths, the SSA-world equivalent.
+
+Run:  python examples/constant_folding_pipeline.py
+"""
+
+from repro import (
+    WorkCounter,
+    build_cfg,
+    build_ssa_cytron,
+    cfg_constant_propagation,
+    defuse_constant_propagation,
+    dfg_constant_propagation,
+    optimize,
+    pretty_program,
+    run_cfg,
+    sparse_conditional_constant_propagation,
+)
+from repro.workloads.generators import inline_expansion_program
+
+
+def main() -> None:
+    program = inline_expansion_program(seed=1, calls=6, num_vars=3)
+    print("Workload (inlined-call shaped):\n")
+    print(pretty_program(program))
+    graph = build_cfg(program)
+
+    counters = {name: WorkCounter() for name in ("defuse", "cfg", "dfg", "sccp")}
+
+    chain_result = defuse_constant_propagation(graph, counter=counters["defuse"])
+    cfg_result = cfg_constant_propagation(graph, counter=counters["cfg"])
+    dfg_result = dfg_constant_propagation(graph, counter=counters["dfg"])
+    ssa = build_ssa_cytron(graph)
+    sccp_result = sparse_conditional_constant_propagation(
+        ssa, counter=counters["sccp"]
+    )
+
+    live = set(graph.nodes) - dfg_result.dead_nodes
+    rows = [
+        ("def-use chains", len({k: v for k, v in
+                                chain_result.constant_uses().items()
+                                if k[0] in live})),
+        ("CFG vectors", len({k: v for k, v in
+                             cfg_result.constant_uses().items()
+                             if k[0] in live})),
+        ("DFG", len(dfg_result.constant_uses())),
+        ("SCCP", len(sccp_result.constant_names())),
+    ]
+    print("constants found (at live uses) and work performed:")
+    for (name, found), key in zip(rows, counters):
+        print(f"  {name:16s} {found:4d} constants   "
+              f"work units: {counters[key].total()}")
+    print("\n(def-use chains miss the possible-paths constants: they see "
+          "both definitions\nreaching each use, unaware one branch is dead.)")
+
+    optimized, _report = optimize(program)
+    print("\nAfter the full pipeline every conditional is decided:")
+    print(f"  {graph.num_nodes} nodes -> {optimized.num_nodes} nodes")
+    assert run_cfg(graph).outputs == run_cfg(optimized).outputs
+    print("  outputs unchanged:", run_cfg(optimized).outputs)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Control structure discovery: cycle equivalence, SESE regions, the
+program structure tree, and the factored control dependence graph
+(Section 3 of the paper).
+
+Run:  python examples/program_structure.py
+"""
+
+from repro import (
+    build_cfg,
+    build_factored_cdg,
+    build_program_structure,
+    build_ssa_cytron,
+    build_ssa_from_dfg,
+    control_dependence_edges,
+    parse_program,
+)
+
+SOURCE = """
+a := 1;
+while (a < n) {
+    if (a % 2 == 0) {
+        b := a * 2;
+    } else {
+        b := a * 3;
+    }
+    a := a + b;
+}
+print a;
+"""
+
+
+def main() -> None:
+    graph = build_cfg(parse_program(SOURCE))
+    structure = build_program_structure(graph)
+
+    print("cycle-equivalence classes (edges in dominance order):")
+    for cls, edges in sorted(structure.classes.items()):
+        described = ", ".join(
+            f"e{eid}({graph.edge(eid).src}->{graph.edge(eid).dst})"
+            for eid in edges
+        )
+        print(f"  class {cls}: {described}")
+
+    print("\ncanonical SESE regions and their nesting (the PST):")
+
+    def walk(region, indent):
+        defines = ", ".join(sorted(structure.defs_in(region))) or "-"
+        print(f"{'  ' * indent}[e{region.entry} .. e{region.exit}] "
+              f"defines: {defines}")
+        for child in sorted(region.children, key=lambda r: r.entry):
+            walk(child, indent + 1)
+
+    for root in sorted(structure.roots, key=lambda r: r.entry):
+        walk(root, 1)
+
+    # The factored CDG answers control-dependence-equivalence queries in
+    # O(1) without ever materializing dependence sets...
+    factored = build_factored_cdg(graph)
+    print(f"\nfactored CDG: {factored.num_classes} classes over "
+          f"{graph.num_edges} edges")
+
+    # ...whereas the standard construction pays for the full sets:
+    dense = control_dependence_edges(graph)
+    total = sum(len(s) for s in dense.values())
+    print(f"standard CDG: {total} (edge, controlling-edge) entries")
+
+    # And SSA falls out of the DFG with no dominance computation at all.
+    from_dfg = build_ssa_from_dfg(graph)
+    cytron = build_ssa_cytron(graph, pruned=True)
+    assert from_dfg.phi_placement() == cytron.phi_placement()
+    print(f"\nSSA via DFG == pruned Cytron SSA: "
+          f"{len(from_dfg.all_phis())} phi-functions at "
+          f"{sorted({n for n, _ in from_dfg.phi_placement()})}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Thin setup.py shim.
+
+The offline environment this project targets has setuptools but not the
+``wheel`` package, so PEP 517 editable installs (which build a wheel) fail.
+Keeping a ``setup.py`` enables pip's legacy ``develop`` code path:
+``pip install -e . --no-build-isolation`` works without network access.
+Package metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

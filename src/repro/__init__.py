@@ -1,0 +1,125 @@
+"""repro -- dependence flow graphs for program analysis.
+
+A production-quality reproduction of R. Johnson and K. Pingali,
+*Dependence-Based Program Analysis*, PLDI 1993: the dependence flow graph
+(DFG) and its forward/backward dataflow algorithms, together with every
+substrate they rest on (a small imperative language, normalized CFGs,
+dominance, the O(E) cycle-equivalence/SESE-region algorithm) and every
+baseline they are measured against (def-use chains, SSA + SCCP, Kildall
+vector constant propagation, Morel-Renvoise partial redundancy
+elimination).
+
+Quickstart::
+
+    from repro import parse_program, build_cfg, build_dfg
+    from repro import dfg_constant_propagation, optimize
+
+    program = parse_program("x := 2; y := x + 3; print y;")
+    graph = build_cfg(program)
+    dfg = build_dfg(graph)
+    constants = dfg_constant_propagation(graph, dfg)
+    optimized, report = optimize(program)
+
+See ``examples/`` for runnable walkthroughs and ``DESIGN.md`` for the
+paper-to-module map.
+"""
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.dot import cfg_to_dot
+from repro.cfg.graph import CFG, Edge, Node, NodeKind
+from repro.cfg.interp import run_cfg
+from repro.cfg.normalize import normalize, split_critical_edges
+from repro.controldep.cdg import (
+    control_dependence_edges,
+    control_dependence_nodes,
+)
+from repro.controldep.cycle_equiv import cycle_equivalence
+from repro.controldep.factored import FactoredCDG, build_factored_cdg
+from repro.controldep.sese import ProgramStructure, Region, build_program_structure
+from repro.core.anticipate import AnticipatabilityResult, dfg_anticipatability
+from repro.core.build import build_dfg
+from repro.core.constprop import DFGConstants, dfg_constant_propagation
+from repro.core.dce import dfg_dead_code_elimination
+from repro.core.loopdeps import (
+    LoopDependence,
+    analyze_loop_dependences,
+    parallelizable_loops,
+)
+from repro.core.dfg import CTRL_VAR, DFG, DepEdge, Head, HeadKind, Port, PortKind
+from repro.core.epr import EPRResult, eliminate_partial_redundancies, epr_all
+from repro.core.verify import verify_dfg
+from repro.defuse.chains import DefUseChains, build_def_use_chains
+from repro.defuse.constprop import defuse_constant_propagation
+from repro.lang.ast_nodes import Program
+from repro.lang.interp import ExecutionResult, run_program
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import pretty_expr, pretty_program
+from repro.opt.cfg_constprop import cfg_constant_propagation
+from repro.opt.copyprop import copy_propagation
+from repro.opt.cfg_epr import cfg_eliminate_partial_redundancies
+from repro.opt.pipeline import optimize
+from repro.ssa.cytron import build_ssa_cytron
+from repro.ssa.from_dfg import build_ssa_from_dfg
+from repro.ssa.sccp import sparse_conditional_constant_propagation
+from repro.ssa.ssagraph import SSAForm
+from repro.util.counters import WorkCounter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnticipatabilityResult",
+    "CFG",
+    "CTRL_VAR",
+    "DFG",
+    "DFGConstants",
+    "DefUseChains",
+    "DepEdge",
+    "EPRResult",
+    "Edge",
+    "ExecutionResult",
+    "FactoredCDG",
+    "Head",
+    "HeadKind",
+    "Node",
+    "NodeKind",
+    "Port",
+    "PortKind",
+    "Program",
+    "ProgramStructure",
+    "Region",
+    "SSAForm",
+    "WorkCounter",
+    "build_cfg",
+    "build_def_use_chains",
+    "build_dfg",
+    "build_factored_cdg",
+    "build_program_structure",
+    "build_ssa_cytron",
+    "build_ssa_from_dfg",
+    "cfg_constant_propagation",
+    "cfg_eliminate_partial_redundancies",
+    "copy_propagation",
+    "cfg_to_dot",
+    "control_dependence_edges",
+    "control_dependence_nodes",
+    "cycle_equivalence",
+    "defuse_constant_propagation",
+    "dfg_anticipatability",
+    "dfg_constant_propagation",
+    "dfg_dead_code_elimination",
+    "eliminate_partial_redundancies",
+    "analyze_loop_dependences",
+    "parallelizable_loops",
+    "epr_all",
+    "normalize",
+    "optimize",
+    "parse_expr",
+    "parse_program",
+    "pretty_expr",
+    "pretty_program",
+    "run_cfg",
+    "run_program",
+    "sparse_conditional_constant_propagation",
+    "split_critical_edges",
+    "verify_dfg",
+]

@@ -1,0 +1,38 @@
+"""Control flow graphs with explicit ``switch`` and ``merge`` nodes.
+
+Section 2.1 of the paper defines the CFG flavour all its algorithms assume:
+
+* a unique ``start`` (no predecessors) and ``end`` (no successors), with
+  every node reachable from ``start`` and every node reaching ``end``;
+* *switch* nodes that separate branching from computation (a conditional
+  jump on a predicate expression);
+* *merge* nodes that are the only join points (the only nodes with more
+  than one incoming edge);
+* *assignment* nodes for general straight-line computation.
+
+:mod:`repro.cfg.graph` is the data structure, :mod:`repro.cfg.builder`
+compiles ASTs into it, :mod:`repro.cfg.normalize` establishes the
+invariants above for arbitrary graphs, :mod:`repro.cfg.interp` executes a
+CFG directly (for differential testing against the AST interpreter and for
+validating CFG-level transformations), and :mod:`repro.cfg.dot` renders
+Graphviz.
+"""
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.dot import cfg_to_dot
+from repro.cfg.graph import CFG, CFGError, Edge, Node, NodeKind
+from repro.cfg.interp import run_cfg
+from repro.cfg.normalize import normalize, split_critical_edges
+
+__all__ = [
+    "CFG",
+    "CFGError",
+    "Edge",
+    "Node",
+    "NodeKind",
+    "build_cfg",
+    "cfg_to_dot",
+    "normalize",
+    "run_cfg",
+    "split_critical_edges",
+]

@@ -1,0 +1,97 @@
+"""Compile an AST into a normalized CFG.
+
+The builder reuses the interpreter's :func:`~repro.lang.interp.flatten`
+jump-code pass, so the CFG has exactly the control structure the reference
+interpreter executes -- a deliberate redundancy that makes the differential
+test "AST execution == CFG execution" meaningful.
+
+Jump instructions produce no nodes: the builder resolves chains of jumps to
+their ultimate targets.  A cycle consisting solely of jumps (``label L:
+goto L;``) has no instruction to host it, so it is hosted on a synthetic
+``NOP`` node; normalization then gives the resulting bodyless infinite loop
+a synthetic exit like any other non-terminating region.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.cfg.normalize import normalize
+from repro.lang.ast_nodes import Program
+from repro.lang.interp import (
+    AssignInstr,
+    BranchInstr,
+    JumpInstr,
+    PrintInstr,
+    flatten,
+)
+
+
+def build_cfg(program: Program) -> CFG:
+    """Build a normalized CFG for ``program``.
+
+    >>> from repro.lang.parser import parse_program
+    >>> g = build_cfg(parse_program("x := 1; print x;"))
+    >>> g.validate(normalized=True)
+    """
+    instrs = flatten(program)
+    graph = CFG()
+    start = graph.add_node(NodeKind.START)
+    end = graph.add_node(NodeKind.END)
+
+    node_of: dict[int, int] = {}
+    for i, instr in enumerate(instrs):
+        if isinstance(instr, AssignInstr):
+            node_of[i] = graph.add_node(
+                NodeKind.ASSIGN, target=instr.target, expr=instr.expr
+            )
+        elif isinstance(instr, PrintInstr):
+            node_of[i] = graph.add_node(NodeKind.PRINT, expr=instr.expr)
+        elif isinstance(instr, BranchInstr):
+            node_of[i] = graph.add_node(NodeKind.SWITCH, expr=instr.cond)
+
+    memo: dict[int, int] = {}
+    nop_targets: list[tuple[int, int]] = []
+
+    def resolve(index: int) -> int:
+        """The node where control lands when jumping to instruction
+        ``index``, skipping over jump chains."""
+        chain: list[int] = []
+        chain_set: set[int] = set()
+        i = index
+        while True:
+            if i >= len(instrs):
+                result = end
+                break
+            if i in memo:
+                result = memo[i]
+                break
+            instr = instrs[i]
+            if not isinstance(instr, JumpInstr):
+                result = node_of[i]
+                break
+            if i in chain_set:
+                # A cycle of bare jumps: host it on a NOP node.
+                nop = graph.add_node(NodeKind.NOP)
+                memo[i] = nop
+                nop_targets.append((nop, instr.target))
+                result = nop
+                break
+            chain.append(i)
+            chain_set.add(i)
+            i = instr.target
+        for j in chain:
+            memo[j] = result
+        return result
+
+    graph.add_edge(start, resolve(0))
+    for i, instr in enumerate(instrs):
+        if isinstance(instr, (AssignInstr, PrintInstr)):
+            graph.add_edge(node_of[i], resolve(i + 1))
+        elif isinstance(instr, BranchInstr):
+            graph.add_edge(node_of[i], resolve(i + 1), label="T")
+            graph.add_edge(node_of[i], resolve(instr.target), label="F")
+    for nop, target in nop_targets:
+        graph.add_edge(nop, resolve(target))
+
+    normalize(graph, contract_nops=True)
+    return graph

@@ -1,0 +1,346 @@
+"""The control flow graph data structure.
+
+Edges are first-class objects with stable integer identities.  The paper
+extends dominance, postdominance and control dependence to *edges*
+(Definition 2), keys its cycle-equivalence classes on edges, and attaches
+dependence-flow facts to edges -- so everything downstream indexes facts by
+``Edge.id``.
+
+A *normalized* CFG (established by :func:`repro.cfg.normalize.normalize`)
+satisfies:
+
+* exactly one ``START`` node (no in-edges, one out-edge) and one ``END``
+  node (one in-edge unless the program is empty, no out-edges);
+* ``MERGE`` nodes are exactly the nodes with more than one in-edge, and
+  have exactly one out-edge;
+* ``SWITCH`` nodes have at least two out-edges with distinct labels
+  (``"T"``/``"F"`` for the binary switches the builder creates) and carry
+  the branch predicate;
+* ``ASSIGN``, ``PRINT`` and ``NOP`` nodes have exactly one in-edge and one
+  out-edge;
+* every node is reachable from ``start`` and reaches ``end``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lang.ast_nodes import Expr, expr_vars
+
+
+class CFGError(Exception):
+    """Raised when a CFG operation or invariant check fails."""
+
+
+class NodeKind(enum.Enum):
+    """The node vocabulary of Section 2.1 (plus ``PRINT`` for observable
+    output and ``NOP`` for synthetic pass-through nodes)."""
+
+    START = "start"
+    END = "end"
+    ASSIGN = "assign"
+    PRINT = "print"
+    SWITCH = "switch"
+    MERGE = "merge"
+    NOP = "nop"
+
+
+@dataclass
+class Node:
+    """A CFG node.
+
+    ``target`` is the assigned variable for ``ASSIGN`` nodes; ``expr`` is
+    the right-hand side (``ASSIGN``), the printed value (``PRINT``) or the
+    branch predicate (``SWITCH``).
+    """
+
+    id: int
+    kind: NodeKind
+    target: str | None = None
+    expr: Expr | None = None
+
+    def defs(self) -> frozenset[str]:
+        """Variables this node assigns."""
+        if self.kind is NodeKind.ASSIGN:
+            assert self.target is not None
+            return frozenset((self.target,))
+        return frozenset()
+
+    def uses(self) -> frozenset[str]:
+        """Variables this node reads."""
+        if self.expr is None:
+            return frozenset()
+        return expr_vars(self.expr)
+
+    def __repr__(self) -> str:
+        if self.kind is NodeKind.ASSIGN:
+            return f"Node({self.id}: {self.target} := ...)"
+        return f"Node({self.id}: {self.kind.value})"
+
+
+@dataclass
+class Edge:
+    """A CFG edge.  ``label`` is the branch arm for switch out-edges."""
+
+    id: int
+    src: int
+    dst: int
+    label: str | None = None
+
+    def __repr__(self) -> str:
+        tag = f" [{self.label}]" if self.label else ""
+        return f"Edge({self.id}: {self.src}->{self.dst}{tag})"
+
+
+class CFG:
+    """A mutable control flow graph.
+
+    >>> g = CFG()
+    >>> s = g.add_node(NodeKind.START)
+    >>> e = g.add_node(NodeKind.END)
+    >>> _ = g.add_edge(s, e)
+    >>> g.start, g.end = s, e
+    >>> g.validate()
+    """
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, Node] = {}
+        self.edges: dict[int, Edge] = {}
+        self._out: dict[int, list[int]] = {}
+        self._in: dict[int, list[int]] = {}
+        self._next_node = 0
+        self._next_edge = 0
+        self.start: int = -1
+        self.end: int = -1
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(
+        self,
+        kind: NodeKind,
+        target: str | None = None,
+        expr: Expr | None = None,
+    ) -> int:
+        """Create a node and return its id."""
+        if kind is NodeKind.ASSIGN and (target is None or expr is None):
+            raise CFGError("ASSIGN nodes need a target and an expression")
+        if kind in (NodeKind.SWITCH, NodeKind.PRINT) and expr is None:
+            raise CFGError(f"{kind.value} nodes need an expression")
+        nid = self._next_node
+        self._next_node += 1
+        self.nodes[nid] = Node(nid, kind, target, expr)
+        self._out[nid] = []
+        self._in[nid] = []
+        if kind is NodeKind.START and self.start < 0:
+            self.start = nid
+        if kind is NodeKind.END and self.end < 0:
+            self.end = nid
+        return nid
+
+    def add_edge(self, src: int, dst: int, label: str | None = None) -> int:
+        """Create an edge and return its id.  Out-edge order is insertion
+        order, which the builder uses to keep switch arms as [T, F]."""
+        if src not in self.nodes or dst not in self.nodes:
+            raise CFGError(f"edge endpoints must exist: {src}->{dst}")
+        eid = self._next_edge
+        self._next_edge += 1
+        self.edges[eid] = Edge(eid, src, dst, label)
+        self._out[src].append(eid)
+        self._in[dst].append(eid)
+        return eid
+
+    def remove_edge(self, eid: int) -> None:
+        edge = self.edges.pop(eid)
+        self._out[edge.src].remove(eid)
+        self._in[edge.dst].remove(eid)
+
+    def remove_node(self, nid: int) -> None:
+        """Remove a node; all incident edges are removed too."""
+        for eid in list(self._out[nid]) + list(self._in[nid]):
+            if eid in self.edges:
+                self.remove_edge(eid)
+        del self.nodes[nid]
+        del self._out[nid]
+        del self._in[nid]
+
+    # -- accessors ----------------------------------------------------------
+
+    def node(self, nid: int) -> Node:
+        return self.nodes[nid]
+
+    def edge(self, eid: int) -> Edge:
+        return self.edges[eid]
+
+    def out_edges(self, nid: int) -> list[Edge]:
+        return [self.edges[eid] for eid in self._out[nid]]
+
+    def in_edges(self, nid: int) -> list[Edge]:
+        return [self.edges[eid] for eid in self._in[nid]]
+
+    def succs(self, nid: int) -> list[int]:
+        return [self.edges[eid].dst for eid in self._out[nid]]
+
+    def preds(self, nid: int) -> list[int]:
+        return [self.edges[eid].src for eid in self._in[nid]]
+
+    def out_edge(self, nid: int) -> Edge:
+        """The unique out-edge of a single-successor node."""
+        out = self._out[nid]
+        if len(out) != 1:
+            raise CFGError(f"node {nid} has {len(out)} out-edges, expected 1")
+        return self.edges[out[0]]
+
+    def in_edge(self, nid: int) -> Edge:
+        """The unique in-edge of a single-predecessor node."""
+        ins = self._in[nid]
+        if len(ins) != 1:
+            raise CFGError(f"node {nid} has {len(ins)} in-edges, expected 1")
+        return self.edges[ins[0]]
+
+    def switch_edge(self, nid: int, label: str) -> Edge:
+        """The out-edge of switch ``nid`` labelled ``label``."""
+        for edge in self.out_edges(nid):
+            if edge.label == label:
+                return edge
+        raise CFGError(f"switch {nid} has no out-edge labelled {label!r}")
+
+    def edge_between(self, src: int, dst: int) -> Edge:
+        """The unique edge from ``src`` to ``dst`` (raises if 0 or many)."""
+        found = [
+            self.edges[eid] for eid in self._out[src] if self.edges[eid].dst == dst
+        ]
+        if len(found) != 1:
+            raise CFGError(f"{len(found)} edges between {src} and {dst}")
+        return found[0]
+
+    def variables(self) -> frozenset[str]:
+        """Every variable defined or used anywhere in the graph."""
+        names: set[str] = set()
+        for node in self.nodes.values():
+            names |= node.defs()
+            names |= node.uses()
+        return frozenset(names)
+
+    def expressions(self) -> frozenset[Expr]:
+        """Every non-trivial expression and subexpression in the graph --
+        the candidate set for redundancy elimination."""
+        from repro.lang.ast_nodes import is_trivial, subexpressions
+
+        found: set[Expr] = set()
+        for node in self.nodes.values():
+            if node.expr is not None:
+                for sub in subexpressions(node.expr):
+                    if not is_trivial(sub):
+                        found.add(sub)
+        return frozenset(found)
+
+    def assign_nodes(self) -> list[Node]:
+        return [n for n in self.nodes.values() if n.kind is NodeKind.ASSIGN]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    # -- reachability ---------------------------------------------------------
+
+    def reachable_from_start(self) -> set[int]:
+        """Nodes reachable from ``start``."""
+        return self._reach(self.start, forward=True)
+
+    def reaching_end(self) -> set[int]:
+        """Nodes from which ``end`` is reachable."""
+        return self._reach(self.end, forward=False)
+
+    def _reach(self, root: int, forward: bool) -> set[int]:
+        if root not in self.nodes:
+            return set()
+        seen = {root}
+        stack = [root]
+        while stack:
+            nid = stack.pop()
+            nexts = self.succs(nid) if forward else self.preds(nid)
+            for nxt in nexts:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, normalized: bool = False) -> None:
+        """Check structural sanity; with ``normalized=True`` also check the
+        full Section 2.1 invariants."""
+        if self.start not in self.nodes or self.end not in self.nodes:
+            raise CFGError("missing start or end node")
+        if self.nodes[self.start].kind is not NodeKind.START:
+            raise CFGError("start node has wrong kind")
+        if self.nodes[self.end].kind is not NodeKind.END:
+            raise CFGError("end node has wrong kind")
+        if self._in[self.start]:
+            raise CFGError("start must have no in-edges")
+        if self._out[self.end]:
+            raise CFGError("end must have no out-edges")
+        reachable = self.reachable_from_start()
+        if reachable != set(self.nodes):
+            dead = sorted(set(self.nodes) - reachable)
+            raise CFGError(f"nodes unreachable from start: {dead}")
+        reaching = self.reaching_end()
+        if reaching != set(self.nodes):
+            stuck = sorted(set(self.nodes) - reaching)
+            raise CFGError(f"nodes that cannot reach end: {stuck}")
+        if not normalized:
+            return
+        for node in self.nodes.values():
+            n_in = len(self._in[node.id])
+            n_out = len(self._out[node.id])
+            if node.kind is NodeKind.START:
+                if n_out != 1:
+                    raise CFGError("start must have exactly one out-edge")
+            elif node.kind is NodeKind.END:
+                if n_in > 1:
+                    raise CFGError("end must have at most one in-edge")
+            elif node.kind is NodeKind.MERGE:
+                if n_in < 2 or n_out != 1:
+                    raise CFGError(
+                        f"merge {node.id} must have >=2 in-edges, 1 out-edge"
+                    )
+            elif node.kind is NodeKind.SWITCH:
+                if n_in != 1 or n_out < 2:
+                    raise CFGError(
+                        f"switch {node.id} must have 1 in-edge, >=2 out-edges"
+                    )
+                labels = [e.label for e in self.out_edges(node.id)]
+                if None in labels or len(set(labels)) != len(labels):
+                    raise CFGError(
+                        f"switch {node.id} out-edges need distinct labels"
+                    )
+            else:  # ASSIGN, PRINT, NOP
+                if n_in != 1 or n_out != 1:
+                    raise CFGError(
+                        f"{node.kind.value} {node.id} must have 1 in, 1 out"
+                    )
+
+    # -- copying ---------------------------------------------------------------
+
+    def copy(self) -> "CFG":
+        """A structurally identical graph preserving node and edge ids."""
+        dup = CFG()
+        dup._next_node = self._next_node
+        dup._next_edge = self._next_edge
+        dup.start = self.start
+        dup.end = self.end
+        for nid, node in self.nodes.items():
+            dup.nodes[nid] = Node(node.id, node.kind, node.target, node.expr)
+        dup._out = {nid: list(eids) for nid, eids in self._out.items()}
+        dup._in = {nid: list(eids) for nid, eids in self._in.items()}
+        for eid, edge in self.edges.items():
+            dup.edges[eid] = Edge(edge.id, edge.src, edge.dst, edge.label)
+        return dup
+
+    def __repr__(self) -> str:
+        return f"CFG({self.num_nodes} nodes, {self.num_edges} edges)"

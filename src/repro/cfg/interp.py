@@ -1,0 +1,74 @@
+"""Direct execution of a CFG.
+
+Used in two roles:
+
+* a differential oracle against the AST interpreter (the builder and
+  normalizer must preserve behaviour), and
+* the semantics of *CFG-level transformations* -- partial redundancy
+  elimination edits the graph, not the AST, so correctness and the
+  "no path evaluates an expression more often" guarantee are checked by
+  running the graph itself.
+
+Shares the language semantics (and the evaluation-counting machinery) of
+:mod:`repro.lang.interp`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.lang.errors import InterpError, StepLimitExceeded
+from repro.lang.interp import ExecutionResult, _scalar, eval_expr
+
+
+def run_cfg(
+    graph: CFG,
+    env: Mapping[str, int] | None = None,
+    max_steps: int = 100_000,
+) -> ExecutionResult:
+    """Execute ``graph`` from ``start`` to ``end``.
+
+    >>> from repro.lang.parser import parse_program
+    >>> from repro.cfg.builder import build_cfg
+    >>> g = build_cfg(parse_program("x := 3; print x * x;"))
+    >>> run_cfg(g).outputs
+    [9]
+    """
+    state: dict[str, int] = dict(env or {})
+    counts: Counter = Counter()
+    outputs: list[int] = []
+    steps = 0
+    trace: list[int] = []
+    current = graph.start
+    while current != graph.end:
+        trace.append(current)
+        steps += 1
+        if steps > max_steps:
+            raise StepLimitExceeded(
+                f"exceeded {max_steps} steps (infinite loop?)"
+            )
+        node = graph.node(current)
+        if node.kind is NodeKind.ASSIGN:
+            assert node.target is not None and node.expr is not None
+            state[node.target] = eval_expr(node.expr, state, counts)
+            current = graph.out_edge(current).dst
+        elif node.kind is NodeKind.PRINT:
+            assert node.expr is not None
+            value = eval_expr(node.expr, state, counts)
+            if isinstance(value, dict):
+                raise InterpError("cannot print an array value")
+            outputs.append(value)
+            current = graph.out_edge(current).dst
+        elif node.kind is NodeKind.SWITCH:
+            assert node.expr is not None
+            taken = _scalar(eval_expr(node.expr, state, counts))
+            label = "T" if taken else "F"
+            current = graph.switch_edge(current, label).dst
+        elif node.kind in (NodeKind.MERGE, NodeKind.NOP, NodeKind.START):
+            current = graph.out_edge(current).dst
+        else:
+            raise InterpError(f"cannot execute node {node!r}")
+    trace.append(graph.end)
+    return ExecutionResult(outputs, state, steps, counts, trace)

@@ -1,0 +1,137 @@
+"""Establish the Section 2.1 CFG invariants on an arbitrary graph.
+
+Normalization performs, in order:
+
+1. **Unreachable-code removal** -- drop nodes not reachable from ``start``.
+2. **NOP contraction** (optional) -- splice out pass-through nodes left by
+   the builder's jump resolution; NOPs on self-loops are kept (they host
+   bodyless infinite loops).
+3. **Synthetic exits** -- the paper requires every node to reach ``end``.
+   Each non-terminating region (e.g. ``while (1) { ... }``) gets a
+   synthetic always-true switch spliced onto one of its edges whose false
+   arm leads to ``end``: runtime behaviour is unchanged (the arm is never
+   taken) but the structural requirement holds.
+4. **Merge insertion** -- any non-merge node with several in-edges gets a
+   fresh ``MERGE`` predecessor, making merges the only join points;
+   degenerate single-input merges are spliced out.
+5. **Validation** of the full invariant set.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.lang.ast_nodes import IntLit
+
+
+def normalize(graph: CFG, contract_nops: bool = False) -> CFG:
+    """Normalize ``graph`` in place (and return it for chaining)."""
+    _prune_unreachable(graph)
+    if contract_nops:
+        _contract_nops(graph)
+    _add_synthetic_exits(graph)
+    _splice_single_input_merges(graph)
+    _insert_merges(graph)
+    graph.validate(normalized=True)
+    return graph
+
+
+def _prune_unreachable(graph: CFG) -> None:
+    reachable = graph.reachable_from_start()
+    # END stays even when unreachable: a program that loops forever still
+    # has an exit node, and the synthetic-exit pass will reconnect it.
+    reachable.add(graph.end)
+    for nid in list(graph.nodes):
+        if nid not in reachable:
+            graph.remove_node(nid)
+
+
+def _contract_nops(graph: CFG) -> None:
+    changed = True
+    while changed:
+        changed = False
+        for node in list(graph.nodes.values()):
+            if node.kind is not NodeKind.NOP:
+                continue
+            succs = graph.succs(node.id)
+            if len(succs) != 1 or succs[0] == node.id:
+                continue  # keep self-loop hosts and malformed NOPs
+            successor = succs[0]
+            for edge in list(graph.in_edges(node.id)):
+                if edge.src == node.id:
+                    continue
+                graph.add_edge(edge.src, successor, label=edge.label)
+            graph.remove_node(node.id)
+            changed = True
+
+
+def _add_synthetic_exits(graph: CFG) -> None:
+    while True:
+        reaching = graph.reaching_end()
+        stuck = set(graph.nodes) - reaching
+        if not stuck:
+            return
+        # Pick any stuck node; every stuck node has an out-edge (only END
+        # has none, and END trivially reaches itself).
+        nid = min(stuck)
+        edge = graph.out_edges(nid)[0]
+        switch = graph.add_node(NodeKind.SWITCH, expr=IntLit(1))
+        dst, label = edge.dst, edge.label
+        graph.remove_edge(edge.id)
+        graph.add_edge(nid, switch, label=label)
+        graph.add_edge(switch, dst, label="T")
+        graph.add_edge(switch, graph.end, label="F")
+
+
+def _splice_single_input_merges(graph: CFG) -> None:
+    for node in list(graph.nodes.values()):
+        if node.kind is not NodeKind.MERGE:
+            continue
+        if len(graph.in_edges(node.id)) != 1 or len(graph.succs(node.id)) != 1:
+            continue
+        pred_edge = graph.in_edge(node.id)
+        succ_edge = graph.out_edge(node.id)
+        if pred_edge.src == node.id:
+            continue
+        graph.add_edge(pred_edge.src, succ_edge.dst, label=pred_edge.label)
+        graph.remove_node(node.id)
+
+
+def _insert_merges(graph: CFG) -> None:
+    for node in list(graph.nodes.values()):
+        if node.kind is NodeKind.MERGE:
+            continue
+        in_edges = list(graph.in_edges(node.id))
+        if len(in_edges) < 2:
+            continue
+        merge = graph.add_node(NodeKind.MERGE)
+        for edge in in_edges:
+            graph.add_edge(edge.src, merge, label=edge.label)
+            graph.remove_edge(edge.id)
+        graph.add_edge(merge, node.id)
+
+
+def split_critical_edges(graph: CFG) -> dict[int, int]:
+    """Split every switch-to-merge edge with a NOP node, in place.
+
+    A *critical edge* runs from a node with several successors to a node
+    with several predecessors; in normalized form these are exactly the
+    switch-to-merge edges (the ``repeat-until`` back edge of the paper's
+    Section 5.2 discussion is the classic example).  Node-based PRE needs
+    them split to have a place to insert code; the DFG algorithm does not,
+    which is one of the claims we test.
+
+    Returns a mapping from the id of each *removed* critical edge to the
+    inserted NOP node id.
+    """
+    inserted: dict[int, int] = {}
+    for edge in list(graph.edges.values()):
+        src_kind = graph.node(edge.src).kind
+        dst_kind = graph.node(edge.dst).kind
+        if src_kind is NodeKind.SWITCH and dst_kind is NodeKind.MERGE:
+            nop = graph.add_node(NodeKind.NOP)
+            graph.add_edge(edge.src, nop, label=edge.label)
+            graph.add_edge(nop, edge.dst)
+            graph.remove_edge(edge.id)
+            inserted[edge.id] = nop
+    graph.validate(normalized=True)
+    return inserted

@@ -1,0 +1,34 @@
+"""Control dependence, cycle equivalence and SESE regions.
+
+This package implements Section 3.1 of the paper:
+
+* :mod:`repro.controldep.cycle_equiv` -- the O(E) bracket-list algorithm
+  for cycle equivalence of control-flow edges (the paper sketches it;
+  the companion PLDI'94 "Program Structure Tree" paper by the same
+  authors gives the details we implement).
+* :mod:`repro.controldep.sese` -- canonical single-entry single-exit
+  regions from ordered cycle-equivalence classes (Theorem 1), assembled
+  into a program structure tree.
+* :mod:`repro.controldep.cdg` -- the *standard* control dependence
+  computation via postdominance frontiers (Ferrante-Ottenstein-Warren),
+  used as the baseline and as an independent oracle for Claim 1 ("same
+  control dependence iff cycle equivalent in the augmented graph").
+* :mod:`repro.controldep.factored` -- the factored control dependence
+  graph built from cycle-equivalence classes in O(E).
+"""
+
+from repro.controldep.cdg import control_dependence_edges, control_dependence_nodes
+from repro.controldep.cycle_equiv import cycle_equivalence
+from repro.controldep.factored import FactoredCDG, build_factored_cdg
+from repro.controldep.sese import ProgramStructure, Region, build_program_structure
+
+__all__ = [
+    "FactoredCDG",
+    "ProgramStructure",
+    "Region",
+    "build_factored_cdg",
+    "build_program_structure",
+    "control_dependence_edges",
+    "control_dependence_nodes",
+    "cycle_equivalence",
+]

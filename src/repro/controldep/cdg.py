@@ -1,0 +1,56 @@
+"""Standard control dependence via postdominators (the baseline).
+
+Ferrante-Ottenstein-Warren: ``x`` is control dependent on CFG edge
+``(u, v)`` iff ``x`` postdominates ``v`` but does not postdominate ``u``.
+Definition 2 of the paper extends the notion to edges, which we realize
+on the *split graph* (every CFG edge materialized as a dummy node), so
+both node and edge control-dependence sets come out of one computation.
+
+The construction walks, for every CFG edge ``e = (u, v)``, the
+postdominator tree from ``e`` up to (exclusively) the immediate
+postdominator of ``u`` -- everything on that path is control dependent on
+``e``.  Worst-case output (and time) is quadratic; the whole point of the
+paper's cycle-equivalence algorithm is to avoid materializing these sets
+when only control-dependence *equivalence* is needed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cfg.graph import CFG
+from repro.graphs.dominance import edge_key, edge_postdominators, node_key
+
+
+def control_dependence_items(
+    graph: CFG,
+) -> dict[tuple[str, int], frozenset[int]]:
+    """Control-dependence sets for every node key ``("n", id)`` and edge
+    key ``("e", id)``: the set of CFG edge ids each item is control
+    dependent on."""
+    pdom = edge_postdominators(graph)
+    deps: dict[tuple[str, int], set[int]] = defaultdict(set)
+    for eid, edge in graph.edges.items():
+        stop = pdom.idom_of(node_key(edge.src))
+        runner: tuple[str, int] | None = edge_key(eid)
+        while runner is not None and runner != stop:
+            deps[runner].add(eid)
+            runner = pdom.idom_of(runner)
+    result: dict[tuple[str, int], frozenset[int]] = {}
+    for nid in graph.nodes:
+        result[node_key(nid)] = frozenset(deps.get(node_key(nid), ()))
+    for eid in graph.edges:
+        result[edge_key(eid)] = frozenset(deps.get(edge_key(eid), ()))
+    return result
+
+
+def control_dependence_nodes(graph: CFG) -> dict[int, frozenset[int]]:
+    """``{node_id: frozenset of controlling edge ids}``."""
+    items = control_dependence_items(graph)
+    return {nid: items[node_key(nid)] for nid in graph.nodes}
+
+
+def control_dependence_edges(graph: CFG) -> dict[int, frozenset[int]]:
+    """``{edge_id: frozenset of controlling edge ids}`` (Definition 2)."""
+    items = control_dependence_items(graph)
+    return {eid: items[edge_key(eid)] for eid in graph.edges}

@@ -1,0 +1,270 @@
+"""Cycle equivalence of CFG edges in O(E) time.
+
+Two edges are *cycle equivalent* when every cycle containing one contains
+the other.  Claim 1 of the paper: two edges have the same control
+dependence iff they are cycle equivalent in the strongly connected graph
+formed by adding ``end -> start`` to the CFG.  Claim 2 reduces directed
+cycle equivalence to cycle equivalence in an undirected graph, which a
+single depth-first search can solve with *bracket lists*.
+
+The paper only sketches the DFS ("details omitted"); the algorithm below
+is the one the authors published in the companion paper -- R. Johnson,
+D. Pearson, K. Pingali, *The Program Structure Tree: Computing Control
+Regions in Linear Time*, PLDI 1994, Figure 14 -- which this module follows
+closely:
+
+* undirected DFS from ``start``; in an undirected DFS every non-tree edge
+  joins a node to one of its ancestors (a *backedge*);
+* each backedge spanning a tree edge acts as a *bracket*; two tree edges
+  are cycle equivalent iff they have the same set of brackets;
+* bracket sets are maintained bottom-up as doubly-linked lists with O(1)
+  concatenate / push / delete, and are *named* by the pair (topmost
+  bracket, list size), so equality of sets is decided without comparing
+  contents;
+* *capping backedges* summarize the second-highest-reaching child of a
+  node so that sibling subtrees cannot be confused as equivalent;
+* a backedge that is the lone bracket of a tree edge is equivalent to it.
+
+Strong connectivity of the augmented graph guarantees the undirected
+graph is 2-edge-connected (every edge lies on a cycle), so every tree
+edge has at least one bracket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG
+
+#: Sentinel id for the synthetic end->start edge (never a real edge id).
+SYNTHETIC_EDGE = -1
+
+_INF = float("inf")
+
+
+class _Bracket:
+    """A backedge acting as a bracket: either a real undirected edge or a
+    synthetic capping backedge."""
+
+    __slots__ = (
+        "uedge", "recent_size", "recent_class", "prev", "nxt", "deleted"
+    )
+
+    def __init__(self, uedge: "_UEdge | None") -> None:
+        self.uedge = uedge  # None for capping backedges
+        self.recent_size = -1
+        self.recent_class: int | None = None
+        self.prev: _Bracket | None = None
+        self.nxt: _Bracket | None = None
+        self.deleted = False
+
+
+class _BracketList:
+    """Doubly-linked bracket list with O(1) push/top/delete/concat.
+
+    Concatenation splices lists destructively; deletion unlinks a bracket
+    from whichever list currently holds it.  The algorithm only ever
+    deletes brackets after they have been concatenated into the list of
+    the vertex being processed, so sizes stay exact.
+    """
+
+    __slots__ = ("head", "tail", "size")
+
+    def __init__(self) -> None:
+        self.head: _Bracket | None = None  # top (most recently pushed)
+        self.tail: _Bracket | None = None
+        self.size = 0
+
+    def push(self, bracket: _Bracket) -> None:
+        bracket.prev = None
+        bracket.nxt = self.head
+        if self.head is not None:
+            self.head.prev = bracket
+        self.head = bracket
+        if self.tail is None:
+            self.tail = bracket
+        self.size += 1
+
+    def top(self) -> _Bracket | None:
+        return self.head
+
+    def delete(self, bracket: _Bracket) -> None:
+        if bracket.deleted:
+            return
+        bracket.deleted = True
+        if bracket.prev is not None:
+            bracket.prev.nxt = bracket.nxt
+        else:
+            self.head = bracket.nxt
+        if bracket.nxt is not None:
+            bracket.nxt.prev = bracket.prev
+        else:
+            self.tail = bracket.prev
+        bracket.prev = bracket.nxt = None
+        self.size -= 1
+
+    def concat(self, other: "_BracketList") -> None:
+        """Splice ``other`` underneath this list's elements."""
+        if other.size == 0:
+            return
+        if self.size == 0:
+            self.head, self.tail, self.size = other.head, other.tail, other.size
+        else:
+            assert self.tail is not None
+            self.tail.nxt = other.head
+            other.head.prev = self.tail
+            self.tail = other.tail
+            self.size += other.size
+        other.head = other.tail = None
+        other.size = 0
+
+
+@dataclass
+class _UEdge:
+    """An undirected edge of the augmented graph."""
+
+    eid: int  # CFG edge id, or SYNTHETIC_EDGE
+    u: int
+    v: int
+    used: bool = False
+    is_tree: bool = False
+    cls: int | None = None
+    bracket: _Bracket | None = field(default=None, repr=False)
+
+
+class _Fresh:
+    """Equivalence-class id allocator."""
+
+    def __init__(self) -> None:
+        self.next_id = 0
+
+    def __call__(self) -> int:
+        cls = self.next_id
+        self.next_id += 1
+        return cls
+
+
+def cycle_equivalence(graph: CFG) -> dict[int, int]:
+    """Partition the CFG's edges into cycle-equivalence classes.
+
+    Returns ``{edge_id: class_id}``.  The classes are those of the
+    strongly connected augmentation (CFG plus ``end -> start``); the
+    synthetic edge itself is omitted from the result.  Runs in O(E).
+    """
+    fresh = _Fresh()
+    uedges: list[_UEdge] = []
+    adjacency: dict[int, list[tuple[int, int]]] = {n: [] for n in graph.nodes}
+    result: dict[int, int] = {}
+
+    for eid, edge in graph.edges.items():
+        if edge.src == edge.dst:
+            # A self-loop is a cycle by itself: its own singleton class.
+            result[eid] = fresh()
+            continue
+        index = len(uedges)
+        uedges.append(_UEdge(eid, edge.src, edge.dst))
+        adjacency[edge.src].append((index, edge.dst))
+        adjacency[edge.dst].append((index, edge.src))
+    if graph.start != graph.end:
+        index = len(uedges)
+        uedges.append(_UEdge(SYNTHETIC_EDGE, graph.end, graph.start))
+        adjacency[graph.end].append((index, graph.start))
+        adjacency[graph.start].append((index, graph.end))
+
+    # ---- undirected DFS -------------------------------------------------
+    dfsnum: dict[int, int] = {}
+    node_at: list[int] = []
+    parent_uedge: dict[int, _UEdge] = {}
+    children: dict[int, list[int]] = {n: [] for n in graph.nodes}
+    backedges_from: dict[int, list[_UEdge]] = {n: [] for n in graph.nodes}
+    backedges_to: dict[int, list[_UEdge]] = {n: [] for n in graph.nodes}
+    capping_to: dict[int, list[_Bracket]] = {n: [] for n in graph.nodes}
+
+    root = graph.start
+    dfsnum[root] = 0
+    node_at.append(root)
+    stack: list[tuple[int, int]] = [(root, 0)]  # (vertex, adjacency cursor)
+    while stack:
+        vertex, cursor = stack[-1]
+        if cursor >= len(adjacency[vertex]):
+            stack.pop()
+            continue
+        stack[-1] = (vertex, cursor + 1)
+        index, other = adjacency[vertex][cursor]
+        uedge = uedges[index]
+        if uedge.used:
+            continue
+        uedge.used = True
+        if other not in dfsnum:
+            uedge.is_tree = True
+            dfsnum[other] = len(node_at)
+            node_at.append(other)
+            parent_uedge[other] = uedge
+            children[vertex].append(other)
+            stack.append((other, 0))
+        else:
+            # Non-tree undirected edge: `other` is an ancestor of `vertex`.
+            backedges_from[vertex].append(uedge)
+            backedges_to[other].append(uedge)
+
+    # ---- bottom-up bracket pass -----------------------------------------
+    hi: dict[int, float] = {}
+    blist: dict[int, _BracketList] = {}
+    for vertex in reversed(node_at):
+        num = dfsnum[vertex]
+        hi0 = min(
+            (dfsnum[_other_end(b, vertex)] for b in backedges_from[vertex]),
+            default=_INF,
+        )
+        kid_his = sorted(hi[c] for c in children[vertex])
+        hi1 = kid_his[0] if kid_his else _INF
+        hi[vertex] = min(hi0, hi1)
+        hi2 = kid_his[1] if len(kid_his) > 1 else _INF
+
+        current = _BracketList()
+        for child in children[vertex]:
+            current.concat(blist[child])
+        for capping in capping_to[vertex]:
+            current.delete(capping)
+        for backedge in backedges_to[vertex]:
+            assert backedge.bracket is not None
+            current.delete(backedge.bracket)
+            if backedge.cls is None:
+                backedge.cls = fresh()
+        for backedge in backedges_from[vertex]:
+            bracket = _Bracket(backedge)
+            backedge.bracket = bracket
+            current.push(bracket)
+        if hi2 < num:
+            # A second child also reaches above this vertex: cap it so the
+            # sibling subtrees cannot share bracket names.
+            capping = _Bracket(None)
+            current.push(capping)
+            capping_to[node_at[int(hi2)]].append(capping)
+        blist[vertex] = current
+
+        if vertex != root:
+            tree_edge = parent_uedge[vertex]
+            top = current.top()
+            assert top is not None, (
+                "tree edge with empty bracket list -- augmented graph not "
+                "2-edge-connected (is the CFG valid?)"
+            )
+            if top.recent_size != current.size:
+                top.recent_size = current.size
+                top.recent_class = fresh()
+            tree_edge.cls = top.recent_class
+            if top.recent_size == 1 and top.uedge is not None:
+                # The tree edge's lone bracket is equivalent to it.
+                top.uedge.cls = tree_edge.cls
+
+    for uedge in uedges:
+        if uedge.eid == SYNTHETIC_EDGE:
+            continue
+        assert uedge.cls is not None, f"unclassified edge {uedge.eid}"
+        result[uedge.eid] = uedge.cls
+    return result
+
+
+def _other_end(uedge: _UEdge, vertex: int) -> int:
+    return uedge.v if uedge.u == vertex else uedge.u

@@ -1,0 +1,65 @@
+"""The factored control dependence graph, built in O(E).
+
+"In the context of optimization, control dependence equivalence is more
+important than control dependence per se" (Section 6).  The factored CDG
+does not materialize per-node dependence sets; it stores the partition of
+CFG edges into control-dependence-equivalence classes (= cycle-equivalence
+classes of the augmented graph, Claim 1) and answers equivalence queries
+in O(1).  Construction is a single cycle-equivalence pass -- no dominators,
+no postdominators, no dominance frontiers -- which is the paper's
+"factor of N improvement over the best existing algorithm".
+
+When a client *does* need the actual dependence set of an edge, it can be
+recovered lazily per class via the standard walk
+(:func:`repro.controldep.cdg.control_dependence_items`), paying only for
+the classes queried.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG
+from repro.controldep.cycle_equiv import cycle_equivalence
+
+
+@dataclass
+class FactoredCDG:
+    """The control-dependence-equivalence partition of a CFG's edges."""
+
+    edge_class: dict[int, int]
+    members: dict[int, list[int]] = field(default_factory=dict)
+
+    def same_control_dependence(self, eid1: int, eid2: int) -> bool:
+        """O(1) *sound* equivalence query: ``True`` implies the edges have
+        identical control-dependence sets.
+
+        The partition is cycle equivalence of the augmented graph, which
+        *refines* control-dependence-set equality: it never merges edges
+        with different dependence sets, but around loops it may split
+        edges that share one (a while loop's merge->switch edge shares its
+        CD set with the loop-body edges, yet the body cycle avoids it).
+        Section 3.3 of the paper notes that any refinement of
+        control-dependence equivalence is valid for every use the paper
+        makes of the relation, and the dominance/postdominance conditions
+        of Theorem 1 make the refined relation exactly the one that
+        bounds SESE regions.
+        """
+        return self.edge_class[eid1] == self.edge_class[eid2]
+
+    def class_of(self, eid: int) -> int:
+        return self.edge_class[eid]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.members)
+
+
+def build_factored_cdg(graph: CFG) -> FactoredCDG:
+    """Build the factored CDG in O(E) via cycle equivalence (Claim 1)."""
+    edge_class = cycle_equivalence(graph)
+    members: dict[int, list[int]] = defaultdict(list)
+    for eid, cls in edge_class.items():
+        members[cls].append(eid)
+    return FactoredCDG(edge_class, dict(members))

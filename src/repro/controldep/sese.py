@@ -1,0 +1,196 @@
+"""Canonical SESE regions and the program structure tree.
+
+Theorem 1 of the paper: edges ``e1``, ``e2`` enclose a single-entry
+single-exit region iff ``e1`` dominates ``e2``, ``e2`` postdominates
+``e1``, and they are cycle equivalent -- equivalently, iff they have the
+same control dependence.  The edges of one cycle-equivalence class are
+totally ordered by dominance; *consecutive* pairs bound the canonical
+(non-composed) regions, and because canonical regions are pairwise
+nested, disjoint or sequentially ordered, they form a tree: the program
+structure tree (PST).
+
+The structure computed here drives DFG construction (Section 3.2):
+
+* ``classes``          -- each class's edges in dominance order;
+* ``regions``          -- one canonical region per consecutive pair;
+* ``region_of_node``   -- the smallest region strictly containing a node;
+* ``region_of_edge``   -- likewise for edges (boundary edges belong to the
+  *enclosing* region, not the one they bound);
+* ``defs_in``          -- variables assigned anywhere inside a region,
+  aggregated bottom-up over the PST (step 1 of the construction
+  algorithm: "determine the variables defined within each single-entry
+  single-exit region ... by an inside-out traversal").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG
+from repro.controldep.cycle_equiv import cycle_equivalence
+from repro.graphs.dominance import (
+    DominatorTree,
+    edge_dominators,
+    edge_key,
+    edge_postdominators,
+    node_key,
+)
+
+
+@dataclass
+class Region:
+    """A canonical SESE region bounded by ``entry`` and ``exit`` edge ids.
+
+    ``class_id``/``index`` locate the entry edge within its ordered
+    cycle-equivalence class; consecutive regions of one class are the
+    sequential siblings the bypassing step walks over.
+    """
+
+    entry: int
+    exit: int
+    class_id: int
+    index: int
+    parent: "Region | None" = None
+    children: list["Region"] = field(default_factory=list, repr=False)
+    depth: int = 0
+
+    def __hash__(self) -> int:
+        return hash((self.entry, self.exit))
+
+    def __repr__(self) -> str:
+        return f"Region(entry=e{self.entry}, exit=e{self.exit})"
+
+
+class ProgramStructure:
+    """Cycle-equivalence classes, canonical regions, and the PST."""
+
+    def __init__(self, graph: CFG) -> None:
+        self.graph = graph
+        self.dom: DominatorTree = edge_dominators(graph)
+        self.pdom: DominatorTree = edge_postdominators(graph)
+        self.edge_class: dict[int, int] = cycle_equivalence(graph)
+
+        grouped: dict[int, list[int]] = defaultdict(list)
+        for eid, cls in self.edge_class.items():
+            grouped[cls].append(eid)
+        #: class id -> edge ids in dominance order (entry-most first).
+        self.classes: dict[int, list[int]] = {
+            cls: sorted(eids, key=lambda e: self.dom.depth(edge_key(e)))
+            for cls, eids in grouped.items()
+        }
+
+        self.regions: list[Region] = []
+        #: edge id -> the region it opens (entry edge), if any.
+        self.opens: dict[int, Region] = {}
+        for cls, eids in self.classes.items():
+            for index in range(len(eids) - 1):
+                region = Region(eids[index], eids[index + 1], cls, index)
+                self.regions.append(region)
+                self.opens[eids[index]] = region
+
+        self.region_of_node: dict[int, Region | None] = {
+            nid: self._smallest_region(node_key(nid)) for nid in graph.nodes
+        }
+        self.region_of_edge: dict[int, Region | None] = {
+            eid: self._smallest_region(edge_key(eid)) for eid in graph.edges
+        }
+
+        # PST: a region's parent is the smallest region strictly
+        # containing its entry edge.
+        roots: list[Region] = []
+        for region in self.regions:
+            parent = self.region_of_edge[region.entry]
+            region.parent = parent
+            if parent is None:
+                roots.append(region)
+            else:
+                parent.children.append(region)
+        self.roots = roots
+        stack = [(r, 1) for r in roots]
+        while stack:
+            region, depth = stack.pop()
+            region.depth = depth
+            stack.extend((c, depth + 1) for c in region.children)
+
+        # Inside-out def aggregation (construction step 1).
+        self._direct_defs: dict[Region | None, set[str]] = defaultdict(set)
+        for node in graph.assign_nodes():
+            region = self.region_of_node[node.id]
+            assert node.target is not None
+            self._direct_defs[region].add(node.target)
+        self._defs_in: dict[Region, frozenset[str]] = {}
+        for region in sorted(self.regions, key=lambda r: -r.depth):
+            combined = set(self._direct_defs.get(region, ()))
+            for child in region.children:
+                combined |= self._defs_in[child]
+            self._defs_in[region] = frozenset(combined)
+
+    # -- queries -----------------------------------------------------------
+
+    def defs_in(self, region: Region) -> frozenset[str]:
+        """Variables assigned anywhere inside ``region`` (bounds excluded)."""
+        return self._defs_in[region]
+
+    def same_class(self, eid1: int, eid2: int) -> bool:
+        return self.edge_class[eid1] == self.edge_class[eid2]
+
+    def is_sese(self, entry: int, exit: int) -> bool:
+        """Theorem 1 check for an arbitrary (not necessarily canonical)
+        edge pair: same class, entry dominates exit, exit postdominates
+        entry."""
+        return (
+            entry != exit
+            and self.same_class(entry, exit)
+            and self.dom.dominates(edge_key(entry), edge_key(exit))
+            and self.pdom.dominates(edge_key(exit), edge_key(entry))
+        )
+
+    def contains_node(self, region: Region, nid: int) -> bool:
+        """Is node ``nid`` strictly inside ``region``?"""
+        key = node_key(nid)
+        return self.dom.dominates(
+            edge_key(region.entry), key
+        ) and self.pdom.dominates(edge_key(region.exit), key)
+
+    def contains_edge(self, region: Region, eid: int) -> bool:
+        """Is edge ``eid`` strictly inside ``region`` (bounds excluded)?"""
+        if eid in (region.entry, region.exit):
+            return False
+        key = edge_key(eid)
+        return self.dom.dominates(
+            edge_key(region.entry), key
+        ) and self.pdom.dominates(edge_key(region.exit), key)
+
+    # -- internals -----------------------------------------------------------
+
+    def _smallest_region(self, key: tuple[str, int]) -> Region | None:
+        """The smallest canonical region strictly containing ``key``.
+
+        Walk up the dominator tree of the split graph; the first region
+        entry whose matching exit postdominates ``key`` -- and is not
+        ``key`` itself -- is the smallest enclosing region.  (A deeper
+        entry whose region had already closed before ``key`` necessarily
+        has its exit edge on the walk first, so it cannot be picked.)
+        """
+        if key not in self.dom.idom:
+            return None
+        current = self.dom.idom_of(key)
+        while current is not None:
+            kind, ident = current
+            if kind == "e":
+                region = self.opens.get(ident)
+                if (
+                    region is not None
+                    and edge_key(region.exit) != key
+                    and edge_key(region.exit) in self.pdom.idom
+                    and self.pdom.dominates(edge_key(region.exit), key)
+                ):
+                    return region
+            current = self.dom.idom_of(current)
+        return None
+
+
+def build_program_structure(graph: CFG) -> ProgramStructure:
+    """Convenience constructor (mirrors the other build_* entry points)."""
+    return ProgramStructure(graph)

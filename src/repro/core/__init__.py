@@ -1,0 +1,60 @@
+"""The dependence flow graph: the paper's primary contribution.
+
+* :mod:`repro.core.dfg` -- the data structure: producer ports (entry
+  values, definitions, switch and merge operators), consumers (uses,
+  switch inputs, merge inputs), and multiedges;
+* :mod:`repro.core.build` -- construction via SESE regions and region
+  bypassing (Section 3.2);
+* :mod:`repro.core.verify` -- a structural checker for Definition 6,
+  applied edge-by-edge in the tests;
+* :mod:`repro.core.constprop` -- forward dataflow: constant propagation
+  with dead-code detection (Section 4, Figure 4(b));
+* :mod:`repro.core.anticipate` -- backward dataflow: ANT/PAN, single- and
+  multivariable (Section 5.1, Figures 5(b), 6, 7);
+* :mod:`repro.core.epr` -- elimination of partial redundancies
+  (Section 5.2);
+* :mod:`repro.core.project` -- projecting dependence-edge facts back onto
+  CFG edges.
+"""
+
+from repro.core.build import build_dfg
+from repro.core.dfg import CTRL_VAR, DFG, DepEdge, Head, HeadKind, Port, PortKind
+from repro.core.constprop import DFGConstants, dfg_constant_propagation
+from repro.core.dce import ADCEStats, dfg_dead_code_elimination
+from repro.core.loopdeps import (
+    ArrayAccess,
+    InductionVariable,
+    LoopDependence,
+    analyze_loop_dependences,
+    parallelizable_loops,
+)
+from repro.core.anticipate import AnticipatabilityResult, dfg_anticipatability
+from repro.core.epr import EPRResult, eliminate_partial_redundancies
+from repro.core.project import project_to_cfg_edges
+from repro.core.verify import verify_dfg
+
+__all__ = [
+    "ADCEStats",
+    "AnticipatabilityResult",
+    "ArrayAccess",
+    "InductionVariable",
+    "LoopDependence",
+    "CTRL_VAR",
+    "DFG",
+    "DFGConstants",
+    "DepEdge",
+    "EPRResult",
+    "Head",
+    "HeadKind",
+    "Port",
+    "PortKind",
+    "analyze_loop_dependences",
+    "build_dfg",
+    "dfg_anticipatability",
+    "dfg_constant_propagation",
+    "dfg_dead_code_elimination",
+    "eliminate_partial_redundancies",
+    "parallelizable_loops",
+    "project_to_cfg_edges",
+    "verify_dfg",
+]

@@ -1,0 +1,215 @@
+"""Anticipatability on the DFG (Section 5.1, Figures 5(b), 6, 7).
+
+For an expression ``e`` and each variable ``x`` in it, total/partial
+anticipatability *relative to x* (Definition 9) is a backward boolean
+problem over ``x``'s dependence web:
+
+* **boundary** -- the dependence into a statement that computes ``e`` is
+  anticipatable; the dependence into a statement that uses ``x`` in some
+  other expression is not ("dependences for x at these statements are set
+  to false" -- the role ``end`` plays in the CFG formulation).  A branch
+  with no dependences for ``x`` at all (``x`` dead there) contributes
+  false the same way;
+* **multiedge** -- "if the expression is totally (partially) anticipatable
+  at any head, then it is also anticipatable at the tail": the heads all
+  postdominate the tail with no definition of ``x`` in between, so the
+  tail value is the OR of the head values;
+* **switch** -- the operator input is the AND (ANT) or OR (PAN) of its arm
+  ports' values: every (some) branch must anticipate;
+* **merge** -- each input inherits the merge port's value.
+
+ANT is the greatest fixpoint (start true, shrink), PAN the least (start
+false, grow) -- mirroring the CFG initial approximations of Section 5.1.
+
+Projection onto CFG edges follows the paper: a CFG edge is marked when it
+lies in the span of a dependence edge whose head value is true; the
+multivariable result is the intersection of the per-variable projections
+("assert that ANT is true wherever it is true relative to both x and y
+separately").  The projected DFG answer can be *more conservative* than
+the CFG answer where a variable's dependence is consumed by an unrelated
+expression deep inside a region (the paper points at two-phase and
+depth-first-numbering refinements it chooses not to pursue); the test
+suite checks containment everywhere and equality on the paper's examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG
+from repro.controldep.sese import ProgramStructure
+from repro.core.build import build_dfg
+from repro.core.dfg import DFG, DepEdge, Head, HeadKind, Port, PortKind
+from repro.core.project import project_to_cfg_edges
+from repro.lang.ast_nodes import Expr, expr_vars, is_trivial, subexpressions
+from repro.util.counters import WorkCounter
+
+
+def computes(node, expr: Expr) -> bool:
+    """Does this CFG node's expression compute ``expr`` (as any
+    subexpression)?"""
+    if node.expr is None:
+        return False
+    return any(sub == expr for sub in subexpressions(node.expr))
+
+
+@dataclass
+class VariableAnticipatability:
+    """ANT/PAN relative to one variable: values per dependence edge
+    (keyed by head) and per multiedge tail, plus the CFG projection."""
+
+    var: str
+    ant_heads: dict[Head, bool] = field(default_factory=dict)
+    pan_heads: dict[Head, bool] = field(default_factory=dict)
+    ant_tails: dict[Port, bool] = field(default_factory=dict)
+    pan_tails: dict[Port, bool] = field(default_factory=dict)
+    ant_edges: set[int] = field(default_factory=set)
+    pan_edges: set[int] = field(default_factory=set)
+
+
+@dataclass
+class AnticipatabilityResult:
+    """Combined ANT/PAN of one expression over all its variables.
+
+    ``ant_edges`` is exact: an expression is totally anticipatable iff it
+    is anticipatable relative to every variable (a path's first
+    computation follows the last definition of each operand).  The same
+    intersection for ``pan_edges`` is exact for single-variable
+    expressions but an *over-approximation* for multivariable ones (each
+    variable may have a different witness path); PAN only feeds the
+    profitability side of EPR, where extra candidates are filtered by the
+    safety pass, so the over-approximation is harmless.
+    """
+
+    expr: Expr
+    per_var: dict[str, VariableAnticipatability]
+    #: CFG edges where the expression is totally anticipatable.
+    ant_edges: set[int]
+    #: CFG edges where the expression is partially anticipatable
+    #: (per-variable intersection; see class docstring).
+    pan_edges: set[int]
+
+
+def _solve_relative(
+    graph: CFG,
+    dfg: DFG,
+    var: str,
+    expr: Expr,
+    must: bool,
+    counter: WorkCounter,
+) -> tuple[dict[Head, bool], dict[Port, bool]]:
+    """One fixpoint: ANT (``must``) or PAN relative to ``var``."""
+    web: dict[Port, list[Head]] = {
+        port: heads
+        for port, heads in dfg._build_heads().items()
+        if port.var == var
+    }
+    heads: list[Head] = [h for hs in web.values() for h in hs]
+    boundary: dict[Head, bool] = {}
+    for head in heads:
+        if head.kind is HeadKind.USE:
+            boundary[head] = computes(graph.node(head.node), expr)
+
+    head_value: dict[Head, bool] = {
+        h: boundary.get(h, must) for h in heads
+    }
+    tail_value: dict[Port, bool] = {}
+
+    def arm_value(snid: int, label: str | None) -> bool:
+        for port in dfg.switch_ports.get((snid, var), ()):
+            if port.label == label:
+                return tail_value.get(port, must)
+        return False  # dead side: x has no dependences there
+
+    changed = True
+    while changed:
+        changed = False
+        counter.tick("ant_rounds")
+        for port, port_heads in web.items():
+            value = any(head_value[h] for h in port_heads)
+            if tail_value.get(port, must) != value:
+                tail_value[port] = value
+                changed = True
+            else:
+                tail_value[port] = value
+        for head in heads:
+            counter.tick("ant_head_evals")
+            if head in boundary:
+                continue
+            if head.kind is HeadKind.SWITCH_IN:
+                arms = [
+                    arm_value(head.node, e.label)
+                    for e in graph.out_edges(head.node)
+                ]
+                value = all(arms) if must else any(arms)
+            else:  # MERGE_IN inherits the merge port's value
+                value = tail_value.get(
+                    Port(PortKind.MERGE, var, head.node), must
+                )
+            if head_value[head] != value:
+                head_value[head] = value
+                changed = True
+    return head_value, tail_value
+
+
+def dfg_anticipatability(
+    graph: CFG,
+    expr: Expr,
+    dfg: DFG | None = None,
+    structure: ProgramStructure | None = None,
+    counter: WorkCounter | None = None,
+) -> AnticipatabilityResult:
+    """ANT and PAN of ``expr`` via dependence propagation + projection."""
+    counter = counter if counter is not None else WorkCounter()
+    if is_trivial(expr):
+        raise ValueError("anticipatability is defined for compound expressions")
+    variables = expr_vars(expr)
+    if not variables:
+        raise ValueError(
+            "constant expressions have no dependence web; fold them instead"
+        )
+    ps = structure if structure is not None else ProgramStructure(graph)
+    dfg = dfg if dfg is not None else build_dfg(graph, structure=ps, counter=counter)
+
+    per_var: dict[str, VariableAnticipatability] = {}
+    for var in sorted(variables):
+        ant_heads, ant_tails = _solve_relative(
+            graph, dfg, var, expr, must=True, counter=counter
+        )
+        pan_heads, pan_tails = _solve_relative(
+            graph, dfg, var, expr, must=False, counter=counter
+        )
+        rel = VariableAnticipatability(
+            var, ant_heads, pan_heads, ant_tails, pan_tails
+        )
+        web = {
+            port: heads
+            for port, heads in dfg._build_heads().items()
+            if port.var == var
+        }
+        rel.ant_edges = project_to_cfg_edges(
+            graph,
+            ps,
+            (
+                DepEdge(port, h)
+                for port, hs in web.items()
+                for h in hs
+                if ant_heads[h]
+            ),
+        )
+        rel.pan_edges = project_to_cfg_edges(
+            graph,
+            ps,
+            (
+                DepEdge(port, h)
+                for port, hs in web.items()
+                for h in hs
+                if pan_heads[h]
+            ),
+        )
+        per_var[var] = rel
+
+    rels = list(per_var.values())
+    ant = set.intersection(*(r.ant_edges for r in rels))
+    pan = set.intersection(*(r.pan_edges for r in rels))
+    return AnticipatabilityResult(expr, per_var, ant, pan)

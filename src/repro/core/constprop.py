@@ -1,0 +1,203 @@
+"""Constant propagation on the DFG (Section 4, Figure 4(b)).
+
+Forward dataflow over dependence edges.  Lattice values live on producer
+ports; the multiedge rule "propagates the value at the tail of a DFG
+multiedge to its heads", so a consumer's value is its producer's value.
+The operator equations:
+
+* assignment ``x := e``: the definition port carries ``e`` evaluated over
+  the node's operand dependences (``Vo = e{Vi}``);
+* switch: each arm port carries the input value when the predicate allows
+  that arm (``Vt = V if Vp = true or Vp = TOP, BOTTOM otherwise``), so
+  dead branches keep BOTTOM flowing into them;
+* merge: the least upper bound of the input values.
+
+Because control edges thread every variable-free statement through its
+governing switch operators, an unreachable statement sees BOTTOM on *all*
+its inputs -- that is the paper's dead-code criterion ("this use was never
+examined during constant propagation; it is dead code").  The algorithm
+finds the same *possible-paths* constants as the CFG algorithm of Figure
+4(a) and as SCCP, in O(EV) rather than O(EV^2) time; the equivalence is
+checked by the test suite and the speed separation by experiment F4.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.core.build import build_dfg
+from repro.core.dfg import CTRL_VAR, DFG, HeadKind, Port, PortKind
+from repro.dataflow.lattice import (
+    BOTTOM,
+    TOP,
+    ConstValue,
+    branch_implications,
+    eval_abstract,
+    join_all,
+    join_const,
+    truthiness,
+)
+
+
+from repro.util.counters import WorkCounter
+
+
+def _maybe_refine(
+    graph: CFG, port: Port, incoming: ConstValue, enabled: bool
+) -> ConstValue:
+    """Sharpen a switch arm port's value with what the predicate implies
+    about its variable on this arm (Section 4's Multiflow extension)."""
+    if not enabled or incoming is BOTTOM:
+        return incoming
+    predicate = graph.node(port.node).expr
+    assert predicate is not None
+    implied = branch_implications(predicate, taken=port.label == "T")
+    if port.var in implied:
+        return implied[port.var]
+    return incoming
+
+
+@dataclass
+class DFGConstants:
+    """Result of DFG constant propagation.
+
+    ``use_values[(node, var)]`` mirrors the def-use and SCCP result
+    shapes so the three algorithms are directly comparable;
+    ``dead_nodes`` are statements whose every input dependence stayed
+    BOTTOM (never executed on any possible path).
+    """
+
+    port_values: dict[Port, ConstValue] = field(default_factory=dict)
+    use_values: dict[tuple[int, str], ConstValue] = field(default_factory=dict)
+    rhs_values: dict[int, ConstValue] = field(default_factory=dict)
+    dead_nodes: set[int] = field(default_factory=set)
+
+    def constant_uses(self) -> dict[tuple[int, str], int]:
+        return {
+            k: v
+            for k, v in self.use_values.items()
+            if isinstance(v, int) and k[1] != CTRL_VAR
+        }
+
+    def constant_rhs(self) -> dict[int, int]:
+        return {k: v for k, v in self.rhs_values.items() if isinstance(v, int)}
+
+
+def dfg_constant_propagation(
+    graph: CFG,
+    dfg: DFG | None = None,
+    counter: WorkCounter | None = None,
+    refine_predicates: bool = False,
+) -> DFGConstants:
+    """Solve the Figure 4(b) equations with a worklist over ports.
+
+    ``refine_predicates`` enables the Section 4 Multiflow extension: a
+    switch arm port for ``x`` carries the constant implied by an
+    equality predicate (``x == c`` true side / ``x != c`` false side)
+    even when the incoming value is unknown.  The paper notes this "is
+    easy to extend both the DFG and CFG algorithms" but hard for
+    SSA-based algorithms, whose edges bypass the switches -- our SCCP
+    accordingly has no such flag.
+    """
+    counter = counter if counter is not None else WorkCounter()
+    dfg = dfg if dfg is not None else build_dfg(graph, counter=counter)
+
+    values: dict[Port, ConstValue] = defaultdict(lambda: BOTTOM)
+
+    def use_value(nid: int, var: str) -> ConstValue:
+        src = dfg.use_sources.get((nid, var))
+        return BOTTOM if src is None else values[src]
+
+    def node_gate(nid: int) -> ConstValue:
+        """BOTTOM while the statement is unreached: the join of all its
+        input dependences (operands plus the control edge)."""
+        node = graph.node(nid)
+        deps = list(node.uses())
+        if (nid, CTRL_VAR) in dfg.use_sources:
+            deps.append(CTRL_VAR)
+        return join_all(use_value(nid, v) for v in deps)
+
+    def eval_node(nid: int) -> ConstValue:
+        """``e{Vi}``: the node's expression over its operand dependences,
+        gated by reachability."""
+        node = graph.node(nid)
+        assert node.expr is not None
+        counter.tick("dfg_evaluations")
+        if node_gate(nid) is BOTTOM:
+            return BOTTOM
+        return eval_abstract(node.expr, lambda v: use_value(nid, v))
+
+    def recompute(port: Port) -> ConstValue:
+        counter.tick("port_recomputations")
+        if port.kind is PortKind.ENTRY:
+            return TOP
+        if port.kind is PortKind.DEF:
+            return eval_node(port.node)
+        if port.kind is PortKind.MERGE:
+            inputs = dfg.merge_inputs[port]
+            return join_all(values[src] for src in inputs.values())
+        # SWITCH arm: gate the input value by the predicate.
+        incoming = values[dfg.switch_input(port)]
+        predicate = truthiness(eval_node(port.node))
+        if predicate is BOTTOM:
+            return BOTTOM
+        if predicate is TOP:
+            return _maybe_refine(graph, port, incoming, refine_predicates)
+        taken = "T" if predicate else "F"
+        if port.label != taken:
+            return BOTTOM
+        return _maybe_refine(graph, port, incoming, refine_predicates)
+
+    # Dependents: which ports must be recomputed when a port's value rises.
+    dependents: dict[Port, list[Port]] = defaultdict(list)
+    all_ports = dfg.ports()
+    def_ports = {
+        p.node: p for p in all_ports if p.kind is PortKind.DEF
+    }
+    for port in all_ports:
+        for head in dfg.heads_of(port):
+            if head.kind is HeadKind.MERGE_IN:
+                dependents[port].append(
+                    Port(PortKind.MERGE, head.var, head.node)
+                )
+            elif head.kind is HeadKind.SWITCH_IN:
+                dependents[port].extend(
+                    dfg.switch_ports.get((head.node, head.var), ())
+                )
+            else:  # USE
+                node = graph.node(head.node)
+                if node.kind is NodeKind.ASSIGN and head.node in def_ports:
+                    dependents[port].append(def_ports[head.node])
+                elif node.kind is NodeKind.SWITCH:
+                    # Predicate operand: every variable's arm ports at this
+                    # switch depend on it.
+                    for (snid, _var), ports in dfg.switch_ports.items():
+                        if snid == head.node:
+                            dependents[port].extend(ports)
+
+    worklist: deque[Port] = deque(p for p in all_ports)
+    queued = set(worklist)
+    while worklist:
+        port = worklist.popleft()
+        queued.discard(port)
+        counter.tick("worklist_pops")
+        new_value = join_const(values[port], recompute(port))
+        if new_value != values[port]:
+            values[port] = new_value
+            for dep in dependents[port]:
+                if dep not in queued:
+                    queued.add(dep)
+                    worklist.append(dep)
+
+    result = DFGConstants(port_values=dict(values))
+    for (nid, var) in dfg.use_sources:
+        result.use_values[(nid, var)] = use_value(nid, var)
+    for node in graph.nodes.values():
+        if node.expr is not None:
+            result.rhs_values[node.id] = eval_node(node.id)
+        if node.kind in (NodeKind.ASSIGN, NodeKind.PRINT, NodeKind.SWITCH):
+            if node_gate(node.id) is BOTTOM:
+                result.dead_nodes.add(node.id)
+    return result

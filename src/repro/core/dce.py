@@ -1,0 +1,95 @@
+"""Aggressive dead code elimination over the dependence flow graph.
+
+Liveness-based DCE cannot remove a *cyclic* dead chain: in
+
+::
+
+    i := 0;
+    while (p > 0) { i := i + 1; p := p - 1; }
+    print 9;
+
+the counter ``i`` is live around the loop (its increment uses it), yet
+no observable output ever depends on it.  Mark-sweep over dependences
+(Cytron-style ADCE, here phrased directly on the DFG) gets it: mark the
+observation sites (``print``) and the branch predicates, chase producer
+ports backwards through merge and switch operators, and every assignment
+whose definition port was never reached is dead -- including mutually
+recursive ones.
+
+Switch nodes are conservatively kept (removing a branch needs control
+restructuring, which :func:`repro.opt.transform.fold_constants` already
+performs for *decided* branches), so marking treats every switch
+predicate as observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.core.build import build_dfg
+from repro.core.dfg import CTRL_VAR, DFG, Port, PortKind
+from repro.util.counters import WorkCounter
+
+
+@dataclass
+class ADCEStats:
+    """What a mark-sweep pass removed."""
+
+    marked_ports: int = 0
+    removed_assignments: list[int] = field(default_factory=list)
+
+
+def dfg_dead_code_elimination(
+    graph: CFG,
+    dfg: DFG | None = None,
+    counter: WorkCounter | None = None,
+) -> ADCEStats:
+    """Remove assignments whose values never reach an observation, in
+    place.  Returns the removed node ids."""
+    counter = counter if counter is not None else WorkCounter()
+    dfg = dfg if dfg is not None else build_dfg(graph, counter=counter)
+
+    marked: set[Port] = set()
+    worklist: list[Port] = []
+
+    def mark(port: Port) -> None:
+        if port.var == CTRL_VAR or port in marked:
+            return
+        marked.add(port)
+        worklist.append(port)
+
+    # Roots: observable outputs and branch decisions.
+    for node in graph.nodes.values():
+        if node.kind in (NodeKind.PRINT, NodeKind.SWITCH):
+            for var in node.uses():
+                mark(dfg.use_sources[(node.id, var)])
+
+    while worklist:
+        port = worklist.pop()
+        counter.tick("adce_marks")
+        if port.kind is PortKind.DEF:
+            producer = graph.node(port.node)
+            for var in producer.uses():
+                mark(dfg.use_sources[(port.node, var)])
+        elif port.kind is PortKind.MERGE:
+            for source in dfg.merge_inputs[port].values():
+                mark(source)
+        elif port.kind is PortKind.SWITCH:
+            mark(dfg.switch_input(port))
+        # ENTRY ports have no producers.
+
+    live_assigns = {
+        port.node for port in marked if port.kind is PortKind.DEF
+    }
+    stats = ADCEStats(marked_ports=len(marked))
+    for node in list(graph.nodes.values()):
+        if node.kind is not NodeKind.ASSIGN or node.id in live_assigns:
+            continue
+        in_edge = graph.in_edge(node.id)
+        out_edge = graph.out_edge(node.id)
+        graph.add_edge(in_edge.src, out_edge.dst, label=in_edge.label)
+        graph.remove_node(node.id)
+        stats.removed_assignments.append(node.id)
+    graph.validate(normalized=True)
+    return stats

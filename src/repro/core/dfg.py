@@ -1,0 +1,210 @@
+"""The dependence flow graph data structure.
+
+A DFG overlays *dependence edges* on a CFG.  Each dependence edge for a
+variable ``x`` runs from a **producer port** to a **consumer head**:
+
+Producers (:class:`Port`):
+
+* ``ENTRY``  -- the value of ``x`` at ``start`` (the paper roots the DFG
+  at ``start`` this way);
+* ``DEF``    -- the output of an assignment node defining ``x``;
+* ``SWITCH`` -- one arm of a switch operator: dependences entering a
+  conditional region are split per branch (Section 2.4, "intercepted by a
+  switch operator at the conditional branch");
+* ``MERGE``  -- a merge operator combining the dependences arriving along
+  a merge node's in-edges (the DFG's analogue of a phi-function).
+
+Consumers (:class:`Head`):
+
+* ``USE``       -- a node reading ``x`` in its expression;
+* ``SWITCH_IN`` -- the input of a switch operator;
+* ``MERGE_IN``  -- one input of a merge operator (tagged with the CFG
+  in-edge it arrives along).
+
+A producer with several consumers is a **multiedge** (Section 3.3): its
+consumers all lie on every path from the producer, totally ordered by
+dominance/postdominance, which is what the multiedge dataflow rules rely
+on.
+
+Control edges: statements whose expression mentions no variable still
+need a dependence rooting them in their control region (Section 3.3,
+"introduce a dummy variable defined at start and used in each statement
+that has no other variables on its right hand side").  The dummy variable
+is :data:`CTRL_VAR`; its dependences are never bypassed, so they always
+thread through the governing switch and merge operators -- which is what
+lets the constant-propagation algorithm observe deadness of
+constant-operand statements.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG
+
+#: The dummy control variable of Section 3.3.
+CTRL_VAR = "@ctrl"
+
+
+class PortKind(enum.Enum):
+    ENTRY = "entry"
+    DEF = "def"
+    SWITCH = "switch"
+    MERGE = "merge"
+
+
+@dataclass(frozen=True)
+class Port:
+    """A dependence producer.  ``node`` is -1 for ``ENTRY``; ``label`` is
+    the branch arm for ``SWITCH`` ports."""
+
+    kind: PortKind
+    var: str
+    node: int = -1
+    label: str | None = None
+
+    def __repr__(self) -> str:
+        if self.kind is PortKind.ENTRY:
+            return f"entry({self.var})"
+        if self.kind is PortKind.SWITCH:
+            return f"switch({self.node},{self.var},{self.label})"
+        return f"{self.kind.value}({self.node},{self.var})"
+
+
+class HeadKind(enum.Enum):
+    USE = "use"
+    SWITCH_IN = "switch_in"
+    MERGE_IN = "merge_in"
+
+
+@dataclass(frozen=True)
+class Head:
+    """A dependence consumer.  ``edge`` is the merge in-edge id for
+    ``MERGE_IN`` heads (-1 otherwise)."""
+
+    kind: HeadKind
+    node: int
+    var: str
+    edge: int = -1
+
+    def __repr__(self) -> str:
+        if self.kind is HeadKind.MERGE_IN:
+            return f"merge_in({self.node},{self.var},e{self.edge})"
+        return f"{self.kind.value}({self.node},{self.var})"
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One dependence edge: ``source`` produces the value ``head``
+    consumes."""
+
+    source: Port
+    head: Head
+
+
+@dataclass
+class DFG:
+    """A constructed dependence flow graph.
+
+    The primary tables are consumer-to-producer (each consumer has exactly
+    one producer); ``heads_of`` / ``dep_edges`` are the derived
+    producer-to-consumers (multiedge) view.
+    """
+
+    graph: CFG
+    #: (node id, var) -> producer feeding that use.
+    use_sources: dict[tuple[int, str], Port] = field(default_factory=dict)
+    #: (switch node id, var) -> producer feeding the switch operator.
+    switch_inputs: dict[tuple[int, str], Port] = field(default_factory=dict)
+    #: merge Port -> {in-edge id -> producer feeding that input}.
+    merge_inputs: dict[Port, dict[int, Port]] = field(default_factory=dict)
+    #: switch ports that exist (demanded), per (switch node, var).
+    switch_ports: dict[tuple[int, str], list[Port]] = field(
+        default_factory=dict
+    )
+    #: the memoized resolver the builder used; later phases may pose new
+    #: demand-driven source queries through it (see DependenceResolver).
+    resolver: object = field(default=None, repr=False, compare=False)
+
+    # -- derived views ---------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        self._heads: dict[Port, list[Head]] | None = None
+
+    def switch_input(self, port: Port) -> Port:
+        """The producer feeding the switch operator a SWITCH port belongs
+        to (all arms of one operator share the input)."""
+        return self.switch_inputs[(port.node, port.var)]
+
+    def _build_heads(self) -> dict[Port, list[Head]]:
+        heads: dict[Port, list[Head]] = defaultdict(list)
+        for (nid, var), src in self.use_sources.items():
+            heads[src].append(Head(HeadKind.USE, nid, var))
+        for (nid, var), src in self.switch_inputs.items():
+            heads[src].append(Head(HeadKind.SWITCH_IN, nid, var))
+        for port, inputs in self.merge_inputs.items():
+            for eid, src in inputs.items():
+                heads[src].append(
+                    Head(HeadKind.MERGE_IN, port.node, port.var, eid)
+                )
+        return dict(heads)
+
+    def heads_of(self, port: Port) -> list[Head]:
+        """The consumers of a producer -- the heads of its multiedge."""
+        if self._heads is None:
+            self._heads = self._build_heads()
+        return self._heads.get(port, [])
+
+    def ports(self) -> set[Port]:
+        """Every producer port in the graph."""
+        found: set[Port] = set()
+        found.update(self.use_sources.values())
+        found.update(self.switch_inputs.values())
+        for inputs in self.merge_inputs.values():
+            found.update(inputs.values())
+        found.update(self.merge_inputs.keys())
+        for ports in self.switch_ports.values():
+            found.update(ports)
+        return found
+
+    def dep_edges(self) -> list[DepEdge]:
+        """All dependence edges, producer-to-consumer."""
+        if self._heads is None:
+            self._heads = self._build_heads()
+        return [
+            DepEdge(src, head)
+            for src, heads in self._heads.items()
+            for head in heads
+        ]
+
+    def multiedges(self) -> dict[Port, list[Head]]:
+        """Producers with at least two consumers."""
+        if self._heads is None:
+            self._heads = self._build_heads()
+        return {p: hs for p, hs in self._heads.items() if len(hs) > 1}
+
+    def size(self, include_control: bool = True) -> int:
+        """Number of dependence edges -- the F1 size measure.  With
+        ``include_control=False`` the dummy-variable control edges are
+        excluded, giving the pure data-dependence count comparable to
+        def-use chains and SSA edges."""
+        def counts(var: str) -> bool:
+            return include_control or var != CTRL_VAR
+
+        return (
+            sum(1 for (_, v) in self.use_sources if counts(v))
+            + sum(1 for (_, v) in self.switch_inputs if counts(v))
+            + sum(
+                len(inputs)
+                for port, inputs in self.merge_inputs.items()
+                if counts(port.var)
+            )
+        )
+
+    def variables(self) -> set[str]:
+        """Variables with at least one dependence edge."""
+        return {v for (_, v) in self.use_sources} | {
+            p.var for p in self.merge_inputs
+        }

@@ -1,0 +1,335 @@
+"""Elimination of partial redundancies, edge-based (Section 5.2).
+
+The paper's placement rules, on top of DFG anticipatability:
+
+* **merge rule** -- "insert a computation into a region if it is
+  anticipatable and partially available at the output of the merge":
+  after insertion the expression is totally available below the merge;
+* **multiedge rule** -- "it is profitable to place a computation at the
+  tail of a multiedge if the expression is anticipatable at the tail and
+  partially anticipatable at two or more heads" (redundancy within one
+  control region);
+* ``INSERT`` at a profitable point where the expression is not already
+  available; ``DELETE`` (rewrite to read the temporary) where it is
+  available *after* the insertions.
+
+Being edge-based, the algorithm needs no critical-edge splitting -- the
+``repeat-until`` back edge that complicates node-based formulations is
+just an edge a computation can be inserted on (the CFG splice introduces
+the block only when code actually moves there, which is the behaviour
+Morel-Renvoise obtain by splitting everything up front and cleaning up
+after).
+
+A justification pass keeps the Morel-Renvoise guarantee "no execution
+path will contain more instances of a computation than it did
+originally": an insertion survives only while every path from it reaches
+a *deleted* computation before any operand is redefined; dropping an
+insertion can invalidate deletions, so insertions and deletions are
+iterated to a (shrinking, hence terminating) fixpoint.  The test suite
+re-verifies the guarantee dynamically with the counting interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.controldep.sese import ProgramStructure
+from repro.core.anticipate import AnticipatabilityResult, dfg_anticipatability
+from repro.core.build import build_dfg
+from repro.core.dfg import DFG
+from repro.core.verify import head_location, tail_location
+from repro.dataflow.available import (
+    available_expressions,
+    partially_available_expressions,
+)
+from repro.lang.ast_nodes import (
+    BinOp,
+    Expr,
+    Index,
+    UnOp,
+    Update,
+    Var,
+    expr_vars,
+    is_trivial,
+    subexpressions,
+)
+from repro.util.counters import WorkCounter
+
+
+@dataclass
+class EPRResult:
+    """Outcome of eliminating partial redundancies of one expression."""
+
+    graph: CFG  # transformed copy
+    expr: Expr
+    temp: str
+    #: original-graph edge ids that received an inserted computation.
+    inserted_edges: list[int] = field(default_factory=list)
+    #: nodes whose computation of the expression became a read of temp.
+    deleted_nodes: list[int] = field(default_factory=list)
+    #: surviving computation sites that now also define temp.
+    defining_nodes: list[int] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.inserted_edges or self.deleted_nodes)
+
+
+def replace_subexpr(expr: Expr, needle: Expr, replacement: Expr) -> Expr:
+    """Rewrite every occurrence of ``needle`` inside ``expr``."""
+    if expr == needle:
+        return replacement
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, replace_subexpr(expr.operand, needle, replacement))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            replace_subexpr(expr.left, needle, replacement),
+            replace_subexpr(expr.right, needle, replacement),
+        )
+    if isinstance(expr, Index):
+        return Index(
+            expr.array, replace_subexpr(expr.index, needle, replacement)
+        )
+    if isinstance(expr, Update):
+        return Update(
+            expr.array,
+            replace_subexpr(expr.index, needle, replacement),
+            replace_subexpr(expr.value, needle, replacement),
+        )
+    return expr
+
+
+def fresh_temp(graph: CFG, base: str = "pre") -> str:
+    taken = graph.variables()
+    index = 0
+    while f"{base}{index}" in taken:
+        index += 1
+    return f"{base}{index}"
+
+
+def _splice_assign(graph: CFG, eid: int, target: str, expr: Expr) -> int:
+    """Insert ``target := expr`` on edge ``eid``; returns the new node."""
+    edge = graph.edge(eid)
+    node = graph.add_node(NodeKind.ASSIGN, target=target, expr=expr)
+    graph.add_edge(edge.src, node, label=edge.label)
+    graph.add_edge(node, edge.dst)
+    graph.remove_edge(eid)
+    return node
+
+
+def _computing_nodes(graph: CFG, expr: Expr) -> list[int]:
+    return [
+        node.id
+        for node in graph.nodes.values()
+        if node.expr is not None
+        and any(sub == expr for sub in subexpressions(node.expr))
+    ]
+
+
+def eliminate_partial_redundancies(
+    graph: CFG,
+    expr: Expr,
+    dfg: DFG | None = None,
+    structure: ProgramStructure | None = None,
+    anticipatability: AnticipatabilityResult | None = None,
+    counter: WorkCounter | None = None,
+) -> EPRResult:
+    """Apply the paper's EPR rules for ``expr`` and return a transformed
+    copy of ``graph`` (the input graph is never mutated)."""
+    counter = counter if counter is not None else WorkCounter()
+    if is_trivial(expr) or not expr_vars(expr):
+        raise ValueError("EPR applies to compound expressions over variables")
+    ps = structure if structure is not None else ProgramStructure(graph)
+    dfg = dfg if dfg is not None else build_dfg(graph, structure=ps, counter=counter)
+    ant = (
+        anticipatability
+        if anticipatability is not None
+        else dfg_anticipatability(graph, expr, dfg, ps, counter)
+    )
+    av = available_expressions(graph, counter)
+    pav = partially_available_expressions(graph, counter)
+
+    # -- profitable placement points (PP) -----------------------------------
+    pp_edges: set[int] = set()
+    for node in graph.nodes.values():
+        if node.kind is not NodeKind.MERGE:
+            continue
+        out = graph.out_edge(node.id).id
+        counter.tick("pp_merge_checks")
+        if out in ant.ant_edges and expr in pav[out]:
+            # Make the expression totally available at the merge output
+            # by computing it on the in-edges that do not already supply
+            # it.  (Placing on in-edges rather than the out-edge is what
+            # hoists loop-invariant code to the preheader edge: the back
+            # edge already carries the value.)  ANT at an in-edge equals
+            # ANT at the merge output, so the placement stays safe.
+            for in_edge in graph.in_edges(node.id):
+                pp_edges.add(in_edge.id)
+    heads_index = dfg._build_heads()
+    for var, rel in ant.per_var.items():
+        for port, heads in heads_index.items():
+            if port.var != var or len(heads) < 2:
+                continue
+            counter.tick("pp_multiedge_checks")
+            tail_edge = tail_location(graph, port)
+            if tail_edge not in ant.ant_edges:
+                continue
+            pan_heads = sum(
+                1
+                for h in heads
+                if head_location(graph, h) in ant.pan_edges
+            )
+            if pan_heads >= 2:
+                pp_edges.add(tail_edge)
+
+    return place_and_transform(graph, expr, pp_edges, av, counter)
+
+
+def place_and_transform(
+    graph: CFG,
+    expr: Expr,
+    pp_edges: set[int],
+    av: dict[int, frozenset[Expr]],
+    counter: WorkCounter | None = None,
+) -> EPRResult:
+    """Shared back half of EPR: filter profitable points down to safe
+    insertions, compute deletions, and apply the transformation.
+
+    Used both by the DFG algorithm (whose PP points come from the merge
+    and multiedge rules) and by the dense CFG baseline (whose PP points
+    come from edge-wise ANT/PAV).  ``av`` is the available-expressions
+    solution of ``graph``.
+    """
+    counter = counter if counter is not None else WorkCounter()
+    from repro.graphs.dominance import edge_dominators, edge_key
+
+    dom = edge_dominators(graph)
+    insert_edges = {f for f in pp_edges if expr not in av[f]}
+
+    # -- justification fixpoint ----------------------------------------------
+    # Keep only insertions every one of whose continuations reaches a
+    # deleted computation before an operand redefinition; recompute
+    # deletions whenever an insertion is dropped.
+    operand_vars = expr_vars(expr)
+    computing = set(_computing_nodes(graph, expr))
+
+    def deletions_for(inserts: set[int]) -> set[int]:
+        trial = graph.copy()
+        for eid in inserts:
+            _splice_assign(trial, eid, "@trial", expr)
+        av_plus = available_expressions(trial)
+        return {
+            nid
+            for nid in computing
+            if expr in av_plus[trial.in_edge(nid).id]
+        }
+
+    def justified(eid: int, deleted: set[int], others: set[int]) -> bool:
+        """Every path from edge ``eid`` must reach a deleted computation
+        of the expression before an operand redefinition, before ``end``,
+        and before crossing another insertion point.
+
+        The first two make the insertion pay for itself on every path
+        (net evaluations cannot rise); the third rejects *dead*
+        insertions whose value is always recomputed by a later insertion
+        before any deleted site reads it."""
+        seen: set[int] = set()
+        stack = [eid]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            nxt = graph.edge(cur).dst
+            node = graph.node(nxt)
+            if nxt in deleted:
+                continue  # this continuation is covered
+            if node.defs() & operand_vars:
+                return False  # killed before any deleted computation
+            if nxt == graph.end:
+                return False
+            for edge in graph.out_edges(nxt):
+                if edge.id in others:
+                    return False  # re-supplied before use: dead insertion
+                stack.append(edge.id)
+        return True
+
+    def drop_redundant_inserts(inserts: set[int]) -> set[int]:
+        """An insertion is unnecessary where the expression is already
+        available from original computations plus the *other* insertions
+        (e.g. the merge rule proposing a point just below an arm the
+        multiedge rule already covered).  Upstream points are considered
+        first so code hoists as far as the rules allow."""
+        kept = set(inserts)
+        for eid in sorted(inserts, key=lambda e: dom.depth(edge_key(e))):
+            others = kept - {eid}
+            trial = graph.copy()
+            for other in others:
+                _splice_assign(trial, other, "@trial", expr)
+            if expr in available_expressions(trial)[eid]:
+                kept.discard(eid)
+        return kept
+
+    while True:
+        before = set(insert_edges)
+        insert_edges = drop_redundant_inserts(insert_edges)
+        deleted = deletions_for(insert_edges)
+        insert_edges = {
+            eid
+            for eid in insert_edges
+            if justified(eid, deleted, insert_edges - {eid})
+        }
+        if insert_edges == before:
+            break
+    deleted = deletions_for(insert_edges)
+
+    # -- transformation --------------------------------------------------------
+    result_graph = graph.copy()
+    temp = fresh_temp(graph)
+    result = EPRResult(result_graph, expr, temp)
+    if not insert_edges and not deleted:
+        return result
+
+    for eid in sorted(insert_edges):
+        _splice_assign(result_graph, eid, temp, expr)
+        result.inserted_edges.append(eid)
+    for nid in sorted(computing):
+        node = result_graph.node(nid)
+        assert node.expr is not None
+        if nid in deleted:
+            node.expr = replace_subexpr(node.expr, expr, Var(temp))
+            result.deleted_nodes.append(nid)
+        else:
+            # Surviving computation: also define the temporary so deleted
+            # sites downstream read a fresh value.
+            in_edge = result_graph.in_edge(nid).id
+            _splice_assign(result_graph, in_edge, temp, expr)
+            node.expr = replace_subexpr(node.expr, expr, Var(temp))
+            result.defining_nodes.append(nid)
+    result_graph.validate(normalized=True)
+    return result
+
+
+def candidate_expressions(graph: CFG) -> list[Expr]:
+    """Non-trivial expressions over variables, largest first, that occur
+    in the graph -- the worklist for :func:`epr_all`."""
+    exprs = [e for e in graph.expressions() if expr_vars(e)]
+    return sorted(exprs, key=lambda e: (-len(list(subexpressions(e))), repr(e)))
+
+
+def epr_all(graph: CFG, counter: WorkCounter | None = None):
+    """Apply EPR to every candidate expression of ``graph``, re-deriving
+    structures after each change.  Returns (final graph, results)."""
+    counter = counter if counter is not None else WorkCounter()
+    current = graph
+    results: list[EPRResult] = []
+    for expr in candidate_expressions(graph):
+        if expr not in current.expressions():
+            continue  # rewritten away by an earlier pass
+        outcome = eliminate_partial_redundancies(current, expr, counter=counter)
+        if outcome.changed:
+            results.append(outcome)
+            current = outcome.graph
+    return current, results

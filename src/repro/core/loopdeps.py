@@ -1,0 +1,262 @@
+"""Loop-carried dependences with distance/direction (Section 6).
+
+"For parallelization, the simple picture of the DFG in this paper can be
+extended to include aliasing, data structures, anti- and output
+dependences, loop recognition, and distance/direction information for
+loop-carried dependences."  This module implements that extension for
+the affine single-induction-variable case:
+
+* **loop recognition** comes from :mod:`repro.graphs.loops`;
+* a **basic induction variable** is a variable with exactly one
+  definition in the loop, of the form ``i := i + c`` (or ``- c``), that
+  executes exactly once per iteration (it dominates every latch);
+* an array access is **affine** when its index is ``i + k`` for a basic
+  induction variable ``i`` and literal ``k`` (accesses ordered after the
+  increment see ``i`` already advanced, so their offset is shifted by
+  the step);
+* for two affine accesses to the same array, ``i + k1`` at iteration
+  ``t1`` touches the element ``i + k2`` touches at ``t2`` iff
+  ``t2 - t1 = (k1 - k2) / step``: an integer solution is a dependence
+  with that **distance** (direction ``<``, ``=`` or ``>``), no solution
+  means independence;
+* non-affine accesses and accesses to the same array from different
+  induction spaces yield ``distance None`` -- the conservative
+  "unknown" dependence.
+
+``analyze_loop_dependences`` reports every store-involved pair (flow,
+anti, output), and ``parallelizable_loops`` lists loops whose only
+dependences have distance 0 -- the DOALL test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.graphs.dominance import cfg_dominators
+from repro.graphs.loops import back_edges, natural_loops
+from repro.lang.ast_nodes import (
+    BinOp,
+    Expr,
+    Index,
+    IntLit,
+    Update,
+    Var,
+    subexpressions,
+)
+
+
+@dataclass(frozen=True)
+class InductionVariable:
+    """A basic induction variable: one ``var := var +/- step`` per
+    iteration, at ``node``."""
+
+    var: str
+    step: int
+    node: int
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One array read or write inside a loop body.
+
+    ``offset`` is the literal summand of an affine index ``iv + offset``
+    (already adjusted when the access executes after the increment);
+    ``iv`` is None for non-affine indices.
+    """
+
+    array: str
+    node: int
+    is_write: bool
+    iv: Optional[str] = None
+    offset: Optional[int] = None
+
+    @property
+    def affine(self) -> bool:
+        return self.iv is not None
+
+
+@dataclass(frozen=True)
+class LoopDependence:
+    """A dependence between two accesses of one loop.
+
+    ``kind`` is ``"flow"`` (write then read), ``"anti"`` (read then
+    write), or ``"output"`` (write then write); ``distance`` is in
+    iterations (None = unknown); ``direction`` is ``"="`` for
+    loop-independent, ``"<"`` for carried forward, ``"*"`` for unknown.
+    """
+
+    kind: str
+    array: str
+    src: int
+    dst: int
+    distance: Optional[int]
+    direction: str
+
+
+def _affine_offset(index: Expr, iv: str) -> Optional[int]:
+    """``k`` such that ``index == iv + k``, else None."""
+    if index == Var(iv):
+        return 0
+    if isinstance(index, BinOp) and index.op == "+":
+        if index.left == Var(iv) and isinstance(index.right, IntLit):
+            return index.right.value
+        if index.right == Var(iv) and isinstance(index.left, IntLit):
+            return index.left.value
+    if (
+        isinstance(index, BinOp)
+        and index.op == "-"
+        and index.left == Var(iv)
+        and isinstance(index.right, IntLit)
+    ):
+        return -index.right.value
+    return None
+
+
+def find_induction_variables(
+    graph: CFG, header: int, body: set[int]
+) -> list[InductionVariable]:
+    """Basic induction variables of one natural loop."""
+    dom = cfg_dominators(graph)
+    latches = [src for src, dst in back_edges(graph, dom) if dst == header]
+    found: list[InductionVariable] = []
+    defs_in_body: dict[str, list] = {}
+    for nid in body:
+        node = graph.node(nid)
+        if node.kind is NodeKind.ASSIGN:
+            assert node.target is not None
+            defs_in_body.setdefault(node.target, []).append(node)
+    for var, defs in defs_in_body.items():
+        if len(defs) != 1:
+            continue
+        node = defs[0]
+        expr = node.expr
+        step: Optional[int] = None
+        if isinstance(expr, BinOp) and isinstance(expr.right, IntLit):
+            if expr.op == "+" and expr.left == Var(var):
+                step = expr.right.value
+            elif expr.op == "-" and expr.left == Var(var):
+                step = -expr.right.value
+        if (
+            step is None
+            and isinstance(expr, BinOp)
+            and expr.op == "+"
+            and isinstance(expr.left, IntLit)
+            and expr.right == Var(var)
+        ):
+            step = expr.left.value
+        if step is None or step == 0:
+            continue
+        # Must run exactly once per iteration: the increment dominates
+        # every latch (so no iteration skips it or runs it twice).
+        if all(dom.dominates(node.id, latch) for latch in latches):
+            found.append(InductionVariable(var, step, node.id))
+    return found
+
+
+def collect_accesses(
+    graph: CFG,
+    body: set[int],
+    ivs: list[InductionVariable],
+) -> list[ArrayAccess]:
+    """Every array load/store in the loop body, with affine annotation."""
+    dom = cfg_dominators(graph)
+    iv_by_name = {iv.var: iv for iv in ivs}
+    accesses: list[ArrayAccess] = []
+
+    def classify(array: str, index: Expr, nid: int, is_write: bool) -> None:
+        for iv in iv_by_name.values():
+            offset = _affine_offset(index, iv.var)
+            if offset is None:
+                continue
+            # Accesses strictly after the increment read the advanced iv.
+            if nid != iv.node and dom.dominates(iv.node, nid):
+                offset += iv.step
+            accesses.append(
+                ArrayAccess(array, nid, is_write, iv.var, offset)
+            )
+            return
+        accesses.append(ArrayAccess(array, nid, is_write))
+
+    for nid in body:
+        node = graph.node(nid)
+        if node.expr is None:
+            continue
+        for sub in subexpressions(node.expr):
+            if isinstance(sub, Update):
+                classify(sub.array, sub.index, nid, is_write=True)
+            elif isinstance(sub, Index):
+                classify(sub.array, sub.index, nid, is_write=False)
+    return accesses
+
+
+def _dependence(
+    first: ArrayAccess, second: ArrayAccess, step: Optional[int]
+) -> Optional[LoopDependence]:
+    """Dependence from ``first`` (earlier in the pair ordering) to
+    ``second``; None when the accesses are provably independent."""
+    if first.array != second.array:
+        return None
+    if not (first.is_write or second.is_write):
+        return None
+    if first.is_write and second.is_write:
+        kind = "output"
+    elif first.is_write:
+        kind = "flow"
+    else:
+        kind = "anti"
+    if (
+        first.affine
+        and second.affine
+        and first.iv == second.iv
+        and step not in (None, 0)
+    ):
+        assert first.offset is not None and second.offset is not None
+        delta = first.offset - second.offset
+        if delta % step != 0:
+            return None  # addresses never coincide across iterations
+        distance = delta // step
+        if distance < 0:
+            return None  # reported from the other pair orientation
+        direction = "=" if distance == 0 else "<"
+        return LoopDependence(
+            kind, first.array, first.node, second.node, distance, direction
+        )
+    return LoopDependence(
+        kind, first.array, first.node, second.node, None, "*"
+    )
+
+
+def analyze_loop_dependences(
+    graph: CFG, header: int, body: set[int]
+) -> list[LoopDependence]:
+    """All array dependences of one natural loop."""
+    ivs = find_induction_variables(graph, header, body)
+    step_of = {iv.var: iv.step for iv in ivs}
+    accesses = collect_accesses(graph, body, ivs)
+    deps: list[LoopDependence] = []
+    for i, a in enumerate(accesses):
+        for b in accesses[i:]:
+            for first, second in ((a, b), (b, a)):
+                step = step_of.get(first.iv) if first.iv else None
+                dep = _dependence(first, second, step)
+                if dep is not None and dep not in deps:
+                    # A pair compared with itself only yields the
+                    # distance-0 self case once.
+                    if first is second and dep.distance == 0:
+                        continue
+                    deps.append(dep)
+    return deps
+
+
+def parallelizable_loops(graph: CFG) -> dict[int, bool]:
+    """The DOALL test per natural loop: parallelizable when every array
+    dependence is loop-independent (distance 0).  Scalar reductions and
+    induction updates are not considered here; callers combine this with
+    the scalar dependence web as needed."""
+    verdicts: dict[int, bool] = {}
+    for header, body in natural_loops(graph).items():
+        deps = analyze_loop_dependences(graph, header, body)
+        verdicts[header] = all(d.distance == 0 for d in deps)
+    return verdicts

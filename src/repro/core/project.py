@@ -1,0 +1,70 @@
+"""Projecting dependence-edge facts back onto CFG edges (Section 5.1).
+
+"Once the DFG propagation is done, the values of ANT at points in the CFG
+can be found by projecting from the DFG into the CFG: simply set ANT to
+true at every point in the single-entry single-exit region between the
+head and tail of every dependence edge for which ANT is true at the
+head."
+
+A dependence edge spans the CFG edge pair ``(e1, e2)`` of Definition 6.
+The CFG edges *between* them are the edges on paths from ``e1`` to ``e2``
+that do not re-cross either boundary -- re-crossing belongs to a different
+token: a later loop iteration's production or consumption.  (Pure
+dominance/postdominance membership is wrong in cycles: a zero-length
+dependence edge at a loop header -- merge output feeding the header
+switch -- would otherwise "span" the entire loop body.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cfg.graph import CFG
+from repro.controldep.sese import ProgramStructure
+from repro.core.dfg import DepEdge
+from repro.core.verify import head_location, tail_location
+
+
+def span_of(graph: CFG, ps: ProgramStructure, dep_edge: DepEdge) -> set[int]:
+    """All CFG edges between a dependence edge's tail and head
+    (both boundary edges included)."""
+    e1 = tail_location(graph, dep_edge.source)
+    e2 = head_location(graph, dep_edge.head)
+    if e1 == e2:
+        return {e1}
+    blocked = {e1, e2}
+
+    def collect(start_node: int, forward: bool) -> set[int]:
+        edges: set[int] = set()
+        seen_nodes = {start_node}
+        stack = [start_node]
+        while stack:
+            nid = stack.pop()
+            incident = (
+                graph.out_edges(nid) if forward else graph.in_edges(nid)
+            )
+            for edge in incident:
+                if edge.id in blocked:
+                    continue
+                edges.add(edge.id)
+                nxt = edge.dst if forward else edge.src
+                if nxt not in seen_nodes:
+                    seen_nodes.add(nxt)
+                    stack.append(nxt)
+        return edges
+
+    forward_reach = collect(graph.edge(e1).dst, forward=True)
+    backward_reach = collect(graph.edge(e2).src, forward=False)
+    return {e1, e2} | (forward_reach & backward_reach)
+
+
+def project_to_cfg_edges(
+    graph: CFG,
+    ps: ProgramStructure,
+    true_dep_edges: Iterable[DepEdge],
+) -> set[int]:
+    """The CFG edges covered by the spans of the given dependence edges."""
+    covered: set[int] = set()
+    for dep_edge in true_dep_edges:
+        covered |= span_of(graph, ps, dep_edge)
+    return covered

@@ -1,0 +1,161 @@
+"""Structural verification of a constructed DFG against Definition 6.
+
+Every dependence edge for a variable ``x`` corresponds to a CFG edge pair
+``(e1, e2)`` with:
+
+1. a producer of ``x`` at ``e1`` (definition, entry value, or operator),
+2. a consumer of ``x`` reachable from ``e2`` (by demand-driven
+   construction),
+3. **no assignment to x on any control flow path from e1 to e2**,
+4. ``e1`` dominates ``e2``,
+5. ``e2`` postdominates ``e1``, and
+6. ``e1`` and ``e2`` are cycle equivalent,
+
+plus the multiedge property of Section 3.3: the tail and all heads of a
+multiedge are totally ordered by dominance/postdominance.  The test suite
+runs this checker on every graph it builds a DFG for, so the construction
+is validated structurally, not just through the analyses' answers.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG
+from repro.controldep.sese import ProgramStructure
+from repro.core.dfg import CTRL_VAR, DFG, Head, HeadKind, Port, PortKind
+from repro.graphs.dominance import edge_key
+
+
+class DFGVerificationError(AssertionError):
+    """A structural invariant of Definition 6 failed."""
+
+
+def tail_location(graph: CFG, port: Port) -> int:
+    """The CFG edge a producer port sits on (``e1``)."""
+    if port.kind is PortKind.ENTRY:
+        return graph.out_edge(graph.start).id
+    if port.kind in (PortKind.DEF, PortKind.MERGE):
+        return graph.out_edge(port.node).id
+    assert port.label is not None
+    return graph.switch_edge(port.node, port.label).id
+
+
+def head_location(graph: CFG, head: Head) -> int:
+    """The CFG edge a consumer head sits on (``e2``)."""
+    if head.kind is HeadKind.MERGE_IN:
+        return head.edge
+    return graph.in_edge(head.node).id
+
+
+def _interferes(graph: CFG, nid: int, e1: int, e2: int) -> bool:
+    """Is there an execution on which the assignment at ``nid`` runs
+    between the production of the value at edge ``e1`` and its
+    consumption at edge ``e2``?
+
+    Statically: a path from ``e1`` to ``nid`` avoiding ``e2``, and a path
+    from ``nid`` to ``e2`` avoiding ``e1``.  (A path that re-crosses a
+    boundary belongs to a different token: a later loop iteration's
+    production or consumption.)  Dominance alone is too coarse here --
+    a definition later in a loop body sits dominance-wise "between" the
+    header merge and a body use, but always executes after the use it
+    would supposedly corrupt.
+    """
+
+    def reaches(from_node: int, to_node: int, blocked_edge: int) -> bool:
+        seen = {from_node}
+        stack = [from_node]
+        while stack:
+            cur = stack.pop()
+            if cur == to_node:
+                return True
+            for edge in graph.out_edges(cur):
+                if edge.id == blocked_edge or edge.dst in seen:
+                    continue
+                seen.add(edge.dst)
+                stack.append(edge.dst)
+        return False
+
+    return reaches(graph.edge(e1).dst, nid, e2) and reaches(
+        nid, graph.edge(e2).src, e1
+    )
+
+
+def verify_dfg(
+    graph: CFG, dfg: DFG, structure: ProgramStructure | None = None
+) -> None:
+    """Raise :class:`DFGVerificationError` on any Definition 6 violation."""
+    ps = structure if structure is not None else ProgramStructure(graph)
+
+    def fail(message: str) -> None:
+        raise DFGVerificationError(message)
+
+    def check_edge(port: Port, head: Head) -> None:
+        var = port.var
+        if head.var != var:
+            fail(f"variable mismatch on {port} -> {head}")
+        e1 = tail_location(graph, port)
+        e2 = head_location(graph, head)
+        k1, k2 = edge_key(e1), edge_key(e2)
+        if not ps.dom.dominates(k1, k2):
+            fail(f"{port} -> {head}: e{e1} does not dominate e{e2}")
+        if not ps.pdom.dominates(k2, k1):
+            fail(f"{port} -> {head}: e{e2} does not postdominate e{e1}")
+        if ps.edge_class[e1] != ps.edge_class[e2]:
+            fail(f"{port} -> {head}: e{e1}, e{e2} not cycle equivalent")
+        if var == CTRL_VAR:
+            return  # the dummy variable is never assigned
+        if e1 == e2:
+            return  # production and consumption coincide: nothing between
+        for node in graph.assign_nodes():
+            if node.target != var:
+                continue
+            if _interferes(graph, node.id, e1, e2):
+                fail(
+                    f"{port} -> {head}: assignment to {var} at node "
+                    f"{node.id} lies between e{e1} and e{e2}"
+                )
+
+    # Condition checks on every dependence edge.
+    for port, heads in dfg._build_heads().items():
+        for head in heads:
+            check_edge(port, head)
+        # Multiedge total order (Section 3.3).
+        locations = [head_location(graph, h) for h in heads]
+        for i, a in enumerate(locations):
+            for b in locations[i + 1 :]:
+                ka, kb = edge_key(a), edge_key(b)
+                ordered = (
+                    ps.dom.dominates(ka, kb) and ps.pdom.dominates(kb, ka)
+                ) or (ps.dom.dominates(kb, ka) and ps.pdom.dominates(ka, kb))
+                if not ordered and a != b:
+                    fail(
+                        f"multiedge at {port}: heads on e{a} and e{b} are "
+                        "not dominance ordered"
+                    )
+
+    # Operator wiring completeness.
+    for (nid, var), ports in dfg.switch_ports.items():
+        if (nid, var) not in dfg.switch_inputs:
+            fail(f"switch operator ({nid}, {var}) has arms but no input")
+        labels = {p.label for p in ports}
+        valid = {e.label for e in graph.out_edges(nid)}
+        if not labels <= valid:
+            fail(f"switch operator ({nid}, {var}) has unknown arm {labels}")
+    for port, inputs in dfg.merge_inputs.items():
+        expected = {e.id for e in graph.in_edges(port.node)}
+        if set(inputs) != expected:
+            fail(
+                f"merge operator {port} inputs {set(inputs)} != in-edges "
+                f"{expected}"
+            )
+
+    # Producers resolve to definitions/entries through operators only.
+    for (nid, var), src in dfg.use_sources.items():
+        if var == CTRL_VAR:
+            continue
+        node = graph.node(nid)
+        if var not in node.uses():
+            fail(f"use source recorded for non-use ({nid}, {var})")
+        if src.kind is PortKind.DEF:
+            producer = graph.node(src.node)
+            if producer.target != var:
+                fail(f"def port {src} does not define {var}")

@@ -1,0 +1,46 @@
+"""Classic CFG dataflow: the framework the paper's algorithms improve on.
+
+Facts live on *edges* (the paper's convention -- "one vector is associated
+with each point in the control flow graph") and every node is a transfer
+function from its in-edge facts to its out-edge facts (forward) or the
+reverse (backward).  Because the CFG is normalized, joins happen only at
+``MERGE`` nodes and splits only at ``SWITCH`` nodes, so a problem is
+specified by one transfer function over node kinds -- no separate
+meet/join plumbing.
+
+The worklist solver counts node visits and lattice operations through a
+:class:`~repro.util.counters.WorkCounter`; the O(EV^2)-vs-O(EV) claims of
+Section 4 are measured with these counters as well as wall time.
+"""
+
+from repro.dataflow.lattice import (
+    BOTTOM,
+    TOP,
+    ConstValue,
+    eval_abstract,
+    join_const,
+    truthiness,
+)
+from repro.dataflow.solver import solve_dataflow
+from repro.dataflow.liveness import live_variables
+from repro.dataflow.reaching import reaching_definitions
+from repro.dataflow.available import available_expressions
+from repro.dataflow.anticipatable import (
+    anticipatable_expressions,
+    partially_anticipatable_expressions,
+)
+
+__all__ = [
+    "BOTTOM",
+    "ConstValue",
+    "TOP",
+    "anticipatable_expressions",
+    "available_expressions",
+    "eval_abstract",
+    "join_const",
+    "live_variables",
+    "partially_anticipatable_expressions",
+    "reaching_definitions",
+    "solve_dataflow",
+    "truthiness",
+]

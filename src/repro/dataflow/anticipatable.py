@@ -1,0 +1,77 @@
+"""Anticipatable expressions on the CFG (Figure 5(a) of the paper).
+
+An expression is *totally anticipatable* (ANT) at a point when every path
+from the point to ``end`` computes it before any of its operands is
+reassigned, and *partially anticipatable* (PAN) when some path does.  ANT
+is the safety condition for inserting a computation; ANT+PAN drive the
+profitability rules of partial redundancy elimination (Section 5.2).
+
+These are the CFG baselines; :mod:`repro.core.anticipate` solves the same
+problems on the dependence flow graph, and the test suite checks that the
+DFG solution projected onto CFG edges agrees with these wherever the
+expression's operands are live.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.dataflow.available import gen_expressions, kill_map
+from repro.dataflow.solver import solve_dataflow
+from repro.lang.ast_nodes import Expr
+from repro.util.counters import WorkCounter
+
+
+class _Anticipatable:
+    """ANT (``must=True``) or PAN (``must=False``), set-valued over all
+    non-trivial expressions of the graph at once."""
+
+    direction = "backward"
+
+    def __init__(self, universe: frozenset[Expr], must: bool) -> None:
+        self.universe = universe
+        self.must = must
+        self.kills = kill_map(universe)
+
+    def initial(self, graph: CFG, eid: int) -> frozenset[Expr]:
+        # ANT starts at the top (everything anticipatable, shrunk by the
+        # end boundary); PAN starts at the bottom and grows.
+        return self.universe if self.must else frozenset()
+
+    def transfer(self, graph: CFG, nid: int, facts_in):
+        node = graph.node(nid)
+        if nid == graph.end:
+            combined: frozenset[Expr] = frozenset()
+        elif node.kind is NodeKind.SWITCH:
+            values = list(facts_in.values())
+            if self.must:
+                combined = values[0].intersection(*values[1:])
+            else:
+                combined = values[0].union(*values[1:])
+        else:
+            combined = next(iter(facts_in.values()))
+        result = combined | gen_expressions(node)
+        if node.kind is NodeKind.ASSIGN:
+            assert node.target is not None
+            # gen-then-kill would be wrong here: x := x + 1 *does*
+            # anticipate x + 1 on entry (the computation precedes the
+            # kill), so kill the carried facts first, then add the gens.
+            result = (
+                combined - self.kills.get(node.target, frozenset())
+            ) | gen_expressions(node)
+        return {e.id: result for e in graph.in_edges(nid)}
+
+
+def anticipatable_expressions(
+    graph: CFG, counter: WorkCounter | None = None
+) -> dict[int, frozenset[Expr]]:
+    """ANT: totally anticipatable expressions on every edge."""
+    problem = _Anticipatable(graph.expressions(), must=True)
+    return solve_dataflow(graph, problem, counter)
+
+
+def partially_anticipatable_expressions(
+    graph: CFG, counter: WorkCounter | None = None
+) -> dict[int, frozenset[Expr]]:
+    """PAN: partially anticipatable expressions on every edge."""
+    problem = _Anticipatable(graph.expressions(), must=False)
+    return solve_dataflow(graph, problem, counter)

@@ -1,0 +1,84 @@
+"""Available expressions (forward, must).
+
+``AV`` in the paper's Figure 5: an expression is available at a point when
+it has been computed on every path to the point with none of its operands
+redefined since.  Feeds the DELETE rule of partial redundancy elimination.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.dataflow.solver import solve_dataflow
+from repro.lang.ast_nodes import Expr, expr_vars, is_trivial, subexpressions
+from repro.util.counters import WorkCounter
+
+
+def gen_expressions(node) -> frozenset[Expr]:
+    """Non-trivial expressions a node computes."""
+    if node.expr is None:
+        return frozenset()
+    return frozenset(
+        e for e in subexpressions(node.expr) if not is_trivial(e)
+    )
+
+
+def kill_map(universe: frozenset[Expr]) -> dict[str, frozenset[Expr]]:
+    """variable -> expressions an assignment to it kills."""
+    killed: dict[str, set[Expr]] = defaultdict(set)
+    for expr in universe:
+        for var in expr_vars(expr):
+            killed[var].add(expr)
+    return {v: frozenset(s) for v, s in killed.items()}
+
+
+class _Available:
+    """AV (``must=True``) or PAV -- partial availability -- (``must=False``)."""
+
+    direction = "forward"
+
+    def __init__(self, universe: frozenset[Expr], must: bool = True) -> None:
+        self.universe = universe
+        self.must = must
+        self.kills = kill_map(universe)
+
+    def initial(self, graph: CFG, eid: int) -> frozenset[Expr]:
+        return self.universe if self.must else frozenset()
+
+    def transfer(self, graph: CFG, nid: int, facts_in):
+        node = graph.node(nid)
+        if node.kind is NodeKind.START:
+            out: frozenset[Expr] = frozenset()
+        elif node.kind is NodeKind.MERGE:
+            values = list(facts_in.values())
+            if self.must:
+                out = values[0].intersection(*values[1:])
+            else:
+                out = values[0].union(*values[1:])
+        else:
+            combined = next(iter(facts_in.values()))
+            out = combined | gen_expressions(node)
+            if node.kind is NodeKind.ASSIGN:
+                assert node.target is not None
+                out -= self.kills.get(node.target, frozenset())
+        return {e.id: out for e in graph.out_edges(nid)}
+
+
+def available_expressions(
+    graph: CFG, counter: WorkCounter | None = None
+) -> dict[int, frozenset[Expr]]:
+    """AV: the expressions available on every edge (computed on all paths,
+    operands untouched since)."""
+    return solve_dataflow(graph, _Available(graph.expressions()), counter)
+
+
+def partially_available_expressions(
+    graph: CFG, counter: WorkCounter | None = None
+) -> dict[int, frozenset[Expr]]:
+    """PAV: expressions computed on *some* path with operands untouched --
+    the profitability half of the PP rules (a partially available,
+    anticipatable expression is partially redundant)."""
+    return solve_dataflow(
+        graph, _Available(graph.expressions(), must=False), counter
+    )

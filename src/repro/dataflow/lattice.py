@@ -1,0 +1,141 @@
+"""The constant-propagation lattice (Section 4, after Kildall).
+
+Values are ``BOTTOM`` (no information yet / dead), an integer constant, or
+``TOP`` (may differ between executions).  The paper's interpretation:
+
+    ``BOTTOM``  This use was never examined during constant propagation;
+                it is dead code.
+    ``c``       This use has the value c in all executions.
+    ``TOP``     This use may have different values in different executions.
+
+``join_const`` is the least upper bound; ``eval_abstract`` implements the
+paper's evaluation rule ("expression e evaluates to BOTTOM (or TOP) if any
+operand of e is BOTTOM (or TOP)"), with constant folding via the concrete
+semantics otherwise.  A constant-foldable expression that would trap at
+runtime (division by zero) evaluates to TOP: folding must not change
+behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Union
+
+from repro.lang.ast_nodes import BinOp, Expr, Index, IntLit, UnOp, Update, Var
+from repro.lang.errors import InterpError
+from repro.lang.interp import apply_binop
+
+
+class _Extreme(enum.Enum):
+    BOTTOM = "bottom"
+    TOP = "top"
+
+    def __repr__(self) -> str:  # compact in test output
+        return "⊥" if self is _Extreme.BOTTOM else "⊤"
+
+
+BOTTOM = _Extreme.BOTTOM
+TOP = _Extreme.TOP
+
+ConstValue = Union[_Extreme, int]
+
+
+def join_const(a: ConstValue, b: ConstValue) -> ConstValue:
+    """Least upper bound: BOTTOM <= c <= TOP, distinct constants join to
+    TOP."""
+    if a is BOTTOM:
+        return b
+    if b is BOTTOM:
+        return a
+    if a is TOP or b is TOP:
+        return TOP
+    return a if a == b else TOP
+
+
+def join_all(values) -> ConstValue:
+    result: ConstValue = BOTTOM
+    for value in values:
+        result = join_const(result, value)
+    return result
+
+
+def leq_const(a: ConstValue, b: ConstValue) -> bool:
+    """Lattice order: is ``a`` below (or equal to) ``b``?"""
+    return join_const(a, b) == b
+
+
+def truthiness(value: ConstValue) -> ConstValue:
+    """Collapse a lattice value to its branch behaviour: BOTTOM, TOP, or
+    the constants 0/1."""
+    if value is BOTTOM or value is TOP:
+        return value
+    return int(bool(value))
+
+
+def branch_implications(predicate: Expr, taken: bool) -> dict[str, int]:
+    """Variable values implied by a branch outcome (Section 4's Multiflow
+    extension: "if the predicate at a switch is x=1, we can propagate the
+    constant 1 for x on the true side of the conditional even if we
+    cannot determine the value of x for the false side").
+
+    Recognizes equality tests between a variable and a literal:
+    ``x == c`` implies ``x = c`` on the true side, ``x != c`` implies it
+    on the false side.  Returns an empty dict when the predicate implies
+    nothing usable.
+    """
+    if not isinstance(predicate, BinOp):
+        return {}
+    wanted = "==" if taken else "!="
+    if predicate.op != wanted:
+        return {}
+    left, right = predicate.left, predicate.right
+    if isinstance(left, Var) and isinstance(right, IntLit):
+        return {left.name: right.value}
+    if isinstance(left, IntLit) and isinstance(right, Var):
+        return {right.name: left.value}
+    return {}
+
+
+def eval_abstract(
+    expr: Expr, lookup: Callable[[str], ConstValue]
+) -> ConstValue:
+    """Abstractly evaluate ``expr`` with variable values from ``lookup``.
+
+    BOTTOM is absorbing below TOP: any BOTTOM operand makes the result
+    BOTTOM (the expression sits in unexamined code), otherwise any TOP
+    operand makes it TOP, otherwise the expression folds concretely.
+    """
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, Var):
+        return lookup(expr.name)
+    if isinstance(expr, UnOp):
+        value = eval_abstract(expr.operand, lookup)
+        if value is BOTTOM or value is TOP:
+            return value
+        return -value if expr.op == "-" else (0 if value else 1)
+    if isinstance(expr, BinOp):
+        left = eval_abstract(expr.left, lookup)
+        right = eval_abstract(expr.right, lookup)
+        if left is BOTTOM or right is BOTTOM:
+            return BOTTOM
+        if left is TOP or right is TOP:
+            return TOP
+        try:
+            return apply_binop(expr.op, left, right)
+        except InterpError:
+            # Would trap at runtime: do not fold.
+            return TOP
+    if isinstance(expr, Index):
+        # Array contents are not modeled by the constant lattice, but
+        # BOTTOM operands (unreached code) still dominate.
+        operands = [lookup(expr.array), eval_abstract(expr.index, lookup)]
+        return BOTTOM if BOTTOM in operands else TOP
+    if isinstance(expr, Update):
+        operands = [
+            lookup(expr.array),
+            eval_abstract(expr.index, lookup),
+            eval_abstract(expr.value, lookup),
+        ]
+        return BOTTOM if BOTTOM in operands else TOP
+    raise TypeError(f"not an expression: {expr!r}")

@@ -1,0 +1,45 @@
+"""Live-variable analysis (backward, may).
+
+Used by the DFG construction's dead-edge-removal step (a dependence edge
+is useful only where its variable is live) and by the anticipatability
+boundary conditions of Section 5 ("if a variable x is live on one side of
+a conditional branch but dead on the other...").
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG
+from repro.dataflow.solver import solve_dataflow
+from repro.util.counters import WorkCounter
+
+
+class _Liveness:
+    direction = "backward"
+
+    def __init__(self, live_out: frozenset[str]) -> None:
+        self.live_out = live_out
+
+    def initial(self, graph: CFG, eid: int) -> frozenset[str]:
+        return frozenset()
+
+    def transfer(self, graph: CFG, nid: int, facts_in):
+        node = graph.node(nid)
+        if nid == graph.end:
+            combined = self.live_out
+        else:
+            combined = frozenset().union(*facts_in.values()) if facts_in else frozenset()
+        live = (combined - node.defs()) | node.uses()
+        return {e.id: live for e in graph.in_edges(nid)}
+
+
+def live_variables(
+    graph: CFG,
+    live_out: frozenset[str] = frozenset(),
+    counter: WorkCounter | None = None,
+) -> dict[int, frozenset[str]]:
+    """The set of live variables on every edge.
+
+    ``live_out`` declares variables observable after ``end`` (none by
+    default -- ``print`` is the language's only observation).
+    """
+    return solve_dataflow(graph, _Liveness(live_out), counter)

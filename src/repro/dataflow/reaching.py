@@ -1,0 +1,52 @@
+"""Reaching definitions (forward, may).
+
+The substrate for def-use chains (Definition 3/4 of the paper).  A
+definition site is an ``ASSIGN`` node id; ``start`` acts as the definition
+site of every variable's entry value, so uses of never-assigned variables
+still have a producer.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.dataflow.solver import solve_dataflow
+from repro.util.counters import WorkCounter
+
+#: A definition: (variable, defining node id).
+Definition = tuple[str, int]
+
+
+class _Reaching:
+    direction = "forward"
+
+    def __init__(self, variables: frozenset[str]) -> None:
+        self.variables = variables
+
+    def initial(self, graph: CFG, eid: int) -> frozenset[Definition]:
+        return frozenset()
+
+    def transfer(self, graph: CFG, nid: int, facts_in):
+        node = graph.node(nid)
+        if node.kind is NodeKind.START:
+            out = frozenset((v, nid) for v in self.variables)
+        else:
+            combined: frozenset[Definition] = (
+                frozenset().union(*facts_in.values())
+                if facts_in
+                else frozenset()
+            )
+            if node.kind is NodeKind.ASSIGN:
+                assert node.target is not None
+                out = frozenset(
+                    d for d in combined if d[0] != node.target
+                ) | {(node.target, nid)}
+            else:
+                out = combined
+        return {e.id: out for e in graph.out_edges(nid)}
+
+
+def reaching_definitions(
+    graph: CFG, counter: WorkCounter | None = None
+) -> dict[int, frozenset[Definition]]:
+    """The definitions reaching every edge."""
+    return solve_dataflow(graph, _Reaching(graph.variables()), counter)

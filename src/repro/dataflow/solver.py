@@ -1,0 +1,86 @@
+"""Generic instrumented worklist solver for edge-based CFG dataflow.
+
+A problem supplies, per node, a transfer function from the facts on one
+side's edges to new facts for the other side's edges; the solver iterates
+to a fixpoint.  Facts are compared with ``==``, so problems use immutable
+values (frozensets, tuples, ints, lattice sentinels).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Protocol, TypeVar
+
+from repro.cfg.graph import CFG
+from repro.graphs.dfs import reverse_postorder
+from repro.util.counters import WorkCounter
+
+V = TypeVar("V")
+
+
+class DataflowProblem(Protocol[V]):
+    """What a dataflow problem must provide."""
+
+    #: ``"forward"`` or ``"backward"``.
+    direction: str
+
+    def initial(self, graph: CFG, eid: int) -> V:
+        """The starting approximation for an edge's fact."""
+        ...
+
+    def transfer(
+        self, graph: CFG, nid: int, facts_in: dict[int, V]
+    ) -> dict[int, V]:
+        """New facts for the node's output side.
+
+        Forward: ``facts_in`` maps the node's in-edge ids to facts, and
+        the result maps out-edge ids to facts.  Backward: the reverse.
+        """
+        ...
+
+
+def solve_dataflow(
+    graph: CFG,
+    problem: DataflowProblem[V],
+    counter: WorkCounter | None = None,
+) -> dict[int, V]:
+    """Solve ``problem`` on ``graph``; returns the fact on every edge.
+
+    The worklist is seeded with every node in reverse postorder (forward
+    problems) or reverse postorder of the reversed graph (backward), which
+    makes the common structured cases converge in near-linear passes.
+    Counters: ``node_visits`` and whatever the problem itself ticks.
+    """
+    counter = counter if counter is not None else WorkCounter()
+    forward = problem.direction == "forward"
+    facts: dict[int, V] = {
+        eid: problem.initial(graph, eid) for eid in graph.edges
+    }
+
+    if forward:
+        seed = reverse_postorder(graph.start, graph.succs)
+        input_edges = graph.in_edges
+        output_edges = graph.out_edges
+        downstream = lambda edge: edge.dst  # noqa: E731
+    else:
+        seed = reverse_postorder(graph.end, graph.preds)
+        input_edges = graph.out_edges
+        output_edges = graph.in_edges
+        downstream = lambda edge: edge.src  # noqa: E731
+
+    worklist: deque[int] = deque(seed)
+    queued = set(seed)
+    while worklist:
+        nid = worklist.popleft()
+        queued.discard(nid)
+        counter.tick("node_visits")
+        incoming = {e.id: facts[e.id] for e in input_edges(nid)}
+        updates = problem.transfer(graph, nid, incoming)
+        for eid, value in updates.items():
+            if facts[eid] != value:
+                facts[eid] = value
+                nxt = downstream(graph.edge(eid))
+                if nxt not in queued:
+                    queued.add(nxt)
+                    worklist.append(nxt)
+    return facts

@@ -1,0 +1,17 @@
+"""Def-use chains (Definitions 3-4) and chain-based constant propagation.
+
+This is the first of the paper's three compared representations: precise
+for forward propagation along chains, quadratic in the worst case
+(O(E^2 V), Reif & Tarjan), unusable for backward problems, and blind to
+dead branches (it finds *all-paths* constants only -- Section 4's
+motivating deficiency)."""
+
+from repro.defuse.chains import DefUseChains, build_def_use_chains
+from repro.defuse.constprop import DefUseConstants, defuse_constant_propagation
+
+__all__ = [
+    "DefUseChains",
+    "DefUseConstants",
+    "build_def_use_chains",
+    "defuse_constant_propagation",
+]

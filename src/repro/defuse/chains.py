@@ -1,0 +1,70 @@
+"""Def-use chains via reaching definitions.
+
+Definition 3: a chain connects a definition of ``x`` to a use of ``x``
+reachable from it along a path free of other definitions of ``x``.  The
+defining site may be ``start`` (the variable's entry value).
+
+``size()`` counts chains, the quantity with the O(E^2 V) worst case that
+motivates SSA's and the DFG's factored representations (experiment F1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.cfg.graph import CFG
+from repro.dataflow.reaching import reaching_definitions
+from repro.util.counters import WorkCounter
+
+
+@dataclass(frozen=True)
+class Chain:
+    """One def-use chain: ``var`` flows from ``def_node`` to ``use_node``."""
+
+    var: str
+    def_node: int
+    use_node: int
+
+
+class DefUseChains:
+    """All def-use chains of a CFG, indexed both ways."""
+
+    def __init__(self, graph: CFG, chains: list[Chain]) -> None:
+        self.graph = graph
+        self.chains = chains
+        self.by_use: dict[tuple[int, str], list[Chain]] = defaultdict(list)
+        self.by_def: dict[tuple[int, str], list[Chain]] = defaultdict(list)
+        for chain in chains:
+            self.by_use[(chain.use_node, chain.var)].append(chain)
+            self.by_def[(chain.def_node, chain.var)].append(chain)
+
+    def defs_reaching_use(self, use_node: int, var: str) -> list[int]:
+        return [c.def_node for c in self.by_use[(use_node, var)]]
+
+    def uses_reached_by_def(self, def_node: int, var: str) -> list[int]:
+        return [c.use_node for c in self.by_def[(def_node, var)]]
+
+    def size(self) -> int:
+        """Number of chains -- the representation-size measure of F1."""
+        return len(self.chains)
+
+
+def build_def_use_chains(
+    graph: CFG, counter: WorkCounter | None = None
+) -> DefUseChains:
+    """Compute every def-use chain from the reaching-definitions solution."""
+    reach = reaching_definitions(graph, counter)
+    chains: list[Chain] = []
+    for node in graph.nodes.values():
+        uses = node.uses()
+        if not uses:
+            continue
+        incoming = graph.in_edges(node.id)
+        seen: set[tuple[str, int]] = set()
+        for edge in incoming:
+            for var, def_node in reach[edge.id]:
+                if var in uses and (var, def_node) not in seen:
+                    seen.add((var, def_node))
+                    chains.append(Chain(var, def_node, node.id))
+    return DefUseChains(graph, chains)

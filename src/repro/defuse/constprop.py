@@ -1,0 +1,131 @@
+"""Constant propagation over def-use chains (the ASU86 algorithm the
+paper discusses in Sections 2.2 and 4).
+
+A use is replaced by a constant when the right-hand sides of *all*
+definitions reaching it evaluate to that constant.  Information flows
+sparsely along chains -- the algorithm never touches unrelated statements
+-- but it cannot ignore definitions in dead branches, so it finds only
+*all-paths* constants: on Figure 3(b) it misses ``x = 1`` at the final
+use, which both the CFG and DFG algorithms find.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.dataflow.lattice import (
+    BOTTOM,
+    TOP,
+    ConstValue,
+    eval_abstract,
+    join_all,
+)
+from repro.defuse.chains import DefUseChains, build_def_use_chains
+from repro.util.counters import WorkCounter
+
+
+@dataclass
+class DefUseConstants:
+    """Result of chain-based constant propagation.
+
+    ``use_values[(node, var)]`` is the lattice value of each use;
+    ``rhs_values[node]`` the folded value of each assignment's right-hand
+    side (and of switch predicates / print arguments, keyed the same way).
+    """
+
+    use_values: dict[tuple[int, str], ConstValue] = field(default_factory=dict)
+    rhs_values: dict[int, ConstValue] = field(default_factory=dict)
+
+    def constant_uses(self) -> dict[tuple[int, str], int]:
+        return {
+            k: v
+            for k, v in self.use_values.items()
+            if v is not TOP and v is not BOTTOM
+        }
+
+    def constant_rhs(self) -> dict[int, int]:
+        return {
+            k: v
+            for k, v in self.rhs_values.items()
+            if v is not TOP and v is not BOTTOM
+        }
+
+
+def defuse_constant_propagation(
+    graph: CFG,
+    chains: DefUseChains | None = None,
+    counter: WorkCounter | None = None,
+) -> DefUseConstants:
+    """Propagate constants along def-use chains to a fixpoint.
+
+    Every use starts at BOTTOM; entry definitions (from ``start``) carry
+    TOP.  When a definition's RHS value rises, the new value joins into
+    every use its chains reach.  Work is proportional to chain traffic,
+    not to program points -- but precision is all-paths only.
+    """
+    counter = counter if counter is not None else WorkCounter()
+    chains = chains or build_def_use_chains(graph, counter)
+    use_values: dict[tuple[int, str], ConstValue] = {}
+    def_values: dict[int, ConstValue] = {}  # assignment node -> RHS value
+    for node in graph.nodes.values():
+        for var in node.uses():
+            use_values[(node.id, var)] = BOTTOM
+
+    def rhs_value(node_id: int) -> ConstValue:
+        node = graph.node(node_id)
+        assert node.expr is not None
+        counter.tick("rhs_evaluations")
+        return eval_abstract(
+            node.expr, lambda v: use_values.get((node_id, v), TOP)
+        )
+
+    # Seed: every definition's current value flows to its uses.
+    worklist: deque[tuple[str, int]] = deque()
+    queued: set[tuple[str, int]] = set()
+    for node in graph.assign_nodes():
+        def_values[node.id] = rhs_value(node.id)
+        key = (node.target, node.id)
+        worklist.append(key)
+        queued.add(key)
+    entry_key: set[tuple[str, int]] = set()
+    for var in graph.variables():
+        key = (var, graph.start)
+        entry_key.add(key)
+        worklist.append(key)
+        queued.add(key)
+
+    while worklist:
+        var, def_node = worklist.popleft()
+        queued.discard((var, def_node))
+        counter.tick("chain_propagations")
+        value = TOP if def_node == graph.start else def_values[def_node]
+        for use_node in chains.uses_reached_by_def(def_node, var):
+            counter.tick("use_updates")
+            current = use_values[(use_node, var)]
+            incoming = join_all(
+                [current, value]
+            )
+            if incoming == current:
+                continue
+            use_values[(use_node, var)] = incoming
+            use_kind = graph.node(use_node).kind
+            if use_kind is NodeKind.ASSIGN:
+                new_rhs = rhs_value(use_node)
+                if new_rhs != def_values.get(use_node):
+                    def_values[use_node] = new_rhs
+                    target = graph.node(use_node).target
+                    assert target is not None
+                    key = (target, use_node)
+                    if key not in queued:
+                        queued.add(key)
+                        worklist.append(key)
+
+    result = DefUseConstants(use_values=use_values)
+    for node in graph.nodes.values():
+        if node.expr is not None:
+            result.rhs_values[node.id] = eval_abstract(
+                node.expr, lambda v, n=node.id: use_values.get((n, v), TOP)
+            )
+    return result

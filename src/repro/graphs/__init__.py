@@ -1,0 +1,44 @@
+"""Generic graph algorithms over hashable node ids.
+
+These are the standard compiler-textbook substrates the paper assumes:
+depth-first orders, dominance/postdominance (extended to *edges*, as
+Definition 2 of the paper requires), dominance frontiers, and natural
+loops.  Everything is generic over a successor function so the same code
+runs on CFGs, reversed CFGs, and the edge-split graphs used for edge
+dominance.
+"""
+
+from repro.graphs.dfs import DFSResult, depth_first_search, reverse_postorder
+from repro.graphs.dominance import (
+    DominatorTree,
+    cfg_dominators,
+    cfg_postdominators,
+    dominator_tree,
+    edge_dominators,
+    edge_postdominators,
+)
+from repro.graphs.frontier import dominance_frontiers
+from repro.graphs.lengauer_tarjan import (
+    cfg_dominators_lt,
+    cfg_postdominators_lt,
+    lengauer_tarjan,
+)
+from repro.graphs.loops import back_edges, natural_loops
+
+__all__ = [
+    "DFSResult",
+    "DominatorTree",
+    "back_edges",
+    "cfg_dominators",
+    "cfg_dominators_lt",
+    "cfg_postdominators",
+    "cfg_postdominators_lt",
+    "depth_first_search",
+    "dominance_frontiers",
+    "dominator_tree",
+    "lengauer_tarjan",
+    "edge_dominators",
+    "edge_postdominators",
+    "natural_loops",
+    "reverse_postorder",
+]

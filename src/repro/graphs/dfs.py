@@ -1,0 +1,98 @@
+"""Depth-first search with edge classification.
+
+Iterative (no recursion limits on big generated graphs), generic over a
+successor function, and deterministic: successors are visited in the
+order the successor function yields them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, TypeVar
+
+N = TypeVar("N", bound=Hashable)
+
+
+@dataclass
+class DFSResult:
+    """Everything a single depth-first traversal discovers."""
+
+    preorder: list = field(default_factory=list)
+    postorder: list = field(default_factory=list)
+    parent: dict = field(default_factory=dict)
+    #: (src, dst) pairs classified against the DFS forest.
+    tree_edges: list = field(default_factory=list)
+    back_edges: list = field(default_factory=list)
+    forward_edges: list = field(default_factory=list)
+    cross_edges: list = field(default_factory=list)
+    pre_number: dict = field(default_factory=dict)
+    post_number: dict = field(default_factory=dict)
+
+    def is_retreating(self, src, dst) -> bool:
+        """True when ``dst`` is visited before ``src`` finishes -- i.e. the
+        edge is a back edge of this particular DFS."""
+        return (src, dst) in set(self.back_edges)
+
+
+def depth_first_search(
+    roots: Iterable[N],
+    succs: Callable[[N], Iterable[N]],
+) -> DFSResult:
+    """Iterative DFS from ``roots`` (in order), classifying every edge.
+
+    Classification uses entry/exit times: an edge u->v is a *tree* edge if
+    it first discovers v, a *back* edge if v is an ancestor still open on
+    the stack, a *forward* edge if v is an already-finished descendant of
+    u, and a *cross* edge otherwise.
+    """
+    result = DFSResult()
+    color: dict[N, int] = {}  # 0 absent, 1 open, 2 done
+    pre = result.pre_number
+    post = result.post_number
+    clock = [0]
+
+    def visit(root: N) -> None:
+        if color.get(root):
+            return
+        stack: list[tuple[N, Iterable[N]]] = [(root, iter(succs(root)))]
+        color[root] = 1
+        pre[root] = clock[0]
+        clock[0] += 1
+        result.preorder.append(root)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color.get(nxt, 0) == 0:
+                    color[nxt] = 1
+                    pre[nxt] = clock[0]
+                    clock[0] += 1
+                    result.preorder.append(nxt)
+                    result.parent[nxt] = node
+                    result.tree_edges.append((node, nxt))
+                    stack.append((nxt, iter(succs(nxt))))
+                    advanced = True
+                    break
+                if color[nxt] == 1:
+                    result.back_edges.append((node, nxt))
+                elif pre[nxt] > pre[node]:
+                    result.forward_edges.append((node, nxt))
+                else:
+                    result.cross_edges.append((node, nxt))
+            if not advanced:
+                stack.pop()
+                color[node] = 2
+                post[node] = clock[0]
+                clock[0] += 1
+                result.postorder.append(node)
+
+    for root in roots:
+        visit(root)
+    return result
+
+
+def reverse_postorder(root: N, succs: Callable[[N], Iterable[N]]) -> list[N]:
+    """Reverse postorder from ``root`` -- the canonical iteration order for
+    forward dataflow problems."""
+    result = depth_first_search([root], succs)
+    return list(reversed(result.postorder))

@@ -1,0 +1,66 @@
+"""Dominance frontiers (Cytron et al. 1991).
+
+Used by the *baseline* algorithms we compare against: the standard SSA
+construction places phi-functions on iterated dominance frontiers, and the
+standard control dependence graph is the postdominance frontier of the
+reversed CFG.  One of the paper's headline claims is that neither is
+needed for the DFG-based constructions -- these baselines make that claim
+testable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, TypeVar
+
+from repro.graphs.dominance import DominatorTree
+
+N = TypeVar("N", bound=Hashable)
+
+
+def dominance_frontiers(
+    tree: DominatorTree,
+    preds: Callable[[N], Iterable[N]],
+) -> dict[N, set[N]]:
+    """The dominance frontier of every node reachable in ``tree``.
+
+    ``DF[x]`` is the set of nodes ``y`` such that ``x`` dominates a
+    predecessor of ``y`` but does not strictly dominate ``y``.  Computed
+    with Cytron's runner loop: for each join node, walk each predecessor
+    up the dominator tree to the join's immediate dominator.
+    """
+    frontier: dict[N, set[N]] = {n: set() for n in tree.nodes()}
+    for node in tree.nodes():
+        pred_list = [p for p in preds(node) if p in frontier]
+        if len(pred_list) < 2:
+            continue
+        target = tree.idom_of(node)
+        for pred in pred_list:
+            runner = pred
+            while runner != target:
+                frontier[runner].add(node)
+                parent = tree.idom_of(runner)
+                if parent is None:
+                    break
+                runner = parent
+    return frontier
+
+
+def iterated_frontier(
+    frontier: dict[N, set[N]],
+    seeds: Iterable[N],
+) -> set[N]:
+    """The iterated dominance frontier ``DF+`` of ``seeds`` -- the fixpoint
+    of repeatedly adding frontiers of everything added so far.  This is
+    the classic phi-placement set."""
+    result: set[N] = set()
+    worklist = [s for s in seeds if s in frontier]
+    on_list = set(worklist)
+    while worklist:
+        node = worklist.pop()
+        for f in frontier[node]:
+            if f not in result:
+                result.add(f)
+                if f not in on_list:
+                    on_list.add(f)
+                    worklist.append(f)
+    return result

@@ -1,0 +1,121 @@
+"""Lengauer-Tarjan dominators (the near-linear classic).
+
+The project's default dominator computation is the iterative
+Cooper-Harvey-Kennedy algorithm (:mod:`repro.graphs.dominance`), which is
+simple and fast on real control flow.  This module provides the
+Lengauer-Tarjan algorithm -- O(E alpha(E, V)) with path compression --
+as an independently implemented alternative:
+
+* a *differential oracle*: the test suite requires both algorithms to
+  produce identical immediate dominators on every graph family;
+* the asymptotically safer choice for adversarial graphs where the
+  iterative algorithm's O(E * D) worst case bites (deep dominator trees
+  with late-arriving back edges).
+
+Implementation notes: the simple (non-balanced) LINK/EVAL with path
+compression; vertices are numbered by a DFS from the root; unreachable
+vertices are absent from the result, matching ``dominator_tree``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, TypeVar
+
+from repro.cfg.graph import CFG
+from repro.graphs.dominance import DominatorTree
+
+N = TypeVar("N", bound=Hashable)
+
+
+def lengauer_tarjan(
+    root: N,
+    succs: Callable[[N], Iterable[N]],
+    preds: Callable[[N], Iterable[N]],
+) -> DominatorTree:
+    """Immediate dominators of every vertex reachable from ``root``."""
+    # -- step 1: DFS numbering -------------------------------------------------
+    parent: dict[N, N] = {}
+    semi: dict[N, int] = {}  # vertex -> its (eventual) semidominator number
+    vertex: list[N] = []  # number -> vertex
+
+    stack: list[tuple[N, Iterable[N]]] = [(root, iter(succs(root)))]
+    semi[root] = 0
+    vertex.append(root)
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in semi:
+                semi[nxt] = len(vertex)
+                vertex.append(nxt)
+                parent[nxt] = node
+                stack.append((nxt, iter(succs(nxt))))
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+
+    number = {v: i for i, v in enumerate(vertex)}
+
+    # -- forest with path compression -------------------------------------------
+    ancestor: dict[N, N] = {}
+    label: dict[N, N] = {v: v for v in vertex}
+
+    def compress(v: N) -> None:
+        # Iterative path compression (deep graphs overflow recursion).
+        path: list[N] = []
+        while ancestor.get(v) is not None and ancestor[v] in ancestor:
+            path.append(v)
+            v = ancestor[v]
+        for u in reversed(path):
+            a = ancestor[u]
+            if semi[label[a]] < semi[label[u]]:
+                label[u] = label[a]
+            if ancestor.get(a) is not None:
+                ancestor[u] = ancestor[a]
+
+    def evaluate(v: N) -> N:
+        if v not in ancestor:
+            return label[v]
+        compress(v)
+        return label[v]
+
+    def link(parent_vertex: N, child: N) -> None:
+        ancestor[child] = parent_vertex
+
+    # -- steps 2 and 3: semidominators, implicit idoms ----------------------------
+    bucket: dict[N, list[N]] = {v: [] for v in vertex}
+    idom: dict[N, N | None] = {}
+
+    for w in reversed(vertex[1:]):
+        for v in preds(w):
+            if v not in number:
+                continue  # unreachable predecessor
+            u = evaluate(v)
+            if semi[u] < semi[w]:
+                semi[w] = semi[u]
+        bucket[vertex[semi[w]]].append(w)
+        p = parent[w]
+        link(p, w)
+        for v in bucket[p]:
+            u = evaluate(v)
+            idom[v] = u if semi[u] < semi[v] else p
+        bucket[p].clear()
+
+    # -- step 4: explicit idoms ----------------------------------------------------
+    for w in vertex[1:]:
+        assert idom[w] is not None
+        if idom[w] != vertex[semi[w]]:
+            idom[w] = idom[idom[w]]  # type: ignore[index]
+    idom[root] = None
+    return DominatorTree(root, idom)
+
+
+def cfg_dominators_lt(graph: CFG) -> DominatorTree:
+    """Lengauer-Tarjan dominator tree over CFG node ids."""
+    return lengauer_tarjan(graph.start, graph.succs, graph.preds)
+
+
+def cfg_postdominators_lt(graph: CFG) -> DominatorTree:
+    """Lengauer-Tarjan postdominator tree (reversed graph, root=end)."""
+    return lengauer_tarjan(graph.end, graph.preds, graph.succs)

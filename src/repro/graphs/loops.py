@@ -1,0 +1,57 @@
+"""Natural loops.
+
+Used by workload characterization and by tests (e.g. loop-invariant
+expressions for the partial-redundancy experiments).  A *back edge* here
+is the dominance-based notion -- an edge whose target dominates its source
+-- which exists only in reducible flow; irreducible retreating edges are
+reported separately.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG
+from repro.graphs.dfs import depth_first_search
+from repro.graphs.dominance import DominatorTree, cfg_dominators
+
+
+def back_edges(graph: CFG, dom: DominatorTree | None = None) -> list[tuple[int, int]]:
+    """All edges ``(u, v)`` with ``v`` dominating ``u``."""
+    dom = dom or cfg_dominators(graph)
+    found = []
+    for edge in graph.edges.values():
+        if dom.dominates(edge.dst, edge.src):
+            found.append((edge.src, edge.dst))
+    return found
+
+
+def retreating_edges(graph: CFG) -> list[tuple[int, int]]:
+    """Edges that go against one depth-first order.  In a reducible graph
+    these coincide with :func:`back_edges`; a strict superset witnesses
+    irreducibility."""
+    dfs = depth_first_search([graph.start], graph.succs)
+    return list(dfs.back_edges)
+
+
+def is_reducible(graph: CFG) -> bool:
+    """True when every retreating edge is a dominance back edge."""
+    return set(retreating_edges(graph)) <= set(back_edges(graph))
+
+
+def natural_loops(graph: CFG) -> dict[int, set[int]]:
+    """Map each loop header to its natural loop body (header included).
+
+    Bodies of back edges sharing a header are merged, per the usual
+    convention.
+    """
+    dom = cfg_dominators(graph)
+    loops: dict[int, set[int]] = {}
+    for src, header in back_edges(graph, dom):
+        body = loops.setdefault(header, {header})
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node not in body:
+                body.add(node)
+                stack.extend(graph.preds(node))
+        loops[header] = body
+    return loops

@@ -1,0 +1,65 @@
+"""A small imperative language: the programs the analyses operate on.
+
+The paper's analyses are defined over control flow graphs, but every real
+compiler starts from source text.  This package provides:
+
+* :mod:`repro.lang.ast_nodes` -- expression and statement AST,
+* :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` -- concrete syntax,
+* :mod:`repro.lang.pretty` -- an unparser,
+* :mod:`repro.lang.interp` -- a counting reference interpreter used to
+  verify that optimizations preserve observable behaviour and do not add
+  expression evaluations to any path (the Morel-Renvoise safety criterion).
+
+The language is deliberately minimal (integer variables, structured control
+flow, plus ``goto``/``label`` so that arbitrary -- including irreducible --
+control flow graphs can be written down).
+"""
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Goto,
+    If,
+    IntLit,
+    Label,
+    Print,
+    Program,
+    Repeat,
+    Skip,
+    UnOp,
+    Var,
+    While,
+)
+from repro.lang.errors import LangError, LexError, ParseError
+from repro.lang.interp import ExecutionResult, Interpreter, run_program
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import pretty_expr, pretty_program
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "ExecutionResult",
+    "Goto",
+    "If",
+    "IntLit",
+    "Interpreter",
+    "Label",
+    "LangError",
+    "LexError",
+    "ParseError",
+    "Print",
+    "Program",
+    "Repeat",
+    "Skip",
+    "Token",
+    "UnOp",
+    "Var",
+    "While",
+    "parse_expr",
+    "parse_program",
+    "pretty_expr",
+    "pretty_program",
+    "run_program",
+    "tokenize",
+]

@@ -1,0 +1,289 @@
+"""Abstract syntax for the small imperative language.
+
+Expressions are immutable (frozen dataclasses) so they can serve directly
+as the *lexical expressions* of the redundancy-elimination analyses: two
+occurrences of ``a + b`` are equal and hash alike, which is exactly the
+notion of "the same expression" used by available-expressions,
+anticipatability (Section 5 of the paper) and partial redundancy
+elimination.
+
+Statements form a conventional tree.  ``goto``/``label`` exist so that
+arbitrary control flow -- including the irreducible graphs that defeat
+purely structural analyses -- can be expressed; everything in the paper is
+defined on general CFGs and our implementation must be too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+#: Binary operators, in the concrete syntax spelling.
+BINARY_OPS = ("+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||")
+
+#: Unary operators.
+UNARY_OPS = ("-", "!")
+
+
+@dataclass(frozen=True)
+class IntLit:
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Var:
+    """A variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary operation ``left op right``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class UnOp:
+    """A unary operation ``op operand``."""
+
+    op: str
+    operand: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Index:
+    """An array load ``array[index]``.
+
+    Arrays are the Section 6 extension ("aliasing, data structures ...").
+    Following the authors' treatment in [BJP91], the array name is an
+    ordinary variable holding the whole aggregate, so a load *uses* the
+    array variable and every analysis handles it with the scalar
+    machinery.
+    """
+
+    array: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Update:
+    """A whole-array functional update ``update(array, index, value)``.
+
+    An array store ``a[i] := v`` is represented in the CFG as the
+    assignment ``a := update(a, i, v)``: the store *uses* the old array
+    and *defines* the new one.  Anti- and output dependences between
+    stores, and the interception of array dependences at switches and
+    merges, then fall out of the unmodified scalar dependence rules --
+    exactly the simplification the paper credits to this encoding.
+    """
+
+    array: str
+    index: "Expr"
+    value: "Expr"
+
+
+Expr = Union[IntLit, Var, BinOp, UnOp, Index, Update]
+
+
+def expr_vars(expr: Expr) -> frozenset[str]:
+    """The set of variable names occurring in ``expr``.
+
+    This is the ``Vars(e)`` function used throughout the dataflow analyses:
+    an assignment to any member kills availability/anticipatability of the
+    expression.  Array loads and updates mention the array variable, so a
+    store to the array kills every expression reading it -- the sound
+    conservative treatment of [BJP91].
+    """
+    if isinstance(expr, IntLit):
+        return frozenset()
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    if isinstance(expr, UnOp):
+        return expr_vars(expr.operand)
+    if isinstance(expr, BinOp):
+        return expr_vars(expr.left) | expr_vars(expr.right)
+    if isinstance(expr, Index):
+        return frozenset((expr.array,)) | expr_vars(expr.index)
+    if isinstance(expr, Update):
+        return (
+            frozenset((expr.array,))
+            | expr_vars(expr.index)
+            | expr_vars(expr.value)
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def subexpressions(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every nested subexpression, outermost first."""
+    yield expr
+    if isinstance(expr, UnOp):
+        yield from subexpressions(expr.operand)
+    elif isinstance(expr, BinOp):
+        yield from subexpressions(expr.left)
+        yield from subexpressions(expr.right)
+    elif isinstance(expr, Index):
+        yield from subexpressions(expr.index)
+    elif isinstance(expr, Update):
+        yield from subexpressions(expr.index)
+        yield from subexpressions(expr.value)
+
+
+def is_trivial(expr: Expr) -> bool:
+    """True for expressions with no operator (literals and bare variables).
+
+    Trivial expressions are never candidates for redundancy elimination --
+    re-evaluating them costs nothing.
+    """
+    return isinstance(expr, (IntLit, Var))
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    """``target := expr;``"""
+
+    target: str
+    expr: Expr
+
+
+@dataclass
+class Store:
+    """``array[index] := expr;`` -- an array store.
+
+    The CFG builder lowers it to ``array := update(array, index, expr)``
+    (see :class:`Update`).
+    """
+
+    array: str
+    index: Expr
+    expr: Expr
+
+
+@dataclass
+class Print:
+    """``print expr;`` -- the language's only observable output."""
+
+    expr: Expr
+
+
+@dataclass
+class Skip:
+    """``skip;`` -- no effect."""
+
+
+@dataclass
+class If:
+    """``if (cond) { then } else { els }``; ``els`` may be empty."""
+
+    cond: Expr
+    then_body: list["Stmt"] = field(default_factory=list)
+    else_body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While:
+    """``while (cond) { body }``"""
+
+    cond: Expr
+    body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Repeat:
+    """``repeat { body } until (cond);`` -- body runs at least once.
+
+    Included because the paper calls out ``repeat-until`` back edges
+    (switch-source to merge-target edges) as the classic complication for
+    node-based PRE that the edge-based DFG formulation avoids.
+    """
+
+    body: list["Stmt"] = field(default_factory=list)
+    cond: Expr = IntLit(1)
+
+
+@dataclass
+class Goto:
+    """``goto L;``"""
+
+    label: str
+
+
+@dataclass
+class Label:
+    """``label L:`` -- a jump target."""
+
+    name: str
+
+
+Stmt = Union[Assign, Store, Print, Skip, If, While, Repeat, Goto, Label]
+
+
+@dataclass
+class Program:
+    """A whole program: a statement list."""
+
+    body: list[Stmt] = field(default_factory=list)
+
+    def walk(self) -> Iterator[Stmt]:
+        """Yield every statement in the program, pre-order."""
+        yield from _walk_stmts(self.body)
+
+
+def _walk_stmts(stmts: list[Stmt]) -> Iterator[Stmt]:
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from _walk_stmts(stmt.then_body)
+            yield from _walk_stmts(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from _walk_stmts(stmt.body)
+        elif isinstance(stmt, Repeat):
+            yield from _walk_stmts(stmt.body)
+
+
+def program_vars(program: Program) -> frozenset[str]:
+    """All variable names mentioned anywhere in the program."""
+    names: set[str] = set()
+    for stmt in program.walk():
+        if isinstance(stmt, Assign):
+            names.add(stmt.target)
+            names |= expr_vars(stmt.expr)
+        elif isinstance(stmt, Store):
+            names.add(stmt.array)
+            names |= expr_vars(stmt.index) | expr_vars(stmt.expr)
+        elif isinstance(stmt, Print):
+            names |= expr_vars(stmt.expr)
+        elif isinstance(stmt, If):
+            names |= expr_vars(stmt.cond)
+        elif isinstance(stmt, (While, Repeat)):
+            names |= expr_vars(stmt.cond)
+    return frozenset(names)
+
+
+def program_labels(program: Program) -> frozenset[str]:
+    """All label names declared in the program."""
+    return frozenset(
+        stmt.name for stmt in program.walk() if isinstance(stmt, Label)
+    )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the language frontend and interpreter."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for all frontend/interpreter errors."""
+
+
+class LexError(LangError):
+    """Raised on an unrecognizable character sequence.
+
+    Carries the offending position so tooling can point at the source.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LangError):
+    """Raised when the token stream does not form a valid program."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class InterpError(LangError):
+    """Raised on a runtime error (division by zero, missing label, ...)."""
+
+
+class StepLimitExceeded(InterpError):
+    """Raised when an execution exceeds its step budget (likely a loop)."""

@@ -1,0 +1,347 @@
+"""Counting reference interpreter.
+
+The interpreter is the ground truth for every program transformation in
+this project: an optimization is correct when, for every input, the
+optimized program prints the same outputs as the original.  For partial
+redundancy elimination the interpreter also provides the Morel-Renvoise
+safety/profitability measure -- it counts how many times each *lexical
+expression* (e.g. ``a + b``) is evaluated during a run, so tests can check
+that no execution evaluates an expression more often after optimization.
+
+Because the language has ``goto``, direct tree-walking is awkward (a jump
+may land inside a nested loop body).  Execution therefore proceeds in two
+stages: :func:`flatten` compiles the statement tree to a flat list of
+:class:`Instruction` records with resolved jump targets, and
+:class:`Interpreter` executes that list.  This keeps the interpreter
+independent of the CFG builder, so agreement between AST execution and CFG
+execution is a meaningful differential test.
+
+Semantics
+---------
+* All values are Python integers (arbitrary precision).
+* Zero is false, anything else is true; comparisons and logical operators
+  yield 0/1.  ``&&``/``||`` are *strict* (both operands evaluated), which
+  keeps expression-evaluation counting simple and matches the treatment of
+  expressions as pure values in the analyses.
+* ``/`` is floor division and ``%`` its matching remainder; dividing by
+  zero raises :class:`~repro.lang.errors.InterpError`.
+* Reading a never-assigned variable yields its value from the initial
+  environment, or 0 when absent.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    Goto,
+    If,
+    Index,
+    IntLit,
+    Label,
+    Print,
+    Program,
+    Repeat,
+    Skip,
+    Stmt,
+    Store,
+    UnOp,
+    Update,
+    Var,
+    While,
+    is_trivial,
+)
+from repro.lang.errors import InterpError, StepLimitExceeded
+
+# --------------------------------------------------------------------------
+# Expression evaluation
+# --------------------------------------------------------------------------
+
+
+def eval_expr(
+    expr: Expr,
+    env: Mapping[str, int],
+    counts: Counter | None = None,
+) -> int:
+    """Evaluate ``expr`` in ``env``.
+
+    When ``counts`` is given, every *non-trivial* (sub)expression evaluated
+    is tallied under its AST value, so ``counts[parse_expr("a + b")]`` is
+    the number of times ``a + b`` was computed.
+
+    Array values are immutable mappings from integer indices to integers;
+    ``Index`` reads one (missing elements are 0) and ``Update`` builds a
+    new mapping -- the functional-update encoding of array stores.
+    """
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, Var):
+        return env.get(expr.name, 0)
+    if isinstance(expr, UnOp):
+        value = _scalar(eval_expr(expr.operand, env, counts))
+        if counts is not None:
+            counts[expr] += 1
+        if expr.op == "-":
+            return -value
+        if expr.op == "!":
+            return 0 if value else 1
+        raise InterpError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, env, counts)
+        right = eval_expr(expr.right, env, counts)
+        if counts is not None:
+            counts[expr] += 1
+        return apply_binop(expr.op, left, right)
+    if isinstance(expr, Index):
+        array = _array(env.get(expr.array, {}), expr.array)
+        position = _scalar(eval_expr(expr.index, env, counts))
+        if counts is not None:
+            counts[expr] += 1
+        return array.get(position, 0)
+    if isinstance(expr, Update):
+        array = _array(env.get(expr.array, {}), expr.array)
+        position = _scalar(eval_expr(expr.index, env, counts))
+        value = _scalar(eval_expr(expr.value, env, counts))
+        if counts is not None:
+            counts[expr] += 1
+        updated = dict(array)
+        updated[position] = value
+        return updated
+    raise InterpError(f"not an expression: {expr!r}")
+
+
+def _scalar(value) -> int:
+    if isinstance(value, dict):
+        raise InterpError("array value used where a scalar is required")
+    return value
+
+
+def _array(value, name: str) -> dict:
+    if isinstance(value, dict):
+        return value
+    if value == 0:
+        return {}  # an unbound variable defaults to the empty array
+    raise InterpError(f"scalar value of {name!r} used as an array")
+
+
+def apply_binop(op: str, left: int, right: int) -> int:
+    """Apply a binary operator to two integer values."""
+    _scalar(left)
+    _scalar(right)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise InterpError("division by zero")
+        return left // right
+    if op == "%":
+        if right == 0:
+            raise InterpError("modulo by zero")
+        return left % right
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    if op == "&&":
+        return int(bool(left) and bool(right))
+    if op == "||":
+        return int(bool(left) or bool(right))
+    raise InterpError(f"unknown binary operator {op!r}")
+
+
+# --------------------------------------------------------------------------
+# Flattening to jump code
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class AssignInstr:
+    target: str
+    expr: Expr
+
+
+@dataclass
+class PrintInstr:
+    expr: Expr
+
+
+@dataclass
+class BranchInstr:
+    """Fall through to the next instruction when ``cond`` is true;
+    jump to ``target`` when it is false."""
+
+    cond: Expr
+    target: int = -1
+
+
+@dataclass
+class JumpInstr:
+    target: int = -1
+
+
+Instruction = Union[AssignInstr, PrintInstr, BranchInstr, JumpInstr]
+
+
+def flatten(program: Program) -> list[Instruction]:
+    """Compile the statement tree into a flat jump-code instruction list."""
+    instrs: list[Instruction] = []
+    label_at: dict[str, int] = {}
+    pending_gotos: list[tuple[JumpInstr, str]] = []
+
+    def emit(stmts: list[Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                instrs.append(AssignInstr(stmt.target, stmt.expr))
+            elif isinstance(stmt, Store):
+                # a[i] := v lowers to a := update(a, i, v): the store uses
+                # the old array and defines the new one ([BJP91]).
+                instrs.append(
+                    AssignInstr(
+                        stmt.array, Update(stmt.array, stmt.index, stmt.expr)
+                    )
+                )
+            elif isinstance(stmt, Print):
+                instrs.append(PrintInstr(stmt.expr))
+            elif isinstance(stmt, Skip):
+                pass
+            elif isinstance(stmt, Label):
+                if stmt.name in label_at:
+                    raise InterpError(f"duplicate label {stmt.name!r}")
+                label_at[stmt.name] = len(instrs)
+            elif isinstance(stmt, Goto):
+                jump = JumpInstr()
+                pending_gotos.append((jump, stmt.label))
+                instrs.append(jump)
+            elif isinstance(stmt, If):
+                branch = BranchInstr(stmt.cond)
+                instrs.append(branch)
+                emit(stmt.then_body)
+                if stmt.else_body:
+                    exit_jump = JumpInstr()
+                    instrs.append(exit_jump)
+                    branch.target = len(instrs)
+                    emit(stmt.else_body)
+                    exit_jump.target = len(instrs)
+                else:
+                    branch.target = len(instrs)
+            elif isinstance(stmt, While):
+                top = len(instrs)
+                branch = BranchInstr(stmt.cond)
+                instrs.append(branch)
+                emit(stmt.body)
+                instrs.append(JumpInstr(top))
+                branch.target = len(instrs)
+            elif isinstance(stmt, Repeat):
+                top = len(instrs)
+                emit(stmt.body)
+                # Fall through (exit) when the until-condition holds;
+                # otherwise jump back to the top of the body.
+                instrs.append(BranchInstr(stmt.cond, top))
+            else:
+                raise InterpError(f"not a statement: {stmt!r}")
+
+    emit(program.body)
+    for jump, name in pending_gotos:
+        if name not in label_at:
+            raise InterpError(f"goto to undeclared label {name!r}")
+        jump.target = label_at[name]
+    return instrs
+
+
+# --------------------------------------------------------------------------
+# Execution
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about one run.
+
+    ``trace`` is populated by the CFG interpreter only: the sequence of
+    node ids visited, which the test suite uses to validate path-sensitive
+    dataflow claims against real executions.
+    """
+
+    outputs: list[int]
+    env: dict[str, int]
+    steps: int
+    eval_counts: Counter = field(default_factory=Counter)
+    trace: list[int] = field(default_factory=list)
+
+    def evaluations_of(self, expr: Expr) -> int:
+        """How many times the lexical expression ``expr`` was computed."""
+        if is_trivial(expr):
+            raise ValueError("evaluation counting covers non-trivial expressions")
+        return self.eval_counts[expr]
+
+
+class Interpreter:
+    """Execute a program under a step budget.
+
+    >>> from repro.lang.parser import parse_program
+    >>> prog = parse_program("x := 2; while (x > 0) { x := x - 1; } print x;")
+    >>> Interpreter(prog).run().outputs
+    [0]
+    """
+
+    def __init__(self, program: Program, max_steps: int = 100_000) -> None:
+        self.instrs = flatten(program)
+        self.max_steps = max_steps
+
+    def run(self, env: Mapping[str, int] | None = None) -> ExecutionResult:
+        state: dict[str, int] = dict(env or {})
+        counts: Counter = Counter()
+        outputs: list[int] = []
+        pc = 0
+        steps = 0
+        n = len(self.instrs)
+        while pc < n:
+            steps += 1
+            if steps > self.max_steps:
+                raise StepLimitExceeded(
+                    f"exceeded {self.max_steps} steps (infinite loop?)"
+                )
+            instr = self.instrs[pc]
+            if isinstance(instr, AssignInstr):
+                state[instr.target] = eval_expr(instr.expr, state, counts)
+                pc += 1
+            elif isinstance(instr, PrintInstr):
+                value = eval_expr(instr.expr, state, counts)
+                if isinstance(value, dict):
+                    raise InterpError("cannot print an array value")
+                outputs.append(value)
+                pc += 1
+            elif isinstance(instr, BranchInstr):
+                taken = _scalar(eval_expr(instr.cond, state, counts))
+                pc = pc + 1 if taken else instr.target
+            elif isinstance(instr, JumpInstr):
+                pc = instr.target
+            else:
+                raise InterpError(f"bad instruction {instr!r}")
+        return ExecutionResult(outputs, state, steps, counts)
+
+
+def run_program(
+    program: Program,
+    env: Mapping[str, int] | None = None,
+    max_steps: int = 100_000,
+) -> ExecutionResult:
+    """Convenience wrapper: flatten and run in one call."""
+    return Interpreter(program, max_steps=max_steps).run(env)

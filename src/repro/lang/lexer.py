@@ -1,0 +1,95 @@
+"""Hand-written lexer for the small imperative language.
+
+The token stream carries line/column positions so parse errors point at
+the source.  Comments run from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import LexError
+
+KEYWORDS = frozenset(
+    ["if", "else", "while", "repeat", "until", "goto", "label", "skip", "print"]
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_TWO_CHAR = (":=", "==", "!=", "<=", ">=", "&&", "||")
+_ONE_CHAR = "+-*/%<>!(){};:,[]"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``"int"``, ``"ident"``, ``"keyword"``, ``"op"``, or
+    ``"eof"``; ``text`` is the matched source text.
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r} @{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into a token list ending with an ``eof`` token.
+
+    >>> [t.text for t in tokenize("x := 1;")[:-1]]
+    ['x', ':=', '1', ';']
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            text = source[start:i]
+            tokens.append(Token("int", text, line, col))
+            col += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("op", two, line, col))
+            i += 2
+            col += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token("op", ch, line, col))
+            i += 1
+            col += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

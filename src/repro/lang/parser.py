@@ -1,0 +1,281 @@
+"""Recursive-descent parser producing :mod:`repro.lang.ast_nodes` trees.
+
+Grammar (EBNF)::
+
+    program  ::= stmt*
+    stmt     ::= IDENT ":=" expr ";"
+               | IDENT "[" expr "]" ":=" expr ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "repeat" block "until" "(" expr ")" ";"
+               | "goto" IDENT ";"
+               | "label" IDENT ":"
+               | "skip" ";"
+               | "print" expr ";"
+    block    ::= "{" stmt* "}"
+    expr     ::= or_expr
+    or_expr  ::= and_expr ("||" and_expr)*
+    and_expr ::= cmp_expr ("&&" cmp_expr)*
+    cmp_expr ::= add_expr (("=="|"!="|"<"|"<="|">"|">=") add_expr)?
+    add_expr ::= mul_expr (("+"|"-") mul_expr)*
+    mul_expr ::= unary (("*"|"/"|"%") unary)*
+    unary    ::= ("-"|"!") unary | atom
+    atom     ::= INT | IDENT | IDENT "[" expr "]" | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    Goto,
+    If,
+    Index,
+    IntLit,
+    Label,
+    Print,
+    Program,
+    Repeat,
+    Skip,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+)
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {tok.text or 'end of input'!r}",
+                tok.line,
+                tok.column,
+            )
+        return self.advance()
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    # -- statements --------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        body = self.parse_stmts_until_eof()
+        return Program(body)
+
+    def parse_stmts_until_eof(self) -> list[Stmt]:
+        stmts: list[Stmt] = []
+        while not self.at("eof"):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_block(self) -> list[Stmt]:
+        self.expect("op", "{")
+        stmts: list[Stmt] = []
+        while not self.at("op", "}"):
+            if self.at("eof"):
+                tok = self.peek()
+                raise ParseError("unterminated block", tok.line, tok.column)
+            stmts.append(self.parse_stmt())
+        self.expect("op", "}")
+        return stmts
+
+    def parse_stmt(self) -> Stmt:
+        tok = self.peek()
+        if tok.kind == "keyword":
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "while":
+                return self.parse_while()
+            if tok.text == "repeat":
+                return self.parse_repeat()
+            if tok.text == "goto":
+                self.advance()
+                name = self.expect("ident").text
+                self.expect("op", ";")
+                return Goto(name)
+            if tok.text == "label":
+                self.advance()
+                name = self.expect("ident").text
+                self.expect("op", ":")
+                return Label(name)
+            if tok.text == "skip":
+                self.advance()
+                self.expect("op", ";")
+                return Skip()
+            if tok.text == "print":
+                self.advance()
+                expr = self.parse_expr()
+                self.expect("op", ";")
+                return Print(expr)
+            raise ParseError(
+                f"unexpected keyword {tok.text!r}", tok.line, tok.column
+            )
+        if tok.kind == "ident":
+            name = self.advance().text
+            if self.at("op", "["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                self.expect("op", ":=")
+                expr = self.parse_expr()
+                self.expect("op", ";")
+                return Store(name, index, expr)
+            self.expect("op", ":=")
+            expr = self.parse_expr()
+            self.expect("op", ";")
+            return Assign(name, expr)
+        raise ParseError(
+            f"unexpected token {tok.text or 'end of input'!r}",
+            tok.line,
+            tok.column,
+        )
+
+    def parse_if(self) -> If:
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: list[Stmt] = []
+        if self.at("keyword", "else"):
+            self.advance()
+            else_body = self.parse_block()
+        return If(cond, then_body, else_body)
+
+    def parse_while(self) -> While:
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return While(cond, body)
+
+    def parse_repeat(self) -> Repeat:
+        self.expect("keyword", "repeat")
+        body = self.parse_block()
+        self.expect("keyword", "until")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return Repeat(body, cond)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at("op", "||"):
+            self.advance()
+            left = BinOp("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_cmp()
+        while self.at("op", "&&"):
+            self.advance()
+            left = BinOp("&&", left, self.parse_cmp())
+        return left
+
+    def parse_cmp(self) -> Expr:
+        left = self.parse_add()
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            if self.at("op", op):
+                self.advance()
+                return BinOp(op, left, self.parse_add())
+        return left
+
+    def parse_add(self) -> Expr:
+        left = self.parse_mul()
+        while self.at("op", "+") or self.at("op", "-"):
+            op = self.advance().text
+            left = BinOp(op, left, self.parse_mul())
+        return left
+
+    def parse_mul(self) -> Expr:
+        left = self.parse_unary()
+        while self.at("op", "*") or self.at("op", "/") or self.at("op", "%"):
+            op = self.advance().text
+            left = BinOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.at("op", "-") or self.at("op", "!"):
+            op = self.advance().text
+            return UnOp(op, self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return IntLit(int(tok.text))
+        if tok.kind == "ident":
+            self.advance()
+            if self.at("op", "["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return Index(tok.text, index)
+            return Var(tok.text)
+        if self.at("op", "("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(
+            f"expected an expression, found {tok.text or 'end of input'!r}",
+            tok.line,
+            tok.column,
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole program from source text.
+
+    >>> prog = parse_program("x := 1; if (x) { y := x + 1; }")
+    >>> len(prog.body)
+    2
+    """
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression from source text.
+
+    >>> parse_expr("a + b * 2")
+    BinOp(op='+', left=Var(name='a'), right=BinOp(op='*', left=Var(name='b'), right=IntLit(value=2)))
+    """
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    tok = parser.peek()
+    if tok.kind != "eof":
+        raise ParseError(
+            f"trailing input after expression: {tok.text!r}", tok.line, tok.column
+        )
+    return expr

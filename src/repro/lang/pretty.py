@@ -1,0 +1,133 @@
+"""Unparser: render AST back to concrete syntax.
+
+``parse_program(pretty_program(p))`` round-trips (tested property-based),
+which makes generated workloads and transformed programs inspectable.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    Goto,
+    If,
+    Index,
+    IntLit,
+    Label,
+    Print,
+    Program,
+    Repeat,
+    Skip,
+    Stmt,
+    Store,
+    UnOp,
+    Update,
+    Var,
+    While,
+)
+
+#: Operator precedence levels, matching the parser (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+}
+_UNARY_LEVEL = 6
+
+
+def pretty_expr(expr: Expr) -> str:
+    """Render an expression with minimal parentheses.
+
+    >>> from repro.lang.parser import parse_expr
+    >>> pretty_expr(parse_expr("(a + b) * c"))
+    '(a + b) * c'
+    >>> pretty_expr(parse_expr("a + (b * c)"))
+    'a + b * c'
+    """
+    return _render(expr, 0)
+
+
+def _render(expr: Expr, parent_level: int) -> str:
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Index):
+        return f"{expr.array}[{_render(expr.index, 0)}]"
+    if isinstance(expr, Update):
+        # No concrete syntax: updates only appear in lowered CFG nodes.
+        return (
+            f"update({expr.array}, {_render(expr.index, 0)}, "
+            f"{_render(expr.value, 0)})"
+        )
+    if isinstance(expr, UnOp):
+        inner = _render(expr.operand, _UNARY_LEVEL)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_level > _UNARY_LEVEL else text
+    if isinstance(expr, BinOp):
+        level = _PRECEDENCE[expr.op]
+        # Left-associative grammar: the right child needs parens at equal
+        # precedence; comparisons are non-associative so both sides do.
+        non_assoc = level == 3
+        left = _render(expr.left, level + 1 if non_assoc else level)
+        right = _render(expr.right, level + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_level > level else text
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def pretty_program(program: Program, indent: str = "    ") -> str:
+    """Render a whole program, one statement per line."""
+    lines: list[str] = []
+    _render_stmts(program.body, lines, 0, indent)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render_stmts(
+    stmts: list[Stmt], lines: list[str], depth: int, indent: str
+) -> None:
+    pad = indent * depth
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            lines.append(f"{pad}{stmt.target} := {pretty_expr(stmt.expr)};")
+        elif isinstance(stmt, Store):
+            lines.append(
+                f"{pad}{stmt.array}[{pretty_expr(stmt.index)}] := "
+                f"{pretty_expr(stmt.expr)};"
+            )
+        elif isinstance(stmt, Print):
+            lines.append(f"{pad}print {pretty_expr(stmt.expr)};")
+        elif isinstance(stmt, Skip):
+            lines.append(f"{pad}skip;")
+        elif isinstance(stmt, Goto):
+            lines.append(f"{pad}goto {stmt.label};")
+        elif isinstance(stmt, Label):
+            lines.append(f"{pad}label {stmt.name}:")
+        elif isinstance(stmt, If):
+            lines.append(f"{pad}if ({pretty_expr(stmt.cond)}) {{")
+            _render_stmts(stmt.then_body, lines, depth + 1, indent)
+            if stmt.else_body:
+                lines.append(f"{pad}}} else {{")
+                _render_stmts(stmt.else_body, lines, depth + 1, indent)
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, While):
+            lines.append(f"{pad}while ({pretty_expr(stmt.cond)}) {{")
+            _render_stmts(stmt.body, lines, depth + 1, indent)
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, Repeat):
+            lines.append(f"{pad}repeat {{")
+            _render_stmts(stmt.body, lines, depth + 1, indent)
+            lines.append(f"{pad}}} until ({pretty_expr(stmt.cond)});")
+        else:
+            raise TypeError(f"not a statement: {stmt!r}")

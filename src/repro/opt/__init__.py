@@ -1,0 +1,37 @@
+"""CFG-based baselines and the optimization driver.
+
+* :mod:`repro.opt.cfg_constprop` -- Kildall-style vector constant
+  propagation, the Figure 4(a) algorithm the DFG version is measured
+  against (same precision, O(EV^2) work);
+* :mod:`repro.opt.cfg_epr` -- dense CFG partial redundancy elimination in
+  the Morel-Renvoise style (critical-edge splitting, edge-wise dense
+  candidate points);
+* :mod:`repro.opt.transform` -- constant folding, branch folding and dead
+  code elimination, applied from any of the constant-propagation results;
+* :mod:`repro.opt.pipeline` -- an end-to-end optimizer combining the
+  passes, with interpreter-verified semantics in the test suite.
+"""
+
+from repro.opt.cfg_constprop import CFGConstants, cfg_constant_propagation
+from repro.opt.cfg_epr import cfg_eliminate_partial_redundancies, cfg_epr_all
+from repro.opt.copyprop import CopyPropStats, copy_propagation
+from repro.opt.pipeline import OptimizationReport, optimize
+from repro.opt.transform import (
+    fold_and_eliminate,
+    fold_constants,
+    remove_dead_assignments,
+)
+
+__all__ = [
+    "CFGConstants",
+    "CopyPropStats",
+    "OptimizationReport",
+    "cfg_constant_propagation",
+    "cfg_eliminate_partial_redundancies",
+    "cfg_epr_all",
+    "copy_propagation",
+    "fold_and_eliminate",
+    "fold_constants",
+    "optimize",
+    "remove_dead_assignments",
+]

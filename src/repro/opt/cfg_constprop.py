@@ -1,0 +1,172 @@
+"""Vector constant propagation on the CFG (Section 4.1, Figure 4(a)).
+
+"At each edge, we maintain a vector of lattice values having an entry for
+each variable."  The vector at ``start`` is all-TOP (entry values
+unknown); every other edge starts all-BOTTOM.  An all-BOTTOM input vector
+means the point is unreached, and stays unreached through any transfer --
+that rule (plus switch arms receiving all-BOTTOM when the predicate rules
+them out) is what finds *possible-paths* constants.
+
+This algorithm is deliberately the dense baseline: each node visit does
+O(V) lattice work (copying/joining whole vectors), so the fixpoint costs
+O(EV^2) against the DFG algorithm's O(EV) -- the separation measured by
+experiment F4.  Precision is identical; the test suite checks value-level
+agreement with the DFG algorithm and SCCP on every program it generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.dataflow.lattice import (
+    BOTTOM,
+    TOP,
+    ConstValue,
+    branch_implications,
+    eval_abstract,
+    join_const,
+    truthiness,
+)
+from repro.dataflow.solver import solve_dataflow
+from repro.util.counters import WorkCounter
+
+Vector = tuple  # tuple[ConstValue, ...] indexed by variable position
+
+
+@dataclass
+class CFGConstants:
+    """Result in the same shape as the DFG/def-use/SCCP results."""
+
+    variables: list[str]
+    edge_vectors: dict[int, Vector]
+    use_values: dict[tuple[int, str], ConstValue] = field(default_factory=dict)
+    rhs_values: dict[int, ConstValue] = field(default_factory=dict)
+    dead_nodes: set[int] = field(default_factory=set)
+
+    def constant_uses(self) -> dict[tuple[int, str], int]:
+        return {
+            k: v for k, v in self.use_values.items() if isinstance(v, int)
+        }
+
+    def constant_rhs(self) -> dict[int, int]:
+        return {k: v for k, v in self.rhs_values.items() if isinstance(v, int)}
+
+
+class _VectorProblem:
+    direction = "forward"
+
+    def __init__(
+        self,
+        variables: list[str],
+        counter: WorkCounter,
+        refine_predicates: bool = False,
+    ) -> None:
+        self.variables = variables
+        self.position = {v: i for i, v in enumerate(variables)}
+        self.bottom = tuple(BOTTOM for _ in variables)
+        self.top = tuple(TOP for _ in variables)
+        self.counter = counter
+        self.refine_predicates = refine_predicates
+
+    def refine(self, predicate, edge, incoming: Vector) -> Vector:
+        """Section 4's Multiflow extension on the vector algorithm: an
+        equality predicate pins its variable's entry on the implied arm."""
+        if not self.refine_predicates:
+            return incoming
+        implied = branch_implications(predicate, taken=edge.label == "T")
+        if not implied:
+            return incoming
+        out = list(incoming)
+        for var, value in implied.items():
+            out[self.position[var]] = value
+        return tuple(out)
+
+    def initial(self, graph: CFG, eid: int) -> Vector:
+        return self.bottom
+
+    def lookup(self, vector: Vector):
+        return lambda name: vector[self.position[name]]
+
+    def transfer(self, graph: CFG, nid: int, facts_in):
+        node = graph.node(nid)
+        # The hallmark of the dense algorithm: O(V) work per node visit.
+        self.counter.tick("vector_entries", len(self.variables))
+        if node.kind is NodeKind.START:
+            return {e.id: self.top for e in graph.out_edges(nid)}
+        if node.kind is NodeKind.MERGE:
+            combined = list(self.bottom)
+            for vector in facts_in.values():
+                for i, value in enumerate(vector):
+                    combined[i] = join_const(combined[i], value)
+            out = tuple(combined)
+            return {e.id: out for e in graph.out_edges(nid)}
+        incoming = next(iter(facts_in.values()))
+        if incoming == self.bottom:
+            # Unreached: stay unreached (the possible-paths rule).
+            return {e.id: self.bottom for e in graph.out_edges(nid)}
+        if node.kind is NodeKind.ASSIGN:
+            assert node.target is not None and node.expr is not None
+            value = eval_abstract(node.expr, self.lookup(incoming))
+            out = list(incoming)
+            out[self.position[node.target]] = value
+            out_vec = tuple(out)
+            return {e.id: out_vec for e in graph.out_edges(nid)}
+        if node.kind is NodeKind.SWITCH:
+            assert node.expr is not None
+            predicate = truthiness(
+                eval_abstract(node.expr, self.lookup(incoming))
+            )
+            result = {}
+            for edge in graph.out_edges(nid):
+                if predicate is TOP:
+                    result[edge.id] = self.refine(node.expr, edge, incoming)
+                elif predicate is BOTTOM:
+                    result[edge.id] = self.bottom
+                else:
+                    taken = "T" if predicate else "F"
+                    result[edge.id] = (
+                        self.refine(node.expr, edge, incoming)
+                        if edge.label == taken
+                        else self.bottom
+                    )
+            return result
+        # PRINT / NOP pass the vector through.
+        return {e.id: incoming for e in graph.out_edges(nid)}
+
+
+def cfg_constant_propagation(
+    graph: CFG,
+    counter: WorkCounter | None = None,
+    refine_predicates: bool = False,
+) -> CFGConstants:
+    """Solve the Figure 4(a) equations; returns per-edge vectors plus the
+    use/rhs views shared with the other three algorithms.
+
+    ``refine_predicates`` enables the Section 4 Multiflow extension (see
+    :func:`repro.dataflow.lattice.branch_implications`).
+    """
+    counter = counter if counter is not None else WorkCounter()
+    variables = sorted(graph.variables())
+    problem = _VectorProblem(variables, counter, refine_predicates)
+    vectors = solve_dataflow(graph, problem, counter)
+
+    result = CFGConstants(variables, vectors)
+    for node in graph.nodes.values():
+        if node.kind in (NodeKind.START, NodeKind.END, NodeKind.MERGE, NodeKind.NOP):
+            continue
+        in_vector = vectors[graph.in_edge(node.id).id]
+        unreached = in_vector == problem.bottom
+        if unreached:
+            result.dead_nodes.add(node.id)
+        for var in node.uses():
+            result.use_values[(node.id, var)] = in_vector[
+                problem.position[var]
+            ]
+        if node.expr is not None:
+            result.rhs_values[node.id] = (
+                BOTTOM
+                if unreached
+                else eval_abstract(node.expr, problem.lookup(in_vector))
+            )
+    return result

@@ -1,0 +1,115 @@
+"""Dense CFG partial redundancy elimination (the Morel-Renvoise baseline).
+
+The contrast with :mod:`repro.core.epr`:
+
+* anticipatability/availability are computed *densely* -- set-valued
+  facts over every expression at every CFG edge, whether or not the
+  expression's operands are anywhere near -- which is the work profile
+  the paper's Section 5 criticizes;
+* critical (switch-to-merge) edges are split with empty blocks up front,
+  the node-based tradition's workaround the paper's edge-based DFG
+  formulation avoids ("these blocks must later be removed if no code is
+  moved into them" -- we count the useless ones);
+* candidate placement points are every edge with ANT and PAV -- the dense
+  equivalent of the paper's merge + multiedge rules.
+
+The back half (safe-insertion filtering and the rewrite) is shared with
+the DFG algorithm via :func:`repro.core.epr.place_and_transform`, so the
+two implementations differ exactly in how placement information is
+computed -- which is what the F5 benchmark compares.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.cfg.normalize import split_critical_edges
+from repro.core.epr import EPRResult, candidate_expressions, place_and_transform
+from repro.dataflow.anticipatable import (
+    anticipatable_expressions,
+    partially_anticipatable_expressions,
+)
+from repro.dataflow.available import (
+    available_expressions,
+    partially_available_expressions,
+)
+from repro.lang.ast_nodes import Expr, expr_vars, is_trivial
+from repro.util.counters import WorkCounter
+
+
+def cfg_eliminate_partial_redundancies(
+    graph: CFG,
+    expr: Expr,
+    counter: WorkCounter | None = None,
+) -> EPRResult:
+    """Morel-Renvoise-style EPR for one expression.
+
+    Works on a critical-edge-split copy of ``graph``; the returned
+    result's graph has unused split blocks removed again.
+    """
+    counter = counter if counter is not None else WorkCounter()
+    if is_trivial(expr) or not expr_vars(expr):
+        raise ValueError("EPR applies to compound expressions over variables")
+
+    split = graph.copy()
+    inserted_nops = split_critical_edges(split)
+    counter.tick("critical_edges_split", len(inserted_nops))
+
+    ant = anticipatable_expressions(split, counter)
+    pan = partially_anticipatable_expressions(split, counter)
+    av = available_expressions(split, counter)
+    pav = partially_available_expressions(split, counter)
+    del pan  # dense PAN is computed (and costed) but PP below uses PAV
+
+    pp_edges: set[int] = set()
+    for eid in split.edges:
+        counter.tick("pp_edge_checks")
+        if expr in ant[eid] and expr in pav[eid]:
+            pp_edges.add(eid)
+            # Push placement up through the join: a point that is ANT+PAV
+            # just below a merge is served by computing on the merge's
+            # in-edges that lack the value (the PPIN/PPOUT recursion of
+            # Morel-Renvoise, one level per candidate edge; the shared
+            # redundancy/justification filter keeps only useful points).
+            src = split.node(split.edge(eid).src)
+            if src.kind is NodeKind.MERGE:
+                for in_edge in split.in_edges(src.id):
+                    pp_edges.add(in_edge.id)
+
+    result = place_and_transform(split, expr, pp_edges, av, counter)
+    removed = _remove_unused_nops(result.graph)
+    counter.tick("useless_split_blocks_removed", removed)
+    return result
+
+
+def _remove_unused_nops(graph: CFG) -> int:
+    """Remove NOP blocks no code moved into (the node-based tradition's
+    cleanup step)."""
+    removed = 0
+    for node in list(graph.nodes.values()):
+        if node.kind is not NodeKind.NOP:
+            continue
+        preds = graph.in_edges(node.id)
+        succs = graph.out_edges(node.id)
+        if len(preds) == 1 and len(succs) == 1:
+            graph.add_edge(preds[0].src, succs[0].dst, label=preds[0].label)
+            graph.remove_node(node.id)
+            removed += 1
+    graph.validate(normalized=True)
+    return removed
+
+
+def cfg_epr_all(graph: CFG, counter: WorkCounter | None = None):
+    """Apply dense EPR to every candidate expression (baseline driver)."""
+    counter = counter if counter is not None else WorkCounter()
+    current = graph
+    results: list[EPRResult] = []
+    for expr in candidate_expressions(graph):
+        if expr not in current.expressions():
+            continue
+        outcome = cfg_eliminate_partial_redundancies(
+            current, expr, counter=counter
+        )
+        if outcome.changed:
+            results.append(outcome)
+            current = outcome.graph
+    return current, results

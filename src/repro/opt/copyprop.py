@@ -1,0 +1,123 @@
+"""Copy propagation through the dependence flow graph.
+
+The paper's Section 1 "analysis in stages" example needs it: after PRE
+rewrites ``z := a+b; w := a+b`` into reads of one temporary, the second
+level of redundancy (``x := z+1`` vs ``y := w+1``) only becomes visible
+once the copies are propagated and both right-hand sides are literally
+the same expression again.
+
+The DFG makes the correctness condition a one-line query: replacing a
+use of ``x`` (where ``x``'s dependence source is the copy ``x := y``)
+with ``y`` is sound iff **y has the same dependence source at the use as
+it had at the copy** -- no interception, no redefinition, on any path in
+between.  This uses the resolver's demand-driven ``source`` queries; no
+per-variable dataflow needs to be re-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.graph import CFG
+from repro.core.build import build_dfg
+from repro.core.dfg import PortKind
+from repro.lang.ast_nodes import (
+    BinOp,
+    Expr,
+    Index,
+    IntLit,
+    UnOp,
+    Update,
+    Var,
+)
+from repro.util.counters import WorkCounter
+
+
+@dataclass
+class CopyPropStats:
+    """What one copy-propagation pass changed."""
+
+    rewritten_uses: int = 0
+    rounds: int = 0
+
+
+def _substitute_var(expr: Expr, old: str, new: str) -> Expr:
+    if isinstance(expr, Var):
+        return Var(new) if expr.name == old else expr
+    if isinstance(expr, IntLit):
+        return expr
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _substitute_var(expr.operand, old, new))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _substitute_var(expr.left, old, new),
+            _substitute_var(expr.right, old, new),
+        )
+    if isinstance(expr, Index):
+        return Index(
+            new if expr.array == old else expr.array,
+            _substitute_var(expr.index, old, new),
+        )
+    if isinstance(expr, Update):
+        return Update(
+            new if expr.array == old else expr.array,
+            _substitute_var(expr.index, old, new),
+            _substitute_var(expr.value, old, new),
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def copy_propagation(
+    graph: CFG, counter: WorkCounter | None = None, max_rounds: int = 10
+) -> CopyPropStats:
+    """Propagate copies in place; returns statistics.
+
+    Each round rebuilds the DFG of the current graph (copy chains expose
+    new opportunities), rewrites every justified use, and stops when a
+    round changes nothing.
+    """
+    counter = counter if counter is not None else WorkCounter()
+    stats = CopyPropStats()
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        dfg = build_dfg(graph, counter=counter)
+        resolver = dfg.resolver
+
+        def elide(port):
+            """Switch operators split control regions but carry the value
+            through unchanged; chase to the underlying producer."""
+            while port.kind is PortKind.SWITCH:
+                port = dfg.switch_input(port)
+            return port
+
+        changed = 0
+        for (nid, var), raw_source in list(dfg.use_sources.items()):
+            source = elide(raw_source)
+            if source.kind is not PortKind.DEF:
+                continue
+            copy_node = graph.node(source.node)
+            assert copy_node.expr is not None
+            if not isinstance(copy_node.expr, Var):
+                continue
+            original = copy_node.expr.name
+            if original == var:
+                continue  # x := x, nothing to do
+            counter.tick("copyprop_candidates")
+            # Resolve both structurally (resolution depends only on graph
+            # shape and assignment targets, so in-round expression
+            # rewrites cannot invalidate it).  Switch operators are
+            # elided on both sides: they gate control, not values.
+            at_copy = elide(resolver.source_at_node(source.node, original))
+            at_use = elide(resolver.source_at_node(nid, original))
+            if at_copy != at_use:
+                continue  # the original may have changed in between
+            node = graph.node(nid)
+            assert node.expr is not None
+            node.expr = _substitute_var(node.expr, var, original)
+            changed += 1
+        stats.rewritten_uses += changed
+        if not changed:
+            break
+    graph.validate(normalized=True)
+    return stats

@@ -1,0 +1,31 @@
+"""Static single assignment form (Definition 5) and algorithms on it.
+
+Three roles in the reproduction:
+
+* :mod:`repro.ssa.cytron` -- the standard construction (dominance
+  frontiers + renaming), the baseline whose O(EV) competitor the paper's
+  DFG-derived construction is (experiment C3);
+* :mod:`repro.ssa.from_dfg` -- the paper's Section 3.3 construction:
+  build the DFG, elide switches, convert merges to phi-functions; needs
+  no dominance computation at all;
+* :mod:`repro.ssa.sccp` -- Wegman-Zadeck sparse conditional constant
+  propagation, the SSA-world algorithm that, like the paper's Section 4
+  DFG algorithm, finds possible-paths constants.
+"""
+
+from repro.ssa.ssagraph import Phi, SSAForm
+from repro.ssa.cytron import build_ssa_cytron
+from repro.ssa.destruct import destruct_ssa, sequentialize_parallel_copies
+from repro.ssa.from_dfg import build_ssa_from_dfg
+from repro.ssa.sccp import SCCPResult, sparse_conditional_constant_propagation
+
+__all__ = [
+    "Phi",
+    "SCCPResult",
+    "SSAForm",
+    "build_ssa_cytron",
+    "build_ssa_from_dfg",
+    "destruct_ssa",
+    "sequentialize_parallel_copies",
+    "sparse_conditional_constant_propagation",
+]

@@ -1,0 +1,116 @@
+"""Standard SSA construction (Cytron, Ferrante, Rosen, Wegman, Zadeck).
+
+Phi-functions are placed on the iterated dominance frontier of each
+variable's definition sites (``start`` counts as a definition site of
+every variable's entry value), then names are assigned by a renaming walk
+over the dominator tree.  With ``pruned=True`` a phi is placed only where
+its variable is live -- pruned SSA -- which is the form the paper's
+DFG-derived construction produces (dead dependence edges are removed, so
+merges that feed no use never become phis).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.dataflow.liveness import live_variables
+from repro.graphs.dominance import cfg_dominators
+from repro.graphs.frontier import dominance_frontiers, iterated_frontier
+from repro.ssa.ssagraph import Phi, SSAForm
+from repro.util.counters import WorkCounter
+
+
+def build_ssa_cytron(
+    graph: CFG,
+    pruned: bool = False,
+    counter: WorkCounter | None = None,
+) -> SSAForm:
+    """Construct (minimal or pruned) SSA form for ``graph``."""
+    counter = counter if counter is not None else WorkCounter()
+    dom = cfg_dominators(graph)
+    frontier = dominance_frontiers(dom, graph.preds)
+    counter.tick("frontier_entries", sum(len(s) for s in frontier.values()))
+    live = live_variables(graph) if pruned else None
+
+    ssa = SSAForm(graph)
+    def_sites: dict[str, set[int]] = defaultdict(set)
+    for node in graph.assign_nodes():
+        assert node.target is not None
+        def_sites[node.target].add(node.id)
+    for var in graph.variables():
+        def_sites[var].add(graph.start)
+
+    # -- phi placement ------------------------------------------------------
+    for var, sites in def_sites.items():
+        for nid in iterated_frontier(frontier, sites):
+            counter.tick("phi_candidates")
+            if graph.node(nid).kind is not NodeKind.MERGE:
+                # All joins are merges in normalized form; anything else
+                # (e.g. END with one in-edge) cannot need a phi.
+                continue
+            if live is not None:
+                out_edge = graph.out_edge(nid)
+                if var not in live[out_edge.id]:
+                    continue  # pruned: dead here, no phi
+            ssa.phis.setdefault(nid, {})[var] = Phi(var, nid, result="")
+
+    # -- renaming -------------------------------------------------------------
+    stacks: dict[str, list[str]] = defaultdict(list)
+    version: dict[str, int] = defaultdict(int)
+
+    def fresh(var: str) -> str:
+        name = f"{var}.{version[var]}"
+        version[var] += 1
+        return name
+
+    for var in graph.variables():
+        name = fresh(var)
+        ssa.entry_names[var] = name
+        stacks[var].append(name)
+
+    dom_children = {nid: [] for nid in graph.nodes}
+    for nid in graph.nodes:
+        parent = dom.idom_of(nid) if nid != graph.start else None
+        if parent is not None:
+            dom_children[parent].append(nid)
+
+    def visit(nid: int) -> None:
+        node = graph.node(nid)
+        pushed: list[str] = []
+        if nid in ssa.phis:
+            for var, phi in ssa.phis[nid].items():
+                phi.result = fresh(var)
+                stacks[var].append(phi.result)
+                pushed.append(var)
+        for var in node.uses():
+            counter.tick("use_renames")
+            ssa.use_names[(nid, var)] = stacks[var][-1]
+        if node.kind is NodeKind.ASSIGN:
+            assert node.target is not None
+            name = fresh(node.target)
+            ssa.def_names[nid] = name
+            stacks[node.target].append(name)
+            pushed.append(node.target)
+        for edge in graph.out_edges(nid):
+            succ = edge.dst
+            if succ in ssa.phis:
+                for var, phi in ssa.phis[succ].items():
+                    phi.args[edge.id] = stacks[var][-1]
+        for child in dom_children[nid]:
+            visit(child)
+        for var in reversed(pushed):
+            stacks[var].pop()
+
+    # Iterative driver to avoid Python recursion limits on deep graphs.
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * graph.num_nodes + 100))
+    try:
+        visit(graph.start)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    ssa.validate()
+    return ssa

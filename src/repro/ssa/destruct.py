@@ -1,0 +1,133 @@
+"""Out-of-SSA: turn an :class:`~repro.ssa.ssagraph.SSAForm` back into an
+executable CFG.
+
+Every SSA name becomes an ordinary variable; phi-functions become
+*parallel copies* on the merge's incoming edges, sequentialized with the
+classic cycle-breaking algorithm (a lost-copy/swap-safe ordering using a
+temporary when the copies permute each other's sources).
+
+The destructed graph computes the same outputs as the original program,
+which gives the test suite a semantic round-trip check on *both* SSA
+constructions: original == destruct(cytron(g)) == destruct(from_dfg(g))
+on every input.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.lang.ast_nodes import BinOp, Expr, Index, IntLit, UnOp, Update, Var
+from repro.ssa.ssagraph import SSAForm
+
+
+def _rename_expr(expr: Expr, mapping: dict[str, str]) -> Expr:
+    if isinstance(expr, Var):
+        return Var(mapping.get(expr.name, expr.name))
+    if isinstance(expr, IntLit):
+        return expr
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _rename_expr(expr.operand, mapping))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rename_expr(expr.left, mapping),
+            _rename_expr(expr.right, mapping),
+        )
+    if isinstance(expr, Index):
+        return Index(
+            mapping.get(expr.array, expr.array),
+            _rename_expr(expr.index, mapping),
+        )
+    if isinstance(expr, Update):
+        return Update(
+            mapping.get(expr.array, expr.array),
+            _rename_expr(expr.index, mapping),
+            _rename_expr(expr.value, mapping),
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def sequentialize_parallel_copies(
+    copies: dict[str, str], fresh_temp
+) -> list[tuple[str, str]]:
+    """Order ``{dst: src}`` parallel copies so no destination is
+    overwritten before it is read; permutation cycles are broken by
+    saving one value in a fresh temporary.
+
+    >>> sequentialize_parallel_copies({"a": "b", "b": "a"}, lambda: "t")
+    [('t', 'a'), ('a', 'b'), ('b', 't')]
+    """
+    pending = {d: s for d, s in copies.items() if d != s}
+    ordered: list[tuple[str, str]] = []
+    while pending:
+        sources = set(pending.values())
+        ready = [d for d in pending if d not in sources]
+        if ready:
+            for d in sorted(ready):
+                ordered.append((d, pending.pop(d)))
+            continue
+        # Every destination is also a source: a permutation cycle.
+        d = sorted(pending)[0]
+        temp = fresh_temp()
+        ordered.append((temp, d))
+        for k, v in list(pending.items()):
+            if v == d:
+                pending[k] = temp
+    return ordered
+
+
+def destruct_ssa(ssa: SSAForm) -> CFG:
+    """Produce an executable CFG equivalent to the SSA form.
+
+    Entry values keep their original variable names (so the initial
+    environment binds them); phi-functions lower to sequentialized copy
+    blocks spliced on the merge in-edges; all other names become plain
+    variables.
+    """
+    graph = ssa.graph.copy()
+    temp_counter = [0]
+
+    def fresh_temp() -> str:
+        temp_counter[0] += 1
+        return f"@swap{temp_counter[0]}"
+
+    # Entry names read the original variables directly.
+    entry_alias = {name: var for var, name in ssa.entry_names.items()}
+
+    def resolve(name: str) -> str:
+        return entry_alias.get(name, name)
+
+    # Rewrite statement expressions and targets.
+    for node in graph.nodes.values():
+        if node.expr is not None:
+            mapping = {
+                var: resolve(ssa.use_names[(node.id, var)])
+                for var in node.uses()
+                if (node.id, var) in ssa.use_names
+            }
+            node.expr = _rename_expr(node.expr, mapping)
+        if node.kind is NodeKind.ASSIGN and node.id in ssa.def_names:
+            node.target = ssa.def_names[node.id]
+
+    # Lower phi-functions to parallel copies on each in-edge.
+    for merge_id, by_var in ssa.phis.items():
+        for edge in list(graph.in_edges(merge_id)):
+            copies = {
+                phi.result: resolve(phi.args[edge.id])
+                for phi in by_var.values()
+            }
+            ordered = sequentialize_parallel_copies(copies, fresh_temp)
+            if not ordered:
+                continue
+            src_node, label = edge.src, edge.label
+            graph.remove_edge(edge.id)
+            current = src_node
+            for dst, src in ordered:
+                copy = graph.add_node(
+                    NodeKind.ASSIGN, target=dst, expr=Var(src)
+                )
+                graph.add_edge(current, copy, label=label)
+                label = None
+                current = copy
+            graph.add_edge(current, merge_id)
+    graph.validate(normalized=True)
+    return graph

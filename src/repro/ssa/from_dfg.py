@@ -1,0 +1,236 @@
+"""SSA construction from the dependence flow graph (Section 3.3).
+
+"If the SSA representation of a program is desired, we can construct it
+in O(EV) time by first building the DFG representation and then eliding
+switches and converting merges to phi-functions.  Unlike the standard
+algorithm, our algorithm does not require computation of the dominance
+relation or dominance frontiers."
+
+Concretely: a DFG merge operator for variable ``x`` becomes a
+phi-function for ``x`` at that merge node.  A use's SSA name is found by
+chasing its dependence edge backwards through (elided) switch operators
+to the producing assignment, phi, or ``start``.  Because dead dependence
+edges were removed during DFG construction, the result is *pruned* SSA --
+the form :func:`repro.ssa.cytron.build_ssa_cytron` produces with
+``pruned=True``, which is what the equivalence test (experiment C3)
+compares against.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.core.build import build_dfg
+from repro.core.dfg import CTRL_VAR, DFG, Port, PortKind
+from repro.ssa.ssagraph import Phi, SSAForm
+from repro.util.counters import WorkCounter
+
+
+def build_ssa_from_dfg(
+    graph: CFG,
+    dfg: DFG | None = None,
+    counter: WorkCounter | None = None,
+) -> SSAForm:
+    """Derive pruned SSA form from the DFG of ``graph``."""
+    counter = counter if counter is not None else WorkCounter()
+    dfg = dfg if dfg is not None else build_dfg(graph, counter=counter)
+    ssa = SSAForm(graph)
+
+    version: dict[str, int] = {}
+
+    def fresh(var: str) -> str:
+        n = version.get(var, 0)
+        version[var] = n + 1
+        return f"{var}.{n}"
+
+    # Producers: entry values, assignment definitions, merge operators.
+    port_name: dict[Port, str] = {}
+    for var in graph.variables():
+        ssa.entry_names[var] = fresh(var)
+
+    def producer_name(port: Port) -> str:
+        """The SSA name carried by a dependence source port, eliding
+        switch operators (Section 3.3)."""
+        while True:
+            counter.tick("ssa_port_walks")
+            if port in port_name:
+                return port_name[port]
+            if port.kind is PortKind.DEF:
+                name = fresh(port.var)
+                port_name[port] = name
+                ssa.def_names[port.node] = name
+                return name
+            if port.kind is PortKind.ENTRY:
+                return ssa.entry_names[port.var]
+            if port.kind is PortKind.MERGE:
+                name = fresh(port.var)
+                port_name[port] = name
+                return name
+            if port.kind is PortKind.SWITCH:
+                # Elide the switch: its value is its input's value.
+                port = dfg.switch_input(port)
+                continue
+            raise AssertionError(f"unexpected producer {port!r}")
+
+    # Uses (the dummy control variable has no SSA identity).
+    for (nid, var), source in dfg.use_sources.items():
+        if var == CTRL_VAR:
+            continue
+        ssa.use_names[(nid, var)] = producer_name(source)
+
+    # Merges become phi-functions.
+    for port, inputs in dfg.merge_inputs.items():
+        if port.var == CTRL_VAR:
+            continue
+        if graph.node(port.node).kind is not NodeKind.MERGE:
+            continue
+        phi = Phi(port.var, port.node, producer_name(port))
+        for eid, src in inputs.items():
+            phi.args[eid] = producer_name(src)
+        ssa.phis.setdefault(port.node, {})[port.var] = phi
+
+    _remove_trivial_phis(ssa)
+    _remove_redundant_phi_cycles(ssa)
+    ssa.validate()
+    return ssa
+
+
+def _remove_trivial_phis(ssa: SSAForm) -> None:
+    """Simplify phis whose arguments are all one value (or themselves).
+
+    The dependence web intercepts a variable at every merge its value
+    flows through -- including loop headers the variable crosses
+    unchanged -- so eliding merges yields some degenerate phi-functions
+    ``x1 = phi(x0, x1)``.  Minimal/pruned SSA has none, so they are
+    folded away (removing one can make another trivial; iterate).
+    """
+    replacement: dict[str, str] = {}
+
+    def resolve(name: str) -> str:
+        while name in replacement:
+            name = replacement[name]
+        return name
+
+    changed = True
+    while changed:
+        changed = False
+        for nid, by_var in list(ssa.phis.items()):
+            for var, phi in list(by_var.items()):
+                operands = {resolve(a) for a in phi.args.values()}
+                operands.discard(phi.result)
+                if len(operands) == 1:
+                    replacement[phi.result] = operands.pop()
+                    del by_var[var]
+                    if not by_var:
+                        del ssa.phis[nid]
+                    changed = True
+
+    ssa.use_names = {k: resolve(v) for k, v in ssa.use_names.items()}
+    for phi in ssa.all_phis():
+        phi.args = {eid: resolve(a) for eid, a in phi.args.items()}
+
+
+def _remove_redundant_phi_cycles(ssa: SSAForm) -> None:
+    """Remove strongly connected groups of phis fed by one outside value.
+
+    Local trivial-phi folding misses *cycles* of mutually-referential
+    phis -- ``p1 = phi(x0, p2); p2 = phi(x0, p1)`` -- which the dependence
+    web produces on irreducible graphs (a variable crossing two entries
+    of a shared loop is intercepted at both header merges).  Following
+    Braun et al.'s simple-SSA observation: any strongly connected set of
+    phi-functions whose arguments outside the set resolve to a single
+    value is equivalent to that value.  SCCs are processed in
+    condensation (reverse topological) order so inner replacements expose
+    outer ones; a final trivial-phi pass folds anything newly local.
+    """
+    changed = True
+    while changed:
+        changed = False
+        phis = {phi.result: phi for phi in ssa.all_phis()}
+        graph = {
+            name: {
+                arg for arg in phi.args.values() if arg in phis
+            }
+            for name, phi in phis.items()
+        }
+        replacement: dict[str, str] = {}
+        for scc in _tarjan_sccs(graph):
+            external = set()
+            for name in scc:
+                for arg in phis[name].args.values():
+                    if arg not in scc:
+                        external.add(replacement.get(arg, arg))
+            if len(external) == 1:
+                value = external.pop()
+                for name in scc:
+                    if name != value:
+                        replacement[name] = value
+        if not replacement:
+            return
+
+        def resolve(name: str) -> str:
+            while name in replacement:
+                name = replacement[name]
+            return name
+
+        for nid, by_var in list(ssa.phis.items()):
+            for var, phi in list(by_var.items()):
+                if phi.result in replacement:
+                    del by_var[var]
+                    changed = True
+            if not by_var:
+                del ssa.phis[nid]
+        ssa.use_names = {k: resolve(v) for k, v in ssa.use_names.items()}
+        for phi in ssa.all_phis():
+            phi.args = {eid: resolve(a) for eid, a in phi.args.items()}
+        _remove_trivial_phis(ssa)
+
+
+def _tarjan_sccs(graph: dict[str, set[str]]) -> list[set[str]]:
+    """Strongly connected components, emitted in reverse topological
+    order (every edge leaving an SCC points to an earlier-emitted one)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[set[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(graph[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.add(member)
+                        if member == node:
+                            break
+                    sccs.append(scc)
+
+    for name in graph:
+        if name not in index:
+            strongconnect(name)
+    return sccs

@@ -1,0 +1,139 @@
+"""Sparse conditional constant propagation (Wegman & Zadeck) on SSA.
+
+The SSA-world algorithm that finds *possible-paths* constants, included
+as the third point of comparison for Section 4: def-use chains find
+all-paths constants only; the CFG vector algorithm and the paper's DFG
+algorithm both find possible-paths constants; SCCP shows the
+sparse-but-SSA route to the same precision.
+
+Classic two-worklist formulation: CFG edges become *executable* as
+switches fold; phi-functions join only over executable in-edges; SSA
+def-use edges propagate value changes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import NodeKind
+from repro.dataflow.lattice import (
+    BOTTOM,
+    TOP,
+    ConstValue,
+    eval_abstract,
+    join_all,
+    join_const,
+    truthiness,
+)
+from repro.ssa.ssagraph import SSAForm
+from repro.util.counters import WorkCounter
+
+
+@dataclass
+class SCCPResult:
+    """Values per SSA name plus the executability facts."""
+
+    values: dict[str, ConstValue] = field(default_factory=dict)
+    executable_edges: set[int] = field(default_factory=set)
+    executable_nodes: set[int] = field(default_factory=set)
+
+    def value_of_use(self, ssa: SSAForm, node: int, var: str) -> ConstValue:
+        """Lattice value of the original-program use site."""
+        if node not in self.executable_nodes:
+            return BOTTOM
+        return self.values.get(ssa.use_names[(node, var)], BOTTOM)
+
+    def constant_names(self) -> dict[str, int]:
+        return {
+            k: v
+            for k, v in self.values.items()
+            if v is not TOP and v is not BOTTOM
+        }
+
+
+def sparse_conditional_constant_propagation(
+    ssa: SSAForm, counter: WorkCounter | None = None
+) -> SCCPResult:
+    """Run SCCP over an :class:`SSAForm`."""
+    counter = counter if counter is not None else WorkCounter()
+    graph = ssa.graph
+    values: dict[str, ConstValue] = {}
+    for var, name in ssa.entry_names.items():
+        values[name] = TOP  # entry values are unknown, per Section 4
+    uses_of = ssa.uses_of()
+
+    exec_edges: set[int] = set()
+    exec_nodes: set[int] = set()
+    flow_list: deque[int] = deque()  # edge ids newly executable
+    ssa_list: deque[str] = deque()  # names whose value changed
+
+    def name_value(name: str) -> ConstValue:
+        return values.get(name, BOTTOM)
+
+    def raise_name(name: str, value: ConstValue) -> None:
+        joined = join_const(name_value(name), value)
+        if joined != name_value(name):
+            values[name] = joined
+            ssa_list.append(name)
+
+    def visit_phi(phi) -> None:
+        counter.tick("phi_visits")
+        incoming = [
+            name_value(arg)
+            for eid, arg in phi.args.items()
+            if eid in exec_edges
+        ]
+        raise_name(phi.result, join_all(incoming) if incoming else BOTTOM)
+
+    def visit_node(nid: int) -> None:
+        counter.tick("node_visits")
+        node = graph.node(nid)
+        lookup = lambda v: name_value(ssa.use_names[(nid, v)])  # noqa: E731
+        if node.kind is NodeKind.ASSIGN:
+            assert node.expr is not None
+            raise_name(ssa.def_names[nid], eval_abstract(node.expr, lookup))
+            mark_edges(graph.out_edges(nid))
+        elif node.kind is NodeKind.SWITCH:
+            assert node.expr is not None
+            predicate = truthiness(eval_abstract(node.expr, lookup))
+            if predicate is TOP:
+                mark_edges(graph.out_edges(nid))
+            elif predicate is not BOTTOM:
+                label = "T" if predicate else "F"
+                mark_edges([graph.switch_edge(nid, label)])
+        else:
+            mark_edges(graph.out_edges(nid))
+
+    def mark_edges(edges) -> None:
+        for edge in edges:
+            if edge.id not in exec_edges:
+                exec_edges.add(edge.id)
+                flow_list.append(edge.id)
+
+    # Seed: start executes.
+    exec_nodes.add(graph.start)
+    mark_edges(graph.out_edges(graph.start))
+
+    while flow_list or ssa_list:
+        while flow_list:
+            eid = flow_list.popleft()
+            nid = graph.edge(eid).dst
+            if nid in ssa.phis:
+                for phi in ssa.phis[nid].values():
+                    visit_phi(phi)
+            if nid not in exec_nodes:
+                exec_nodes.add(nid)
+                visit_node(nid)
+        while ssa_list:
+            name = ssa_list.popleft()
+            for kind, site in uses_of.get(name, ()):  # re-evaluate users
+                counter.tick("ssa_edge_propagations")
+                if kind == "phi":
+                    phi, _eid = site
+                    visit_phi(phi)
+                else:
+                    nid, _var = site
+                    if nid in exec_nodes:
+                        visit_node(nid)
+    return SCCPResult(values, exec_edges, exec_nodes)

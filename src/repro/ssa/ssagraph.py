@@ -1,0 +1,109 @@
+"""The SSA data structure: names, phi-functions, and factored def-use.
+
+We keep SSA as an overlay on the CFG (names attached to existing def/use
+sites plus phi-functions at merges) rather than rewriting node
+expressions; every algorithm that needs the renamed program works through
+the overlay.  This keeps one CFG shared by all representations under
+comparison, which is what the size and agreement experiments need.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG
+
+
+@dataclass
+class Phi:
+    """A phi-function for ``var`` at merge node ``node``.
+
+    ``args`` maps each incoming CFG edge id to the SSA name flowing in
+    along it; ``result`` is the name the phi defines.
+    """
+
+    var: str
+    node: int
+    result: str
+    args: dict[int, str] = field(default_factory=dict)
+
+
+@dataclass
+class SSAForm:
+    """SSA overlay over a CFG.
+
+    * ``def_names[node]`` -- name defined by an assignment node;
+    * ``use_names[(node, var)]`` -- name consumed by a use site;
+    * ``phis[node][var]`` -- phi-functions, keyed by merge node then
+      variable;
+    * ``entry_names[var]`` -- the name of the variable's value at
+      ``start``.
+    """
+
+    graph: CFG
+    def_names: dict[int, str] = field(default_factory=dict)
+    use_names: dict[tuple[int, str], str] = field(default_factory=dict)
+    phis: dict[int, dict[str, Phi]] = field(default_factory=dict)
+    entry_names: dict[str, str] = field(default_factory=dict)
+
+    # -- derived views -------------------------------------------------------
+
+    def all_phis(self) -> list[Phi]:
+        return [p for by_var in self.phis.values() for p in by_var.values()]
+
+    def phi_placement(self) -> frozenset[tuple[int, str]]:
+        """The (merge node, variable) pairs carrying a phi -- the object
+        compared between the Cytron and DFG-derived constructions."""
+        return frozenset(
+            (nid, var) for nid, by_var in self.phis.items() for var in by_var
+        )
+
+    def definers(self) -> dict[str, tuple[str, int]]:
+        """name -> ("assign"|"phi"|"entry", node id)."""
+        where: dict[str, tuple[str, int]] = {}
+        for nid, name in self.def_names.items():
+            where[name] = ("assign", nid)
+        for phi in self.all_phis():
+            where[phi.result] = ("phi", phi.node)
+        for name in self.entry_names.values():
+            where[name] = ("entry", self.graph.start)
+        return where
+
+    def uses_of(self) -> dict[str, list[tuple[str, object]]]:
+        """name -> list of use sites: ("use", (node, var)) or
+        ("phi", (phi, in-edge id))."""
+        sites: dict[str, list[tuple[str, object]]] = defaultdict(list)
+        for (nid, var), name in self.use_names.items():
+            sites[name].append(("use", (nid, var)))
+        for phi in self.all_phis():
+            for eid, name in phi.args.items():
+                sites[name].append(("phi", (phi, eid)))
+        return dict(sites)
+
+    def size(self) -> int:
+        """The representation-size measure for experiment F1: one SSA edge
+        per use of a name (ordinary uses plus phi arguments), plus the phi
+        functions themselves."""
+        phi_args = sum(len(p.args) for p in self.all_phis())
+        return len(self.use_names) + phi_args + len(self.all_phis())
+
+    def validate(self) -> None:
+        """Structural sanity: every used name has exactly one definer, and
+        phi args cover exactly the in-edges of their merge."""
+        defined = self.definers()
+        for (nid, var), name in self.use_names.items():
+            if name not in defined:
+                raise ValueError(f"use of undefined SSA name {name!r}")
+        for phi in self.all_phis():
+            in_edges = {e.id for e in self.graph.in_edges(phi.node)}
+            if set(phi.args) != in_edges:
+                raise ValueError(
+                    f"phi at {phi.node} args {set(phi.args)} != in-edges "
+                    f"{in_edges}"
+                )
+            for name in phi.args.values():
+                if name not in defined:
+                    raise ValueError(
+                        f"phi argument uses undefined name {name!r}"
+                    )

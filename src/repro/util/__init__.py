@@ -1,0 +1,5 @@
+"""Small shared utilities: instrumentation counters and ordering helpers."""
+
+from repro.util.counters import WorkCounter
+
+__all__ = ["WorkCounter"]

@@ -1,0 +1,55 @@
+"""Workload generators and the paper's worked examples.
+
+* :mod:`repro.workloads.generators` -- seeded random structured programs,
+  inline-expansion-shaped programs (the source of *possible-paths*
+  constants, Section 4), and irreducible goto graphs.
+* :mod:`repro.workloads.ladders` -- parametric families exhibiting the
+  asymptotic separations the paper claims (def-use chain blowup, nested
+  loop towers, wide variable sweeps).
+* :mod:`repro.workloads.suites` -- the exact programs of Figures 1-3, 6, 7
+  and the Section 1 staged-redundancy example, reconstructed from the text.
+"""
+
+from repro.workloads.generators import (
+    array_program,
+    inline_expansion_program,
+    irreducible_program,
+    random_expr,
+    random_program,
+)
+from repro.workloads.ladders import (
+    defuse_worst_case,
+    diamond_chain,
+    loop_nest,
+    sparse_use_program,
+    wide_variable_program,
+)
+from repro.workloads.suites import (
+    figure1,
+    figure2,
+    figure3a,
+    figure3b,
+    figure6,
+    figure7,
+    section1_example,
+)
+
+__all__ = [
+    "array_program",
+    "defuse_worst_case",
+    "diamond_chain",
+    "figure1",
+    "figure2",
+    "figure3a",
+    "figure3b",
+    "figure6",
+    "figure7",
+    "inline_expansion_program",
+    "irreducible_program",
+    "loop_nest",
+    "random_expr",
+    "random_program",
+    "section1_example",
+    "sparse_use_program",
+    "wide_variable_program",
+]

@@ -1,0 +1,279 @@
+"""Seeded random program generators.
+
+All generators take either a seed or a :class:`random.Random` so every
+workload is reproducible.  Generated ``while``/``repeat`` loops carry a
+fuel counter, making every generated program terminate on every input --
+a property the differential-execution tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    Goto,
+    If,
+    IntLit,
+    Label,
+    Print,
+    Program,
+    Repeat,
+    Stmt,
+    Var,
+    While,
+)
+
+_ARITH_OPS = ("+", "-", "*", "/", "%")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_expr(
+    seed: int | random.Random,
+    variables: list[str],
+    depth: int = 2,
+    comparison: bool = False,
+) -> Expr:
+    """A random arithmetic (or, with ``comparison=True``, boolean)
+    expression over ``variables``.
+
+    Division and modulo right operands are shifted away from zero so the
+    expression never traps, keeping generated programs total.
+    """
+    rng = _rng(seed)
+
+    def arith(d: int) -> Expr:
+        if d <= 0 or rng.random() < 0.3:
+            if variables and rng.random() < 0.7:
+                return Var(rng.choice(variables))
+            return IntLit(rng.randint(0, 9))
+        op = rng.choice(_ARITH_OPS)
+        left = arith(d - 1)
+        right = arith(d - 1)
+        if op in ("/", "%"):
+            # `r*r + 1` is always positive: no division by zero.
+            right = BinOp("+", BinOp("*", right, right), IntLit(1))
+        return BinOp(op, left, right)
+
+    if comparison:
+        return BinOp(rng.choice(_CMP_OPS), arith(depth - 1), arith(depth - 1))
+    return arith(depth)
+
+
+def random_program(
+    seed: int | random.Random,
+    size: int = 20,
+    num_vars: int = 4,
+    max_depth: int = 3,
+    loop_fuel: int = 8,
+    print_prob: float = 0.15,
+) -> Program:
+    """A random structured program with ~``size`` statements.
+
+    Loops are bounded by fuel counters (fresh variables), so the program
+    terminates on all inputs.  The final statements print every variable,
+    making the whole store observable.
+    """
+    rng = _rng(seed)
+    variables = [f"v{i}" for i in range(num_vars)]
+    fuel_counter = [0]
+
+    def gen_stmts(budget: int, depth: int) -> list[Stmt]:
+        stmts: list[Stmt] = []
+        while budget > 0:
+            roll = rng.random()
+            if depth >= max_depth or roll < 0.55 or budget < 4:
+                target = rng.choice(variables)
+                stmts.append(
+                    Assign(target, random_expr(rng, variables, depth=2))
+                )
+                budget -= 1
+                if rng.random() < print_prob:
+                    stmts.append(Print(Var(rng.choice(variables))))
+            elif roll < 0.8:
+                cond = random_expr(rng, variables, comparison=True)
+                inner = max(1, budget // 2)
+                then_body = gen_stmts(rng.randint(1, inner), depth + 1)
+                else_body = (
+                    gen_stmts(rng.randint(1, inner), depth + 1)
+                    if rng.random() < 0.6
+                    else []
+                )
+                stmts.append(If(cond, then_body, else_body))
+                budget -= 2 + len(then_body) + len(else_body)
+            else:
+                fuel = f"fuel{fuel_counter[0]}"
+                fuel_counter[0] += 1
+                inner = max(1, budget // 2)
+                body = gen_stmts(rng.randint(1, inner), depth + 1)
+                body.append(Assign(fuel, BinOp("-", Var(fuel), IntLit(1))))
+                guard = BinOp(
+                    "&&",
+                    random_expr(rng, variables, comparison=True),
+                    BinOp(">", Var(fuel), IntLit(0)),
+                )
+                init = Assign(fuel, IntLit(rng.randint(1, loop_fuel)))
+                if rng.random() < 0.5:
+                    stmts.extend([init, While(guard, body)])
+                else:
+                    until = BinOp(
+                        "||",
+                        random_expr(rng, variables, comparison=True),
+                        BinOp("<=", Var(fuel), IntLit(0)),
+                    )
+                    stmts.extend([init, Repeat(body, until)])
+                budget -= 3 + len(body)
+        return stmts
+
+    body = gen_stmts(size, 0)
+    for name in variables:
+        body.append(Print(Var(name)))
+    return Program(body)
+
+
+def inline_expansion_program(
+    seed: int | random.Random,
+    calls: int = 5,
+    num_vars: int = 3,
+) -> Program:
+    """Code shaped like inlined procedure bodies (Section 4, Figure 3b).
+
+    Each "inlined call" tests a flag that was just set to a constant, so
+    one arm of every conditional is dead.  Constants flowing through the
+    live arms are *possible-paths* constants: def-use-chain constant
+    propagation misses them (two reaching definitions), while the CFG and
+    DFG algorithms -- which track dead regions -- find them.
+    """
+    rng = _rng(seed)
+    variables = [f"r{i}" for i in range(num_vars)]
+    body: list[Stmt] = [Assign(v, IntLit(0)) for v in variables]
+    for site in range(calls):
+        flag = rng.choice((0, 1))
+        body.append(Assign("p", IntLit(flag)))
+        target = variables[site % num_vars]
+        live_const = rng.randint(1, 50)
+        dead_const = live_const + rng.randint(1, 50)
+        then_val = live_const if flag else dead_const
+        else_val = dead_const if flag else live_const
+        body.append(
+            If(
+                Var("p"),
+                [Assign(target, IntLit(then_val))],
+                [Assign(target, IntLit(else_val))],
+            )
+        )
+        body.append(Print(Var(target)))
+    return Program(body)
+
+
+def irreducible_program(seed: int | random.Random, blocks: int = 4) -> Program:
+    """A goto-heavy program whose CFG is (usually) irreducible.
+
+    Two entries into a shared loop body -- the canonical irreducible shape
+    -- plus extra random cross-jumps.  All analyses in the project are
+    defined on arbitrary graphs, so they must survive this.
+    """
+    rng = _rng(seed)
+    body: list[Stmt] = [Assign("n", IntLit(rng.randint(3, 9)))]
+    body.append(If(BinOp(">", Var("n"), IntLit(5)), [Goto("second")], []))
+    body.append(Label("first"))
+    body.append(Assign("n", BinOp("-", Var("n"), IntLit(1))))
+    body.append(Label("second"))
+    body.append(Assign("n", BinOp("-", Var("n"), IntLit(1))))
+    body.append(If(BinOp(">", Var("n"), IntLit(0)), [Goto("first")], []))
+    for i in range(blocks):
+        body.append(Label(f"blk{i}"))
+        body.append(Assign(f"b{i}", BinOp("+", Var("n"), IntLit(i))))
+        if rng.random() < 0.4 and i > 0:
+            body.append(
+                If(
+                    BinOp("==", Var("n"), IntLit(i)),
+                    [Goto(f"blk{rng.randrange(i)}")],
+                    [],
+                )
+            )
+            # Guard against looping forever through the back-jump.
+            body.insert(-1, Assign("n", BinOp("-", Var("n"), IntLit(1))))
+    body.append(Print(Var("n")))
+    return Program(body)
+
+
+def array_program(
+    seed: int | random.Random,
+    stores: int = 8,
+    loads: int = 8,
+    size: int = 6,
+) -> Program:
+    """A random array workload: stores and loads with small computed
+    indices, plus a reduction loop.  Exercises the [BJP91] update
+    encoding: every store is a def-and-use of the array, so version
+    chains, interception at control structure, and redundant-load
+    opportunities all appear."""
+    from repro.lang.ast_nodes import Index, Store
+
+    rng = _rng(seed)
+    body: list[Stmt] = []
+    for i in range(stores):
+        index = IntLit(rng.randrange(size))
+        value = random_expr(rng, ["s"], depth=1)
+        if rng.random() < 0.3:
+            body.append(
+                If(
+                    BinOp(">", Var("p"), IntLit(rng.randrange(3))),
+                    [Store("arr", index, value)],
+                    [],
+                )
+            )
+        else:
+            body.append(Store("arr", index, value))
+        if rng.random() < 0.5:
+            body.append(
+                Assign("s", BinOp("+", Var("s"), Index("arr", index)))
+            )
+    for _ in range(loads):
+        index = IntLit(rng.randrange(size))
+        body.append(Assign("s", BinOp("+", Var("s"), Index("arr", index))))
+    body.append(Print(Var("s")))
+    return Program(body)
+
+
+def random_jump_program(
+    seed: int | random.Random,
+    blocks: int = 8,
+    extra_jumps: int = 4,
+) -> Program:
+    """Arbitrary -- usually irreducible -- control flow via random gotos.
+
+    Each block carries a labelled statement and a conditional jump to a
+    random block; extra unconditional jumps are sprinkled in.  These
+    programs frequently loop forever, so they are for *structural*
+    analyses (dominance, cycle equivalence, SESE, DFG construction), not
+    for execution; the CFG normalizer's synthetic exits keep them valid.
+    """
+    rng = _rng(seed)
+    body: list[Stmt] = []
+    for i in range(blocks):
+        body.append(Label(f"L{i}"))
+        body.append(
+            Assign(f"v{i % 3}", random_expr(rng, ["v0", "v1", "v2"], depth=1))
+        )
+        if rng.random() < 0.7:
+            target = rng.randrange(blocks)
+            body.append(
+                If(
+                    random_expr(rng, ["v0", "v1"], comparison=True),
+                    [Goto(f"L{target}")],
+                    [],
+                )
+            )
+    for _ in range(extra_jumps):
+        position = rng.randrange(len(body))
+        body.insert(position, Goto(f"L{rng.randrange(blocks)}"))
+    body.append(Print(Var("v0")))
+    return Program(body)

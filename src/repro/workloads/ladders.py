@@ -1,0 +1,144 @@
+"""Parametric program families for the scaling experiments.
+
+Each family isolates one structural parameter so the benchmarks can show
+the asymptotic separations the paper claims:
+
+* :func:`defuse_worst_case` -- def-use chains grow quadratically while SSA
+  and DFG edges stay linear (Section 2.2 vs 2.3/2.4);
+* :func:`diamond_chain` -- E grows linearly: the O(E) cycle-equivalence /
+  SESE algorithm and the O(EV) DFG construction scale along it;
+* :func:`loop_nest` -- nested loops exercise the cycle-equivalence
+  machinery (bracket lists) rather than straight-line dominance;
+* :func:`wide_variable_program` -- V grows with E fixed per statement:
+  the CFG constant-propagation algorithm does O(EV^2) work, the DFG
+  algorithm O(EV) (Section 4);
+* :func:`sparse_use_program` -- many variables, each used in a tiny
+  region: the "propagate only where needed" claim (Section 6).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    If,
+    IntLit,
+    Print,
+    Program,
+    Stmt,
+    Var,
+    While,
+)
+
+
+def defuse_worst_case(n: int, num_vars: int = 1) -> Program:
+    """``n`` conditional definitions followed by ``n`` uses, per variable.
+
+    No definition kills another (each sits in a then-arm), so every one of
+    the ``n+1`` definitions of each variable reaches every one of the ``n``
+    uses: Theta(n^2) def-use chains per variable.  SSA factors the fan
+    through a phi per merge, and the DFG through a merge operator, so both
+    stay Theta(n) per variable.
+    """
+    body: list[Stmt] = []
+    names = [f"x{i}" for i in range(num_vars)]
+    for name in names:
+        body.append(Assign(name, IntLit(0)))
+    for i in range(n):
+        cond = BinOp("==", Var("c"), IntLit(i))
+        body.append(
+            If(cond, [Assign(name, IntLit(i + 1)) for name in names], [])
+        )
+    for _ in range(n):
+        for name in names:
+            body.append(Print(BinOp("+", Var(name), IntLit(1))))
+    return Program(body)
+
+
+def diamond_chain(n: int, num_vars: int = 2) -> Program:
+    """``n`` sequential if-then-else diamonds touching ``num_vars``
+    variables round-robin.  E grows linearly in ``n``; every diamond is a
+    SESE region, so the program structure tree is a long sequence."""
+    body: list[Stmt] = [
+        Assign(f"x{i}", IntLit(i)) for i in range(num_vars)
+    ]
+    for i in range(n):
+        name = f"x{i % num_vars}"
+        cond = BinOp("<", Var(name), IntLit(i))
+        body.append(
+            If(
+                cond,
+                [Assign(name, BinOp("+", Var(name), IntLit(1)))],
+                [Assign(name, BinOp("-", Var(name), IntLit(1)))],
+            )
+        )
+    body.append(Print(Var("x0")))
+    return Program(body)
+
+
+def loop_nest(depth: int, width: int = 1) -> Program:
+    """``width`` side-by-side towers of ``depth`` nested while loops.
+
+    Deep nesting makes long bracket lists in the cycle-equivalence DFS and
+    a deep program structure tree.  Fuel counters bound every loop.
+    """
+
+    def tower(level: int, tag: str) -> list[Stmt]:
+        fuel = f"f_{tag}_{level}"
+        inner: list[Stmt]
+        if level == 0:
+            inner = [Assign(f"acc{tag}", BinOp("+", Var(f"acc{tag}"), IntLit(1)))]
+        else:
+            inner = tower(level - 1, tag)
+        guard = BinOp(">", Var(fuel), IntLit(0))
+        dec = Assign(fuel, BinOp("-", Var(fuel), IntLit(1)))
+        return [Assign(fuel, IntLit(2)), While(guard, inner + [dec])]
+
+    body: list[Stmt] = []
+    for w in range(width):
+        body.append(Assign(f"acc{w}", IntLit(0)))
+        body.extend(tower(depth - 1, str(w)))
+        body.append(Print(Var(f"acc{w}")))
+    return Program(body)
+
+
+def wide_variable_program(num_vars: int, uses_per_var: int = 1) -> Program:
+    """One straight-line definition and ``uses_per_var`` uses per variable.
+
+    The number of CFG nodes grows linearly with ``num_vars``, and so does
+    E -- but the *vector* algorithms of Figure 4(a) still carry all
+    ``num_vars`` lattice entries through every node, giving the O(EV^2)
+    vs O(EV) separation measured in experiment F4.
+    """
+    body: list[Stmt] = []
+    for i in range(num_vars):
+        body.append(Assign(f"w{i}", IntLit(i % 7)))
+    for i in range(num_vars):
+        for _ in range(uses_per_var):
+            body.append(Print(BinOp("+", Var(f"w{i}"), IntLit(1))))
+    return Program(body)
+
+
+def sparse_use_program(num_regions: int, vars_per_region: int = 3) -> Program:
+    """Disjoint variable neighbourhoods separated by conditionals.
+
+    Each region defines and uses its own variables; dependences never
+    cross regions, so a sparse representation does O(1) work per region
+    per variable while a dense vector representation pays for all
+    ``num_regions * vars_per_region`` variables everywhere.
+    """
+    body: list[Stmt] = []
+    for r in range(num_regions):
+        names = [f"s{r}_{i}" for i in range(vars_per_region)]
+        for i, name in enumerate(names):
+            body.append(Assign(name, IntLit(i)))
+        cond = BinOp(">", Var(names[0]), IntLit(0))
+        body.append(
+            If(
+                cond,
+                [Assign(names[-1], BinOp("+", Var(names[0]), IntLit(1)))],
+                [Assign(names[-1], IntLit(0))],
+            )
+        )
+        body.append(Print(Var(names[-1])))
+    return Program(body)

@@ -1,0 +1,172 @@
+"""The paper's worked examples, reconstructed from the text.
+
+The PLDI'93 scan is partly garbled, so each function's docstring records
+which sentences of the paper pin the example down; EXPERIMENTS.md notes
+where a detail had to be reconstructed.  Each function returns a freshly
+parsed :class:`~repro.lang.ast_nodes.Program`.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+
+
+def section1_example() -> Program:
+    """The staged-redundancy example of Section 1.
+
+    "To deduce that the computation of y is redundant, we must first
+    deduce that the computation of w is redundant."  ``w := a+b`` is
+    redundant with ``z := a+b``; once ``w`` is replaced by ``z``,
+    ``y := w+1`` becomes redundant with ``x := z+1``.
+    """
+    return parse_program(
+        """
+        a := 3; b := 4;
+        z := a + b;
+        w := a + b;
+        x := z + 1;
+        y := w + 1;
+        print x; print y;
+        """
+    )
+
+
+def figure1() -> Program:
+    """The running example of Figure 1 (def-use vs SSA vs DFG).
+
+    The text requires: a definition of ``x`` whose use in the conditional
+    branch is the constant 1; a region between that definition and use
+    containing an assignment to ``y`` (so ``y``'s dependences are
+    intercepted at the switch but ``x``'s bypass it); ``y := y + 1`` whose
+    right-hand side becomes the constant 3; a second definition of ``y``
+    on the branch the constant predicate kills; and a final use of ``y``
+    reached by two def-use edges carrying different constants, which only
+    the dead-code-aware algorithms resolve to 3.
+    """
+    return parse_program(
+        """
+        x := 1;
+        y := 2;
+        if (x == 1) {
+            y := y + 1;
+        } else {
+            y := 5;
+        }
+        print y;
+        """
+    )
+
+
+def figure2() -> Program:
+    """The DFG construction example of Figure 2.
+
+    Features named by the text: each assignment statement is a SESE
+    region, the if-then-else is a SESE region defining ``y``, and after
+    region bypassing "two dependence edges start at the assignment
+    ``x := 1``" -- a multiedge.  Here the two heads are the branch
+    predicate's use of ``x`` and the use after the conditional (which the
+    dependence reaches directly, bypassing the region that only defines
+    ``y``).
+    """
+    return parse_program(
+        """
+        x := 1;
+        if (x > 0) {
+            y := 2;
+        } else {
+            y := 3;
+        }
+        print x;
+        print y;
+        """
+    )
+
+
+def figure3a() -> Program:
+    """Figure 3(a): all-paths constants.
+
+    The first use of ``z`` can be replaced by 1, the second by 2; both
+    right-hand sides of ``x`` simplify to 3; the final use of ``x`` is 3.
+    """
+    return parse_program(
+        """
+        if (p > 0) {
+            z := 1;
+            x := z + 2;
+        } else {
+            z := 2;
+            x := z + 1;
+        }
+        y := x;
+        print y;
+        """
+    )
+
+
+def figure3b() -> Program:
+    """Figure 3(b): possible-paths constants.
+
+    ``p := true`` makes the false arm dead; ignoring the definition on the
+    unexecuted branch, the use of ``x`` in the last statement has value 1.
+    Def-use-chain constant propagation misses this; the CFG and DFG
+    algorithms find it.
+    """
+    return parse_program(
+        """
+        p := 1;
+        if (p) {
+            x := 1;
+        } else {
+            x := 2;
+        }
+        y := x;
+        print y;
+        """
+    )
+
+
+def figure6() -> Program:
+    """Figure 6: single-variable anticipatability of ``x + 1``.
+
+    The dependence web described in the text: ``d1`` leaves the definition
+    of ``x`` and splits at a switch into ``d2`` (a branch whose first use
+    of ``x`` is an expression *other* than ``x+1`` -- ANT false at ``d4``
+    -- followed by a computation of ``x+1`` -- ANT true at ``d5``) and
+    ``d3`` leading to another computation of ``x+1`` (``d6``).  The
+    multiedge rule combines ``d4``/``d5`` to make ANT true at ``d2``;
+    projection marks every CFG point between the definition of ``x`` and
+    the two computations of ``x+1``.
+    """
+    return parse_program(
+        """
+        x := a;
+        if (c > 0) {
+            y := x * 3;
+            z := x + 1;
+        } else {
+            w := x + 1;
+        }
+        print z + w + y;
+        """
+    )
+
+
+def figure7() -> Program:
+    """Figure 7: multivariable anticipatability of ``x + y``.
+
+    ANT relative to ``x`` holds from the definition of ``x`` onward except
+    across the early use of ``x`` in another expression; ANT relative to
+    ``y`` only holds from the (later) definition of ``y``; the
+    intersection makes ``x + y`` anticipatable exactly on the suffix
+    between ``y``'s definition and the computation (the paper's e5-e7).
+    """
+    return parse_program(
+        """
+        x := a;
+        w := x * 2;
+        y := b;
+        z := x + y;
+        print z + w;
+        """
+    )

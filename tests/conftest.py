@@ -1,0 +1,38 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.interp import run_cfg
+from repro.lang.ast_nodes import Program
+from repro.lang.interp import run_program
+
+
+def random_envs(seed: int, variables: list[str], count: int = 5) -> list[dict]:
+    """Deterministic small input environments over ``variables``."""
+    rng = random.Random(seed)
+    envs = [{}]
+    for _ in range(count - 1):
+        envs.append({v: rng.randint(-3, 9) for v in variables})
+    return envs
+
+
+def assert_same_behaviour(program: Program, envs: list[dict] | None = None) -> None:
+    """Run ``program`` through the AST interpreter and its CFG through the
+    CFG interpreter and require identical observable behaviour."""
+    graph = build_cfg(program)
+    graph.validate(normalized=True)
+    for env in envs or [{}]:
+        ast_result = run_program(program, env)
+        cfg_result = run_cfg(graph, env)
+        assert ast_result.outputs == cfg_result.outputs
+        assert ast_result.env == cfg_result.env
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

@@ -1,0 +1,78 @@
+"""Hypothesis strategies for ASTs, programs and CFGs."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    BINARY_OPS,
+    If,
+    IntLit,
+    Print,
+    Program,
+    Repeat,
+    Skip,
+    UnOp,
+    UNARY_OPS,
+    Var,
+    While,
+)
+from repro.workloads.generators import random_program
+
+_names = st.sampled_from(["a", "b", "c", "x", "y", "z", "tmp"])
+
+
+def exprs(max_leaves: int = 12):
+    """Arbitrary expression trees (may divide by zero -- fine for syntax
+    round-trips, not for execution)."""
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=99).map(IntLit),
+        _names.map(Var),
+    )
+    return st.recursive(
+        leaves,
+        lambda inner: st.one_of(
+            st.tuples(st.sampled_from(BINARY_OPS), inner, inner).map(
+                lambda t: BinOp(*t)
+            ),
+            st.tuples(st.sampled_from(UNARY_OPS), inner).map(
+                lambda t: UnOp(*t)
+            ),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def statements(depth: int = 2):
+    base = st.one_of(
+        st.tuples(_names, exprs(6)).map(lambda t: Assign(*t)),
+        exprs(4).map(Print),
+        st.just(Skip()),
+    )
+    if depth == 0:
+        return base
+    inner = st.lists(statements(depth - 1), max_size=3)
+    return st.one_of(
+        base,
+        st.tuples(exprs(4), inner, inner).map(lambda t: If(*t)),
+        st.tuples(exprs(4), inner).map(lambda t: While(t[0], t[1])),
+        st.tuples(inner, exprs(4)).map(lambda t: Repeat(t[0], t[1])),
+    )
+
+
+def programs():
+    """Arbitrary structured programs (syntax only; loops may not
+    terminate, so use these for round-trip tests, not execution)."""
+    return st.lists(statements(), min_size=0, max_size=8).map(Program)
+
+
+def terminating_programs(max_size: int = 25):
+    """Seeded generator-backed programs that terminate on all inputs."""
+    return st.builds(
+        random_program,
+        seed=st.integers(min_value=0, max_value=10_000),
+        size=st.integers(min_value=1, max_value=max_size),
+        num_vars=st.integers(min_value=1, max_value=5),
+    )

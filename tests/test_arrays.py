@@ -1,0 +1,282 @@
+"""Arrays: the Section 6 / [BJP91] extension.
+
+A store ``a[i] := v`` is encoded as ``a := update(a, i, v)`` -- the store
+uses the old array and defines the new one -- so aliasing, anti- and
+output dependences are carried by the unmodified scalar dependence
+machinery, and PRE performs redundant-load elimination for free.
+"""
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.cfg.interp import run_cfg
+from repro.core.build import build_dfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.core.dfg import HeadKind, Port, PortKind
+from repro.core.epr import eliminate_partial_redundancies
+from repro.core.verify import verify_dfg
+from repro.lang.ast_nodes import Index, Update
+from repro.lang.errors import InterpError
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import pretty_program
+from repro.opt.pipeline import optimize
+from conftest import assert_same_behaviour
+
+
+def outputs(source, env=None):
+    return run_program(parse_program(source), env).outputs
+
+
+# -- frontend ----------------------------------------------------------------
+
+
+def test_parse_load_and_store():
+    prog = parse_program("a[0] := 5; x := a[0];")
+    assert prog.body[0].array == "a"
+    assert prog.body[1].expr == Index("a", parse_expr("0"))
+
+
+def test_nested_index_expressions():
+    expr = parse_expr("a[b[i] + 1]")
+    assert expr == Index("a", parse_expr("b[i] + 1"))
+
+
+def test_pretty_round_trip_with_arrays():
+    src = "a[i + 1] := a[i] * 2;\nprint a[0];\n"
+    prog = parse_program(src)
+    assert pretty_program(prog) == src
+    assert parse_program(pretty_program(prog)) == prog
+
+
+# -- semantics ---------------------------------------------------------------
+
+
+def test_store_then_load():
+    assert outputs("a[3] := 42; print a[3];") == [42]
+
+
+def test_unset_elements_are_zero():
+    assert outputs("print a[7];") == [0]
+
+
+def test_computed_indices():
+    assert outputs("i := 2; a[i * 2] := 9; print a[4];") == [9]
+
+
+def test_overwrite():
+    assert outputs("a[0] := 1; a[0] := 2; print a[0];") == [2]
+
+
+def test_array_from_environment():
+    assert outputs("print a[1] + a[2];", {"a": {1: 10, 2: 20}}) == [30]
+
+
+def test_loop_fills_array():
+    src = """
+    i := 0;
+    while (i < 5) { a[i] := i * i; i := i + 1; }
+    print a[0] + a[1] + a[2] + a[3] + a[4];
+    """
+    assert outputs(src) == [0 + 1 + 4 + 9 + 16]
+
+
+def test_array_used_as_scalar_raises():
+    with pytest.raises(InterpError):
+        outputs("a[0] := 1; x := a + 1;")
+    with pytest.raises(InterpError):
+        outputs("a[0] := 1; print a;")
+    with pytest.raises(InterpError):
+        outputs("a[0] := 1; if (a) { skip; }")
+
+
+def test_scalar_used_as_array_raises():
+    with pytest.raises(InterpError):
+        outputs("x := 5; y := x[0];")
+
+
+def test_cfg_execution_matches_ast_with_arrays():
+    prog = parse_program(
+        """
+        n := 4; i := 0;
+        while (i < n) { a[i] := i + 10; i := i + 1; }
+        if (a[2] == 12) { b[0] := 1; } else { b[0] := 2; }
+        print a[3] + b[0];
+        """
+    )
+    assert_same_behaviour(prog)
+
+
+# -- dependence structure ------------------------------------------------------
+
+
+def test_store_is_def_and_use_of_the_array():
+    g = build_cfg(parse_program("a[0] := 1; a[1] := 2; x := a[0]; print x;"))
+    stores = [
+        n for n in g.assign_nodes() if isinstance(n.expr, Update)
+    ]
+    assert len(stores) == 2
+    for store in stores:
+        assert store.defs() == frozenset({"a"})
+        assert "a" in store.uses()
+
+
+def test_output_dependence_chains_stores():
+    """Store; store: the second store's old-array dependence comes from
+    the first -- the output dependence is a data dependence on the
+    version."""
+    g = build_cfg(parse_program("a[0] := 1; a[1] := 2; print a[0];"))
+    dfg = build_dfg(g)
+    verify_dfg(g, dfg)
+    first, second = [
+        n for n in g.assign_nodes() if isinstance(n.expr, Update)
+    ]
+    assert dfg.use_sources[(second.id, "a")] == Port(
+        PortKind.DEF, "a", first.id
+    )
+    # The load reads the *second* version.
+    printer = next(n for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert dfg.use_sources[(printer.id, "a")] == Port(
+        PortKind.DEF, "a", second.id
+    )
+
+
+def test_load_and_following_store_share_a_version():
+    """Load; store: both consume the same array version -- a multiedge
+    from the producing store, which is how the anti-dependence ordering
+    is represented without extra edge kinds."""
+    g = build_cfg(
+        parse_program("a[0] := 1; x := a[5]; a[1] := 2; print x + a[1];")
+    )
+    dfg = build_dfg(g)
+    verify_dfg(g, dfg)
+    first = next(
+        n for n in g.assign_nodes()
+        if isinstance(n.expr, Update) and n.expr.index == parse_expr("0")
+    )
+    heads = dfg.heads_of(Port(PortKind.DEF, "a", first.id))
+    kinds = sorted(
+        (h.kind, g.node(h.node).kind.value) for h in heads
+    )
+    assert len(heads) == 2  # the load and the next store
+    assert all(h.kind is HeadKind.USE for h in heads)
+
+
+def test_array_dependences_intercepted_at_conditional():
+    g = build_cfg(
+        parse_program(
+            "a[0] := 1; if (p) { a[1] := 2; } x := a[0]; print x;"
+        )
+    )
+    dfg = build_dfg(g)
+    verify_dfg(g, dfg)
+    load = next(
+        n for n in g.assign_nodes() if isinstance(n.expr, Index)
+    )
+    # a is (conditionally) redefined inside the region: the load's
+    # dependence comes from the merge operator.
+    assert dfg.use_sources[(load.id, "a")].kind is PortKind.MERGE
+
+
+# -- analyses over arrays ---------------------------------------------------------
+
+
+def test_constprop_treats_array_contents_as_unknown_but_tracks_deadness():
+    g = build_cfg(
+        parse_program("if (0) { a[0] := 1; x := a[0]; } print 2;")
+    )
+    result = dfg_constant_propagation(g)
+    store = next(
+        n for n in g.assign_nodes() if isinstance(n.expr, Update)
+    )
+    assert store.id in result.dead_nodes
+
+
+def test_pre_eliminates_redundant_load():
+    g = build_cfg(
+        parse_program("x := a[i]; y := a[i]; print x + y;")
+    )
+    load = parse_expr("a[i]")
+    res = eliminate_partial_redundancies(g, load)
+    assert res.deleted_nodes
+    env = {"a": {0: 7}, "i": 0}
+    before = run_cfg(g, env)
+    after = run_cfg(res.graph, env)
+    assert before.outputs == after.outputs
+    assert after.eval_counts[load] < before.eval_counts[load]
+
+
+def test_store_kills_load_availability():
+    g = build_cfg(
+        parse_program("x := a[i]; a[j] := 5; y := a[i]; print x + y;")
+    )
+    load = parse_expr("a[i]")
+    res = eliminate_partial_redundancies(g, load)
+    # The intervening store may alias a[i]: the second load must remain.
+    env = {"a": {0: 7}, "i": 0, "j": 0}
+    after = run_cfg(res.graph, env)
+    assert after.eval_counts[load] == 2
+    assert after.outputs == [12]
+
+
+def test_index_change_kills_load_availability():
+    g = build_cfg(
+        parse_program("x := a[i]; i := i + 1; y := a[i]; print x + y;")
+    )
+    load = parse_expr("a[i]")
+    res = eliminate_partial_redundancies(g, load)
+    env = {"a": {0: 3, 1: 4}, "i": 0}
+    assert run_cfg(res.graph, env).outputs == [7]
+    assert run_cfg(res.graph, env).eval_counts[load] == 2
+
+
+def test_full_pipeline_preserves_array_semantics():
+    prog = parse_program(
+        """
+        n := 3; i := 0;
+        while (i < n) { a[i] := a[i] + i; i := i + 1; }
+        s := a[0] + a[1] + a[2];
+        t := a[0] + a[1] + a[2];
+        print s + t;
+        """
+    )
+    g = build_cfg(prog)
+    optimized, _report = optimize(g)
+    env = {"a": {0: 1, 1: 2, 2: 3}}
+    assert run_cfg(g, env).outputs == run_cfg(optimized, env).outputs
+
+
+# -- SSA with arrays -------------------------------------------------------------
+
+
+def test_ssa_round_trip_with_arrays():
+    from repro.ssa.cytron import build_ssa_cytron
+    from repro.ssa.destruct import destruct_ssa
+    from repro.ssa.from_dfg import build_ssa_from_dfg
+
+    prog = parse_program(
+        """
+        n := 3; i := 0;
+        while (i < n) { a[i] := a[i] + i; i := i + 1; }
+        print a[0] + a[1] + a[2];
+        """
+    )
+    g = build_cfg(prog)
+    env = {"a": {0: 1, 1: 2, 2: 3}}
+    expected = run_cfg(g, env).outputs
+    for builder in (build_ssa_from_dfg, lambda gg: build_ssa_cytron(gg, pruned=True)):
+        ssa = builder(g)
+        assert run_cfg(destruct_ssa(ssa), env).outputs == expected
+
+
+def test_array_versions_get_phis():
+    from repro.ssa.from_dfg import build_ssa_from_dfg
+
+    g = build_cfg(
+        parse_program(
+            "a[0] := 1; if (p) { a[1] := 2; } x := a[0]; print x;"
+        )
+    )
+    ssa = build_ssa_from_dfg(g)
+    assert any(var == "a" for _, var in ssa.phi_placement())

@@ -1,0 +1,102 @@
+"""Ablation of region bypassing (Section 3.3).
+
+"Bypassing single-entry single-exit regions of the control flow graph is
+useful because it speeds up optimization.  However, the DFG-based
+optimization algorithms described in this paper work correctly even if
+some or no bypassing at all is performed."
+
+``build_dfg(bypass=False)`` produces the base-level DFG (every switch
+and merge intercepts every live variable); all analyses must agree with
+the bypassed form, and the bypassed form must never be larger.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.core.anticipate import dfg_anticipatability
+from repro.core.build import build_dfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.core.dfg import CTRL_VAR, PortKind
+from repro.core.verify import verify_dfg
+from repro.lang.ast_nodes import expr_vars
+from repro.lang.parser import parse_program
+from repro.workloads.generators import random_program
+from repro.workloads.ladders import diamond_chain
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_constprop_agrees_with_and_without_bypassing(seed):
+    g = build_cfg(random_program(seed, size=12, num_vars=3))
+    fast = dfg_constant_propagation(g, build_dfg(g))
+    base = dfg_constant_propagation(g, build_dfg(g, bypass=False))
+    for key, value in fast.use_values.items():
+        if key[1] != CTRL_VAR:
+            assert base.use_values[key] == value
+    assert fast.dead_nodes == base.dead_nodes
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=15, deadline=None)
+def test_anticipatability_agrees_with_and_without_bypassing(seed):
+    g = build_cfg(random_program(seed, size=10, num_vars=3))
+    for expr in sorted(g.expressions(), key=repr)[:3]:
+        if not expr_vars(expr):
+            continue
+        fast = dfg_anticipatability(g, expr, build_dfg(g))
+        base = dfg_anticipatability(g, expr, build_dfg(g, bypass=False))
+        assert fast.ant_edges == base.ant_edges
+        assert fast.pan_edges == base.pan_edges
+
+
+def test_base_level_never_smaller():
+    for seed in range(10):
+        g = build_cfg(random_program(seed, size=14, num_vars=3))
+        assert build_dfg(g, bypass=False).size() >= build_dfg(g).size()
+
+
+def test_bypassing_pays_off_for_untouched_crossings():
+    """A variable crossing many diamonds untouched: with bypassing one
+    dependence edge spans the whole chain; without it every switch and
+    merge intercepts it."""
+    diamonds = "\n".join(
+        f"if (c{i} > 0) {{ y := y + 1; }} else {{ y := y - 1; }}"
+        for i in range(10)
+    )
+    g = build_cfg(parse_program(f"x := 1;\n{diamonds}\nprint x; print y;"))
+    fast = build_dfg(g, variables={"x"}, control_edges=False)
+    base = build_dfg(g, variables={"x"}, control_edges=False, bypass=False)
+    assert fast.size() == 1  # def straight to use, past all ten diamonds
+    assert base.size() > 10  # intercepted at every switch and merge
+
+
+def test_bypassing_shrinks_diamond_chains_overall():
+    g = build_cfg(diamond_chain(12, num_vars=2))
+    fast = build_dfg(g)
+    base = build_dfg(g, bypass=False)
+    assert base.size() > 1.3 * fast.size()
+
+
+def test_base_level_dependences_are_local():
+    """Without bypassing no dependence edge crosses an operator: every
+    use in a branch arm is fed from within its own region."""
+    g = build_cfg(
+        parse_program("x := 1; if (p) { skip; } else { skip; } print x;")
+    )
+    base = build_dfg(g, bypass=False)
+    printer = next(n for n in g.nodes.values() if n.kind.value == "print")
+    # With bypassing the print reads the def directly; base-level routes
+    # it through the conditional's merge operator.
+    fast = build_dfg(g)
+    assert fast.use_sources[(printer.id, "x")].kind is PortKind.DEF
+    assert base.use_sources[(printer.id, "x")].kind is PortKind.MERGE
+
+
+def test_base_level_still_satisfies_definition6_locally():
+    """Base-level dependence edges still satisfy the dominance,
+    postdominance and no-intervening-assignment conditions -- they are
+    just shorter (a finer equivalence relation, as Section 3.3 allows)."""
+    for seed in range(8):
+        g = build_cfg(random_program(seed, size=10, num_vars=3))
+        verify_dfg(g, build_dfg(g, bypass=False))

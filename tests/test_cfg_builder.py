@@ -1,0 +1,147 @@
+"""CFG builder and normalizer tests, including AST-vs-CFG differential
+execution on the paper's examples and on generated programs."""
+
+from hypothesis import given, settings
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.cfg.interp import run_cfg
+from repro.cfg.normalize import split_critical_edges
+from repro.lang.parser import parse_program
+from repro.workloads import suites
+from repro.workloads.generators import irreducible_program
+
+from conftest import assert_same_behaviour, random_envs
+import strategies
+
+
+def kinds(graph):
+    return sorted(n.kind.value for n in graph.nodes.values())
+
+
+def test_empty_program():
+    g = build_cfg(parse_program(""))
+    assert g.num_nodes == 2
+    assert g.succs(g.start) == [g.end]
+
+
+def test_straight_line_chain():
+    g = build_cfg(parse_program("x := 1; y := 2; print x + y;"))
+    assert kinds(g) == ["assign", "assign", "end", "print", "start"]
+    # start -> x -> y -> print -> end, a single chain.
+    cur, seen = g.start, []
+    while cur != g.end:
+        cur = g.out_edge(cur).dst
+        seen.append(cur)
+    assert len(seen) == 4
+
+
+def test_if_produces_switch_and_merge():
+    g = build_cfg(parse_program("if (p) { x := 1; } else { x := 2; } print x;"))
+    assert kinds(g).count("switch") == 1
+    assert kinds(g).count("merge") == 1
+    switch = next(n for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    labels = sorted(e.label for e in g.out_edges(switch.id))
+    assert labels == ["F", "T"]
+
+
+def test_empty_if_yields_parallel_arms():
+    g = build_cfg(parse_program("if (p) { } else { } print 1;"))
+    g.validate(normalized=True)
+    switch = next(n for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    dsts = {e.dst for e in g.out_edges(switch.id)}
+    assert len(dsts) == 1  # both arms hit the same merge
+    assert g.node(dsts.pop()).kind is NodeKind.MERGE
+
+
+def test_while_loop_shape():
+    g = build_cfg(parse_program("while (x < 3) { x := x + 1; } print x;"))
+    # A while loop: merge at the header, then the switch.
+    merges = [n for n in g.nodes.values() if n.kind is NodeKind.MERGE]
+    switches = [n for n in g.nodes.values() if n.kind is NodeKind.SWITCH]
+    assert len(merges) == 1 and len(switches) == 1
+    assert g.succs(merges[0].id) == [switches[0].id]
+
+
+def test_repeat_until_back_edge_is_switch_to_merge():
+    g = build_cfg(parse_program("repeat { x := x + 1; } until (x > 2); print x;"))
+    # The back edge runs from the until-switch to the body-entry merge --
+    # the critical edge the paper discusses in Section 5.2.
+    switch = next(n for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    back = [e for e in g.out_edges(switch.id) if g.node(e.dst).kind is NodeKind.MERGE]
+    assert back, "expected a switch-to-merge back edge"
+
+
+def test_infinite_loop_gets_synthetic_exit():
+    g = build_cfg(parse_program("x := 1; while (1) { x := x + 1; } print x;"))
+    g.validate(normalized=True)  # implies every node reaches end
+
+
+def test_bare_goto_cycle_gets_hosted_and_exited():
+    g = build_cfg(parse_program("label L: goto L;"))
+    g.validate(normalized=True)
+
+
+def test_dead_code_after_goto_is_pruned():
+    g = build_cfg(parse_program("goto L; x := 99; label L: print 1;"))
+    assert all(n.target != "x" for n in g.assign_nodes())
+
+
+def test_unreachable_else_via_goto():
+    prog = parse_program("goto out; while (p) { x := 1; } label out: print 2;")
+    g = build_cfg(prog)
+    g.validate(normalized=True)
+    assert run_cfg(g).outputs == [2]
+
+
+def test_split_critical_edges_inserts_nops():
+    g = build_cfg(parse_program("repeat { x := x + 1; } until (x > 2); print x;"))
+    inserted = split_critical_edges(g)
+    assert inserted
+    for nop in inserted.values():
+        assert g.node(nop).kind is NodeKind.NOP
+    g.validate(normalized=True)
+
+
+def test_split_critical_edges_preserves_behaviour():
+    prog = parse_program(
+        "x := 0; repeat { x := x + 1; } until (x > 3); print x;"
+    )
+    g = build_cfg(prog)
+    before = run_cfg(g).outputs
+    split_critical_edges(g)
+    assert run_cfg(g).outputs == before
+
+
+def test_paper_suite_programs_build_and_agree():
+    for make in (
+        suites.section1_example,
+        suites.figure1,
+        suites.figure2,
+        suites.figure3a,
+        suites.figure3b,
+        suites.figure6,
+        suites.figure7,
+    ):
+        prog = make()
+        assert_same_behaviour(prog, random_envs(7, ["p", "a", "b", "c"]))
+
+
+def test_irreducible_program_builds_and_agrees():
+    for seed in range(5):
+        prog = irreducible_program(seed)
+        assert_same_behaviour(prog)
+
+
+@given(strategies.terminating_programs())
+@settings(max_examples=60, deadline=None)
+def test_generated_programs_build_normalized(program):
+    g = build_cfg(program)
+    g.validate(normalized=True)
+
+
+@given(strategies.terminating_programs())
+@settings(max_examples=40, deadline=None)
+def test_generated_programs_cfg_execution_matches_ast(program):
+    envs = random_envs(3, [f"v{i}" for i in range(5)], count=3)
+    assert_same_behaviour(program, envs)

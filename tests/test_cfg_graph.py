@@ -1,0 +1,161 @@
+"""Unit tests for the CFG data structure."""
+
+import pytest
+
+from repro.cfg.graph import CFG, CFGError, NodeKind
+from repro.lang.parser import parse_expr
+
+
+def tiny_graph():
+    g = CFG()
+    start = g.add_node(NodeKind.START)
+    end = g.add_node(NodeKind.END)
+    a = g.add_node(NodeKind.ASSIGN, target="x", expr=parse_expr("1"))
+    g.add_edge(start, a)
+    g.add_edge(a, end)
+    return g, start, a, end
+
+
+def test_add_and_query_nodes_edges():
+    g, start, a, end = tiny_graph()
+    assert g.num_nodes == 3 and g.num_edges == 2
+    assert g.succs(start) == [a]
+    assert g.preds(end) == [a]
+    assert g.out_edge(a).dst == end
+    assert g.in_edge(a).src == start
+
+
+def test_validate_accepts_tiny_graph():
+    g, *_ = tiny_graph()
+    g.validate(normalized=True)
+
+
+def test_assign_requires_target_and_expr():
+    g = CFG()
+    with pytest.raises(CFGError):
+        g.add_node(NodeKind.ASSIGN, target="x")
+    with pytest.raises(CFGError):
+        g.add_node(NodeKind.ASSIGN, expr=parse_expr("1"))
+
+
+def test_switch_requires_expr():
+    g = CFG()
+    with pytest.raises(CFGError):
+        g.add_node(NodeKind.SWITCH)
+
+
+def test_defs_and_uses():
+    g, _, a, _ = tiny_graph()
+    node = g.node(a)
+    assert node.defs() == frozenset({"x"})
+    assert node.uses() == frozenset()
+    s = g.add_node(NodeKind.SWITCH, expr=parse_expr("x + y > 0"))
+    assert g.node(s).uses() == frozenset({"x", "y"})
+    assert g.node(s).defs() == frozenset()
+
+
+def test_variables_and_expressions():
+    g, *_ = tiny_graph()
+    p = g.add_node(NodeKind.PRINT, expr=parse_expr("(a + b) * x"))
+    assert g.variables() == frozenset({"x", "a", "b"})
+    assert parse_expr("a + b") in g.expressions()
+    assert parse_expr("(a + b) * x") in g.expressions()
+    del p
+
+
+def test_remove_edge_updates_adjacency():
+    g, start, a, end = tiny_graph()
+    eid = g.out_edge(a).id
+    g.remove_edge(eid)
+    assert g.succs(a) == []
+    assert g.preds(end) == []
+
+
+def test_remove_node_removes_incident_edges():
+    g, start, a, end = tiny_graph()
+    g.remove_node(a)
+    assert g.num_edges == 0
+    assert a not in g.nodes
+
+
+def test_parallel_edges_are_allowed():
+    g = CFG()
+    s = g.add_node(NodeKind.START)
+    sw = g.add_node(NodeKind.SWITCH, expr=parse_expr("p"))
+    m = g.add_node(NodeKind.MERGE)
+    e = g.add_node(NodeKind.END)
+    g.add_edge(s, sw)
+    g.add_edge(sw, m, label="T")
+    g.add_edge(sw, m, label="F")
+    g.add_edge(m, e)
+    g.validate(normalized=True)
+    with pytest.raises(CFGError):
+        g.edge_between(sw, m)  # ambiguous
+
+
+def test_switch_edge_lookup():
+    g = CFG()
+    s = g.add_node(NodeKind.START)
+    sw = g.add_node(NodeKind.SWITCH, expr=parse_expr("p"))
+    m = g.add_node(NodeKind.MERGE)
+    e = g.add_node(NodeKind.END)
+    g.add_edge(s, sw)
+    g.add_edge(sw, m, label="T")
+    g.add_edge(sw, m, label="F")
+    g.add_edge(m, e)
+    assert g.switch_edge(sw, "T").label == "T"
+    with pytest.raises(CFGError):
+        g.switch_edge(sw, "X")
+
+
+def test_validate_rejects_unreachable_node():
+    g, *_ = tiny_graph()
+    g.add_node(NodeKind.MERGE)  # floating
+    with pytest.raises(CFGError):
+        g.validate()
+
+
+def test_validate_rejects_node_not_reaching_end():
+    g, start, a, end = tiny_graph()
+    nop = g.add_node(NodeKind.NOP)
+    g.add_edge(a, nop)  # a now has 2 out-edges; nop is a dead end
+    with pytest.raises(CFGError):
+        g.validate()
+
+
+def test_validate_rejects_duplicate_switch_labels():
+    g = CFG()
+    s = g.add_node(NodeKind.START)
+    sw = g.add_node(NodeKind.SWITCH, expr=parse_expr("p"))
+    e = g.add_node(NodeKind.END)
+    m = g.add_node(NodeKind.MERGE)
+    g.add_edge(s, sw)
+    g.add_edge(sw, m, label="T")
+    g.add_edge(sw, m, label="T")
+    g.add_edge(m, e)
+    with pytest.raises(CFGError):
+        g.validate(normalized=True)
+
+
+def test_copy_is_deep_for_structure():
+    g, start, a, end = tiny_graph()
+    dup = g.copy()
+    dup.remove_node(a)
+    assert a in g.nodes
+    assert g.num_edges == 2
+    g.validate(normalized=True)
+
+
+def test_copy_preserves_ids_and_labels():
+    g = CFG()
+    s = g.add_node(NodeKind.START)
+    sw = g.add_node(NodeKind.SWITCH, expr=parse_expr("p"))
+    m = g.add_node(NodeKind.MERGE)
+    e = g.add_node(NodeKind.END)
+    g.add_edge(s, sw)
+    t = g.add_edge(sw, m, label="T")
+    g.add_edge(sw, m, label="F")
+    g.add_edge(m, e)
+    dup = g.copy()
+    assert dup.edge(t).label == "T"
+    assert dup.start == g.start and dup.end == g.end

@@ -1,0 +1,65 @@
+"""CLI smoke tests (direct invocation of the handlers)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def sample(tmp_path):
+    path = tmp_path / "sample.dfg"
+    path.write_text(
+        "a := p; b := q;\n"
+        "z := a + b;\n"
+        "w := a + b;\n"
+        "if (z == 7) { t := z + 1; } else { t := w; }\n"
+        "print t;\n"
+    )
+    return str(path)
+
+
+def test_run_prints_outputs(sample, capsys):
+    assert main(["run", sample, "--env", "p=3", "--env", "q=4"]) == 0
+    assert capsys.readouterr().out.strip() == "8"
+
+
+def test_run_default_env(sample, capsys):
+    assert main(["run", sample]) == 0
+    assert capsys.readouterr().out.strip() == "0"
+
+
+def test_analyze_reports_structure(sample, capsys):
+    assert main(["analyze", sample]) == 0
+    out = capsys.readouterr().out
+    assert "cycle-equivalence classes" in out
+    assert "SESE regions" in out
+    assert "dependence edges" in out
+
+
+def test_analyze_writes_dot(sample, tmp_path, capsys):
+    dot = str(tmp_path / "g.dot")
+    assert main(["analyze", sample, "--dot", dot]) == 0
+    text = open(dot).read()
+    assert text.startswith("digraph")
+    assert "->" in text
+
+
+def test_optimize_reports_and_preserves(sample, capsys):
+    assert main(["optimize", sample, "--env", "p=3", "--env", "q=4"]) == 0
+    out = capsys.readouterr().out
+    assert "outputs (unchanged): [8]" in out
+    assert "dynamic expression evaluations" in out
+
+
+def test_bad_env_rejected(sample):
+    with pytest.raises(SystemExit):
+        main(["run", sample, "--env", "p=notanumber"])
+
+
+def test_constant_program_analysis(tmp_path, capsys):
+    path = tmp_path / "const.dfg"
+    path.write_text("x := 2; y := x + 3; if (0) { z := 1; } print y;\n")
+    assert main(["analyze", str(path), "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "y = 5" in out or "x = 2" in out
+    assert "dead code" in out

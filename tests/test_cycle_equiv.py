@@ -1,0 +1,226 @@
+"""Cycle-equivalence tests.
+
+Two independent oracles validate the O(E) bracket-list algorithm:
+
+* a brute-force simple-cycle oracle -- in the strongly connected
+  augmentation, two edges are cycle equivalent iff they lie on exactly
+  the same set of simple cycles;
+* Claim 1 of the paper -- the partition by cycle equivalence must equal
+  the partition of edges by their (standard, postdominator-computed)
+  control-dependence sets.
+"""
+
+from collections import defaultdict
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.controldep.cdg import control_dependence_edges
+from repro.controldep.cycle_equiv import cycle_equivalence
+from repro.lang.parser import parse_program
+from repro.workloads.generators import irreducible_program, random_program
+from repro.workloads.ladders import diamond_chain, loop_nest
+
+
+def partition(mapping):
+    groups = defaultdict(frozenset)
+    buckets = defaultdict(set)
+    for key, value in mapping.items():
+        buckets[value].add(key)
+    del groups
+    return frozenset(frozenset(b) for b in buckets.values())
+
+
+def oracle_partition(graph):
+    """Edge partition by the set of simple *edge* cycles through each edge."""
+    g = nx.MultiDiGraph()
+    for eid, edge in graph.edges.items():
+        g.add_edge(edge.src, edge.dst, key=eid)
+    g.add_edge(graph.end, graph.start, key="synthetic")
+    cycles_of = defaultdict(set)
+    for i, cycle in enumerate(_edge_cycles(g)):
+        for eid in cycle:
+            cycles_of[eid].add(i)
+    groups = defaultdict(set)
+    for eid in graph.edges:
+        groups[frozenset(cycles_of[eid])].add(eid)
+    return frozenset(frozenset(v) for v in groups.values())
+
+
+def _edge_cycles(g):
+    """All simple cycles as tuples of edge keys (exponential; small graphs
+    only)."""
+    for nodes in nx.simple_cycles(nx.DiGraph(g)):
+        yield from _expand(g, nodes)
+
+
+def _expand(g, nodes):
+    pairs = list(zip(nodes, nodes[1:] + nodes[:1]))
+    choices = []
+    for u, v in pairs:
+        choices.append([k for k in g[u][v]])
+    def rec(i, acc):
+        if i == len(choices):
+            yield tuple(acc)
+            return
+        for k in choices[i]:
+            yield from rec(i + 1, acc + [k])
+    yield from rec(0, [])
+
+
+def algo_partition(graph):
+    classes = cycle_equivalence(graph)
+    groups = defaultdict(set)
+    for eid, cls in classes.items():
+        groups[cls].add(eid)
+    return frozenset(frozenset(v) for v in groups.values())
+
+
+def cd_partition(graph):
+    deps = control_dependence_edges(graph)
+    groups = defaultdict(set)
+    for eid, cd in deps.items():
+        groups[cd].add(eid)
+    return frozenset(frozenset(v) for v in groups.values())
+
+
+# -- worked examples ----------------------------------------------------------
+
+
+def test_straight_line_all_edges_one_class():
+    g = build_cfg(parse_program("x := 1; y := 2; print x + y;"))
+    classes = cycle_equivalence(g)
+    assert len(set(classes.values())) == 1
+
+
+def test_diamond_classes():
+    g = build_cfg(parse_program("if (p) { x := 1; } else { x := 2; } print x;"))
+    classes = cycle_equivalence(g)
+    switch = next(n.id for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    t_arm = g.switch_edge(switch, "T")
+    f_arm = g.switch_edge(switch, "F")
+    # The two arms are in different classes; each arm's entry and exit
+    # edges share a class; the spine is a third class.
+    t_exit = g.out_edge(g.succs(switch)[0])
+    assert classes[t_arm.id] != classes[f_arm.id]
+    assert classes[t_arm.id] == classes[t_exit.id]
+    spine = g.out_edge(g.start)
+    assert classes[spine.id] not in (classes[t_arm.id], classes[f_arm.id])
+
+
+def test_while_loop_spine_passes_through():
+    g = build_cfg(
+        parse_program("i := 0; while (i < 3) { i := i + 1; } print i;")
+    )
+    classes = cycle_equivalence(g)
+    # The edge entering the loop merge from outside and the switch's exit
+    # (F) edge bound the loop region: same class as the spine.
+    switch = next(n.id for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    exit_edge = g.switch_edge(switch, "F")
+    entry_edge = g.out_edge(g.start)
+    assert classes[entry_edge.id] == classes[exit_edge.id]
+    # The back edge is in its own class (only the inner cycle crosses it).
+    body_assign = next(
+        n.id
+        for n in g.nodes.values()
+        if n.kind is NodeKind.ASSIGN and n.target == "i" and "i" in n.uses()
+    )
+    back = g.out_edge(body_assign)
+    assert classes[back.id] != classes[entry_edge.id]
+
+
+def test_self_loop_gets_own_class():
+    g = build_cfg(parse_program("label L: goto L;"))
+    classes = cycle_equivalence(g)
+    assert len(classes) == g.num_edges
+
+
+# -- oracle cross-checks ------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=40, deadline=None)
+def test_matches_simple_cycle_oracle(seed):
+    prog = random_program(seed, size=8, num_vars=2)
+    g = build_cfg(prog)
+    if g.num_edges > 24:  # keep the exponential oracle tractable
+        return
+    assert algo_partition(g) == oracle_partition(g)
+
+
+def refines(finer, coarser):
+    """Every block of ``finer`` lies inside one block of ``coarser``."""
+    lookup = {}
+    for block in coarser:
+        for item in block:
+            lookup[item] = block
+    return all(
+        all(lookup[item] == lookup[next(iter(block))] for item in block)
+        for block in finer
+    )
+
+
+def is_acyclic(graph):
+    from repro.graphs.dfs import depth_first_search
+
+    return not depth_first_search([graph.start], graph.succs).back_edges
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=50, deadline=None)
+def test_claim1_cycle_equivalence_refines_control_dependence(seed):
+    """Cycle equivalence never merges edges with different control
+    dependence sets (the sound direction of Claim 1).  On loop exits it
+    is strictly finer -- e.g. a while loop's merge->switch edge shares its
+    CD set with the body edges but no cycle relates them -- which Section
+    3.3 explicitly allows: any relation *finer* than control-dependence
+    equivalence builds a correct DFG."""
+    prog = random_program(seed, size=14, num_vars=3)
+    g = build_cfg(prog)
+    assert refines(algo_partition(g), cd_partition(g))
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=50, deadline=None)
+def test_claim1_exact_on_acyclic_graphs(seed):
+    """Without loops the two partitions coincide exactly."""
+    prog = random_program(seed, size=14, num_vars=3)
+    g = build_cfg(prog)
+    if not is_acyclic(g):
+        return
+    assert algo_partition(g) == cd_partition(g)
+
+
+def test_claim1_refinement_on_irreducible_graphs():
+    for seed in range(6):
+        g = build_cfg(irreducible_program(seed))
+        assert refines(algo_partition(g), cd_partition(g))
+
+
+def test_claim1_refinement_on_ladders():
+    for prog in (diamond_chain(6), loop_nest(3), loop_nest(2, width=2)):
+        g = build_cfg(prog)
+        assert refines(algo_partition(g), cd_partition(g))
+
+
+def test_claim1_exact_on_diamond_chain():
+    g = build_cfg(diamond_chain(6))
+    assert algo_partition(g) == cd_partition(g)
+
+
+def test_loop_exit_edge_is_strictly_finer():
+    """The canonical counterexample recorded above, pinned as a test."""
+    g = build_cfg(
+        parse_program("i := 0; while (i < 3) { i := i + 1; } print i;")
+    )
+    assert algo_partition(g) != cd_partition(g)
+    assert refines(algo_partition(g), cd_partition(g))
+
+
+def test_classes_cover_every_edge_exactly_once():
+    g = build_cfg(diamond_chain(5))
+    classes = cycle_equivalence(g)
+    assert set(classes) == set(g.edges)

@@ -1,0 +1,164 @@
+"""Def-use chain and chain-based constant-propagation tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.dataflow.lattice import TOP
+from repro.defuse.chains import build_def_use_chains
+from repro.defuse.constprop import defuse_constant_propagation
+from repro.lang.parser import parse_program
+from repro.workloads import suites
+from repro.workloads.generators import random_program
+from repro.workloads.ladders import defuse_worst_case
+
+
+def graph_of(source):
+    return build_cfg(parse_program(source))
+
+
+def assign_node(g, target, pred=None):
+    nodes = [
+        n for n in g.assign_nodes()
+        if n.target == target and (pred is None or pred(n))
+    ]
+    assert len(nodes) == 1, f"ambiguous assign {target}"
+    return nodes[0]
+
+
+def test_straight_line_chain():
+    g = graph_of("x := 1; y := x + 1;")
+    chains = build_def_use_chains(g)
+    x_def = assign_node(g, "x")
+    y_def = assign_node(g, "y")
+    assert chains.defs_reaching_use(y_def.id, "x") == [x_def.id]
+
+
+def test_kill_breaks_chain():
+    g = graph_of("x := 1; x := 2; y := x;")
+    chains = build_def_use_chains(g)
+    y_def = assign_node(g, "y")
+    reaching = chains.defs_reaching_use(y_def.id, "x")
+    second = [
+        n for n in g.assign_nodes()
+        if n.target == "x" and n.expr.value == 2
+    ]
+    assert reaching == [second[0].id]
+
+
+def test_both_branches_reach_merge_use():
+    g = graph_of("if (p) { x := 1; } else { x := 2; } y := x;")
+    chains = build_def_use_chains(g)
+    y_def = assign_node(g, "y")
+    assert len(chains.defs_reaching_use(y_def.id, "x")) == 2
+
+
+def test_entry_definition_reaches_uninitialized_use():
+    g = graph_of("print q;")
+    chains = build_def_use_chains(g)
+    printer = next(n for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert chains.defs_reaching_use(printer.id, "q") == [g.start]
+
+
+def test_loop_carried_chain():
+    g = graph_of("i := 0; while (i < 3) { i := i + 1; } print i;")
+    chains = build_def_use_chains(g)
+    inc = next(n for n in g.assign_nodes() if "i" in n.uses())
+    # The increment's use of i is reached by both the init and itself.
+    reaching = set(chains.defs_reaching_use(inc.id, "i"))
+    init = next(n for n in g.assign_nodes() if not n.uses())
+    assert {init.id, inc.id} <= reaching
+
+
+def test_quadratic_worst_case_size():
+    small = build_def_use_chains(build_cfg(defuse_worst_case(5))).size()
+    big = build_def_use_chains(build_cfg(defuse_worst_case(10))).size()
+    # Doubling n should roughly quadruple the chain count.
+    assert big > 3 * small
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=25, deadline=None)
+def test_every_use_has_a_reaching_def(seed):
+    g = build_cfg(random_program(seed, size=12, num_vars=3))
+    chains = build_def_use_chains(g)
+    for node in g.nodes.values():
+        for var in node.uses():
+            assert chains.defs_reaching_use(node.id, var)
+
+
+# -- constant propagation ------------------------------------------------------
+
+
+def test_figure3a_all_paths_constants_found():
+    g = build_cfg(suites.figure3a())
+    result = defuse_constant_propagation(g)
+    # x := z + 2 and x := z + 1 both fold to 3; y := x folds to 3.
+    x_rhs = {
+        result.rhs_values[n.id]
+        for n in g.assign_nodes()
+        if n.target == "x"
+    }
+    assert x_rhs == {3}
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert result.rhs_values[y_def.id] == 3
+
+
+def test_figure3b_possible_paths_constant_missed():
+    """The headline deficiency: chain-based CP cannot see that the false
+    branch is dead, so the use of x joins 1 and 2 into TOP."""
+    g = build_cfg(suites.figure3b())
+    result = defuse_constant_propagation(g)
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert result.use_values[(y_def.id, "x")] is TOP
+
+
+def test_figure1_partial_results():
+    """Def-use CP finds x == 1 at the switch and y+1 -> 3, but not the
+    final use of y (two chains with different constants)."""
+    g = build_cfg(suites.figure1())
+    result = defuse_constant_propagation(g)
+    switch = next(n for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    assert result.use_values[(switch.id, "x")] == 1
+    inc = next(
+        n for n in g.assign_nodes() if n.target == "y" and "y" in n.uses()
+    )
+    assert result.rhs_values[inc.id] == 3
+    printer = next(n for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert result.use_values[(printer.id, "y")] is TOP
+
+
+def test_uninitialized_uses_are_top():
+    g = graph_of("y := q + 1;")
+    result = defuse_constant_propagation(g)
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert result.use_values[(y_def.id, "q")] is TOP
+
+
+def test_chain_cp_is_sound_on_executions():
+    """Any constant the analysis claims must match the actual runtime
+    value on every execution."""
+    from repro.cfg.interp import run_cfg
+    from conftest import random_envs
+
+    for seed in range(8):
+        prog = random_program(seed, size=12, num_vars=3)
+        g = build_cfg(prog)
+        result = defuse_constant_propagation(g)
+        constants = result.constant_uses()
+        if not constants:
+            continue
+        for env in random_envs(seed, [f"v{i}" for i in range(4)], count=3):
+            run = run_cfg(g, env)
+            # Re-execute, checking claimed-constant uses on the trace.
+            state = dict(env)
+            for nid in run.trace:
+                node = g.node(nid)
+                for var in node.uses():
+                    if (nid, var) in constants:
+                        assert state.get(var, 0) == constants[(nid, var)]
+                if node.kind is NodeKind.ASSIGN:
+                    from repro.lang.interp import eval_expr
+
+                    state[node.target] = eval_expr(node.expr, state)

@@ -1,0 +1,216 @@
+"""DFG anticipatability tests (Section 5.1, Figures 6 and 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.core.anticipate import dfg_anticipatability
+from repro.core.build import build_dfg
+from repro.core.dfg import HeadKind, Port, PortKind
+from repro.dataflow.anticipatable import (
+    anticipatable_expressions,
+    partially_anticipatable_expressions,
+)
+from repro.lang.ast_nodes import expr_vars
+from repro.lang.parser import parse_expr, parse_program
+from repro.workloads import suites
+from repro.workloads.generators import irreducible_program, random_program
+
+
+def graph_of(source_or_prog):
+    prog = (
+        parse_program(source_or_prog)
+        if isinstance(source_or_prog, str)
+        else source_or_prog
+    )
+    return build_cfg(prog)
+
+
+def cfg_ant_set(g, expr):
+    return {eid for eid, s in anticipatable_expressions(g).items() if expr in s}
+
+
+def cfg_pan_set(g, expr):
+    return {
+        eid
+        for eid, s in partially_anticipatable_expressions(g).items()
+        if expr in s
+    }
+
+
+# -- Figure 6: single-variable anticipatability ---------------------------------
+
+
+def test_figure6_head_values():
+    """d4 (the use of x in x*3) is false; d5 and d6 (the computations of
+    x+1) are true; the multiedge rule makes the tails true."""
+    g = graph_of(suites.figure6())
+    expr = parse_expr("x + 1")
+    result = dfg_anticipatability(g, expr)
+    rel = result.per_var["x"]
+    other_use = next(
+        n for n in g.assign_nodes() if n.target == "y"
+    )  # y := x * 3
+    plus_uses = [
+        n for n in g.assign_nodes()
+        if n.target in ("z", "w")  # z := x + 1 and w := x + 1
+    ]
+    from repro.core.dfg import Head
+
+    assert rel.ant_heads[Head(HeadKind.USE, other_use.id, "x")] is False
+    for node in plus_uses:
+        assert rel.ant_heads[Head(HeadKind.USE, node.id, "x")] is True
+    # The definition's tail is true: both branches compute x+1.
+    x_def = next(n for n in g.assign_nodes() if n.target == "x")
+    assert rel.ant_tails[Port(PortKind.DEF, "x", x_def.id)] is True
+
+
+def test_figure6_projection_covers_def_to_computations():
+    """Projection marks every point between the definition of x and the
+    two computations of x+1 -- and agrees with the CFG solution."""
+    g = graph_of(suites.figure6())
+    expr = parse_expr("x + 1")
+    result = dfg_anticipatability(g, expr)
+    assert result.ant_edges == cfg_ant_set(g, expr)
+    x_def = next(n for n in g.assign_nodes() if n.target == "x")
+    assert g.out_edge(x_def.id).id in result.ant_edges
+
+
+def test_figure6_switch_in_requires_both_arms():
+    g = graph_of(suites.figure6())
+    expr = parse_expr("x + 1")
+    result = dfg_anticipatability(g, expr)
+    rel = result.per_var["x"]
+    switch = next(n.id for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    from repro.core.dfg import Head
+
+    head = Head(HeadKind.SWITCH_IN, switch, "x")
+    assert rel.ant_heads[head] is True  # x+1 computed on both arms
+
+
+# -- Figure 7: multivariable anticipatability ------------------------------------
+
+
+def test_figure7_relative_results_combine():
+    """ANT relative to x holds from x's definition on (the x*2 use's head
+    is false but the multiedge covers it); relative to y only from y's
+    definition; the combination covers exactly the suffix from y's
+    definition to the computation (the paper's e5-e7)."""
+    g = graph_of(suites.figure7())
+    expr = parse_expr("x + y")
+    result = dfg_anticipatability(g, expr)
+    assert result.ant_edges == cfg_ant_set(g, expr)
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    z_def = next(n for n in g.assign_nodes() if n.target == "z")
+    assert g.out_edge(y_def.id).id in result.ant_edges
+    assert g.in_edge(z_def.id).id in result.ant_edges
+    # Before y's definition x+y is not anticipatable.
+    w_def = next(n for n in g.assign_nodes() if n.target == "w")
+    assert g.in_edge(w_def.id).id not in result.ant_edges
+    # ...but it is relative to x alone there (d1/d3 of the figure).
+    assert g.in_edge(w_def.id).id in result.per_var["x"].ant_edges
+
+
+def test_figure7_pan_is_superset_of_ant():
+    g = graph_of(suites.figure7())
+    result = dfg_anticipatability(g, parse_expr("x + y"))
+    assert result.ant_edges <= result.pan_edges
+
+
+# -- agreement with the CFG formulation ------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=600))
+@settings(max_examples=30, deadline=None)
+def test_ant_sound_wrt_cfg(seed):
+    """The projected DFG ANT never claims more than the CFG answer; PAN
+    is exact for single-variable expressions (the multivariable
+    intersection is a documented over-approximation used only for
+    profitability)."""
+    g = graph_of(random_program(seed, size=12, num_vars=3))
+    for expr in sorted(g.expressions(), key=repr)[:5]:
+        if not expr_vars(expr):
+            continue
+        result = dfg_anticipatability(g, expr)
+        assert result.ant_edges <= cfg_ant_set(g, expr)
+        if len(expr_vars(expr)) == 1:
+            assert result.pan_edges <= cfg_pan_set(g, expr)
+
+
+def test_ant_on_irreducible_graphs():
+    for seed in range(4):
+        g = graph_of(irreducible_program(seed))
+        for expr in sorted(g.expressions(), key=repr)[:4]:
+            if not expr_vars(expr):
+                continue
+            result = dfg_anticipatability(g, expr)
+            assert result.ant_edges <= cfg_ant_set(g, expr)
+
+
+def test_span_projection_recovers_region_interior():
+    """A use of x inside a region makes that dependence's head false, but
+    the *span* of the bypassing dependence (definition straight to the
+    use after the region) covers the region interior, so projection still
+    marks the arm -- here the DFG answer is exact, not conservative."""
+    g = graph_of(
+        """
+        x := a;
+        if (c > 0) { w := x * 2; }
+        z := x + 1;
+        print z + w;
+        """
+    )
+    expr = parse_expr("x + 1")
+    result = dfg_anticipatability(g, expr)
+    cfg = cfg_ant_set(g, expr)
+    assert result.ant_edges == cfg
+    switch = next(n.id for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    arm = g.switch_edge(switch, "T").id
+    assert arm in result.ant_edges
+
+
+# -- loops -----------------------------------------------------------------------
+
+
+def test_loop_invariant_expression_ant_inside_loop():
+    g = graph_of(
+        "a := p; b := q; i := 0; "
+        "while (i < n) { s := s + (a + b); i := i + 1; } print s;"
+    )
+    expr = parse_expr("a + b")
+    result = dfg_anticipatability(g, expr)
+    assert result.ant_edges == cfg_ant_set(g, expr)
+    switch = next(n.id for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    assert g.switch_edge(switch, "T").id in result.ant_edges
+    assert g.switch_edge(switch, "F").id not in result.ant_edges
+
+
+def test_killed_in_loop_not_anticipatable_across_it():
+    g = graph_of(
+        "a := p; b := q; i := 0; "
+        "while (i < n) { a := a + 1; i := i + 1; } z := a + b; print z;"
+    )
+    expr = parse_expr("a + b")
+    result = dfg_anticipatability(g, expr)
+    assert result.ant_edges == cfg_ant_set(g, expr)
+    # Not anticipatable before the loop: the body redefines a.
+    from repro.lang.ast_nodes import Var
+
+    a_def = next(
+        n for n in g.assign_nodes()
+        if n.target == "a" and n.expr == Var("p")
+    )
+    assert g.out_edge(a_def.id).id not in result.ant_edges
+
+
+# -- input validation -------------------------------------------------------------
+
+
+def test_rejects_trivial_and_constant_expressions():
+    g = graph_of("x := 1; print x;")
+    with pytest.raises(ValueError):
+        dfg_anticipatability(g, parse_expr("x"))
+    with pytest.raises(ValueError):
+        dfg_anticipatability(g, parse_expr("1 + 2"))

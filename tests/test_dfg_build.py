@@ -1,0 +1,200 @@
+"""DFG construction tests: Definition 6 verification, Figure 1/2
+structure, multiedges, control edges, demand restriction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.core.build import build_dfg
+from repro.core.dfg import CTRL_VAR, HeadKind, PortKind
+from repro.core.verify import verify_dfg
+from repro.defuse.chains import build_def_use_chains
+from repro.lang.parser import parse_program
+from repro.ssa.cytron import build_ssa_cytron
+from repro.workloads import suites
+from repro.workloads.generators import irreducible_program, random_program
+from repro.workloads.ladders import defuse_worst_case, loop_nest
+
+
+def dfg_of(source_or_prog):
+    prog = (
+        parse_program(source_or_prog)
+        if isinstance(source_or_prog, str)
+        else source_or_prog
+    )
+    g = build_cfg(prog)
+    dfg = build_dfg(g)
+    return g, dfg
+
+
+# -- structural verification ---------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=600))
+@settings(max_examples=50, deadline=None)
+def test_definition6_holds_on_generated_programs(seed):
+    g, dfg = dfg_of(random_program(seed, size=14, num_vars=3))
+    verify_dfg(g, dfg)
+
+
+def test_definition6_holds_on_paper_examples():
+    for make in (
+        suites.figure1,
+        suites.figure2,
+        suites.figure3a,
+        suites.figure3b,
+        suites.figure6,
+        suites.figure7,
+        suites.section1_example,
+    ):
+        g, dfg = dfg_of(make())
+        verify_dfg(g, dfg)
+
+
+def test_definition6_holds_on_irreducible_graphs():
+    for seed in range(6):
+        g, dfg = dfg_of(irreducible_program(seed))
+        verify_dfg(g, dfg)
+
+
+def test_definition6_holds_on_loop_nests():
+    g, dfg = dfg_of(loop_nest(3, width=2))
+    verify_dfg(g, dfg)
+
+
+# -- figure structure -----------------------------------------------------------
+
+
+def test_figure1_x_bypasses_conditional_y_is_intercepted():
+    """Figure 1(c): x's dependence runs from its definition straight to
+    its use in the switch; y's dependences are intercepted by the
+    conditional's operators."""
+    g, dfg = dfg_of(suites.figure1())
+    switch = next(n.id for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    x_source = dfg.use_sources[(switch, "x")]
+    assert x_source.kind is PortKind.DEF
+    assert g.node(x_source.node).target == "x"
+    # y's final use is fed by the merge operator, not directly by a def.
+    printer = next(n.id for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    y_source = dfg.use_sources[(printer, "y")]
+    assert y_source.kind is PortKind.MERGE
+    # y entering the conditional is intercepted by a switch operator.
+    assert any(v == "y" for (_s, v) in dfg.switch_inputs)
+
+
+def test_figure2_multiedge_from_x_definition():
+    """Figure 2(c): "two dependence edges start at the assignment
+    x := 1" -- a multiedge whose heads are the later uses of x."""
+    g, dfg = dfg_of(suites.figure2())
+    x_def = next(n for n in g.assign_nodes() if n.target == "x")
+    from repro.core.dfg import Port
+
+    port = Port(PortKind.DEF, "x", x_def.id)
+    heads = dfg.heads_of(port)
+    assert len(heads) == 2 or (
+        len(heads) == 1 and heads[0].kind is not HeadKind.USE
+    )
+    multi = dfg.multiedges()
+    assert port in multi
+
+
+def test_sequential_uses_share_one_tail():
+    g, dfg = dfg_of("x := 1; a := x + 1; b := x + 2; print a + b;")
+    x_def = next(n for n in g.assign_nodes() if n.target == "x")
+    from repro.core.dfg import Port
+
+    heads = dfg.heads_of(Port(PortKind.DEF, "x", x_def.id))
+    assert len(heads) == 2
+    assert all(h.kind is HeadKind.USE for h in heads)
+
+
+def test_redefinition_cuts_the_web():
+    g, dfg = dfg_of("x := 1; a := x; x := 2; b := x; print a + b;")
+    defs = [n for n in g.assign_nodes() if n.target == "x"]
+    from repro.core.dfg import Port
+
+    for d in defs:
+        heads = dfg.heads_of(Port(PortKind.DEF, "x", d.id))
+        assert len(heads) == 1
+
+
+def test_entry_port_feeds_uninitialized_use():
+    g, dfg = dfg_of("print q;")
+    printer = next(n.id for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert dfg.use_sources[(printer, "q")].kind is PortKind.ENTRY
+
+
+def test_loop_merge_intercepts_loop_carried_variable():
+    g, dfg = dfg_of("i := 0; while (i < 3) { i := i + 1; } print i;")
+    merge = next(n.id for n in g.nodes.values() if n.kind is NodeKind.MERGE)
+    switch = next(n.id for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    # The switch's use of i is fed by the loop merge operator.
+    assert dfg.use_sources[(switch, "i")].kind is PortKind.MERGE
+    assert dfg.use_sources[(switch, "i")].node == merge
+    # The merge has an input per in-edge.
+    from repro.core.dfg import Port
+
+    inputs = dfg.merge_inputs[Port(PortKind.MERGE, "i", merge)]
+    assert set(inputs) == {e.id for e in g.in_edges(merge)}
+
+
+def test_variable_unused_in_loop_bypasses_it():
+    g, dfg = dfg_of(
+        "x := 7; i := 0; while (i < 3) { i := i + 1; } print x;"
+    )
+    printer = next(n.id for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    src = dfg.use_sources[(printer, "x")]
+    assert src.kind is PortKind.DEF  # straight from the def, past the loop
+
+
+# -- control edges ---------------------------------------------------------------
+
+
+def test_control_edges_attach_to_variable_free_statements():
+    g, dfg = dfg_of("x := 5; if (p) { y := 1; } print y;")
+    x_def = next(n for n in g.assign_nodes() if n.target == "x")
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert (x_def.id, CTRL_VAR) in dfg.use_sources
+    assert (y_def.id, CTRL_VAR) in dfg.use_sources
+    # The conditional's arm statement hangs off the switch's control port.
+    assert dfg.use_sources[(y_def.id, CTRL_VAR)].kind is PortKind.SWITCH
+
+
+def test_control_edges_can_be_disabled():
+    g = build_cfg(parse_program("x := 5; print x;"))
+    dfg = build_dfg(g, control_edges=False)
+    assert not any(v == CTRL_VAR for (_n, v) in dfg.use_sources)
+
+
+def test_demand_restriction_to_variable_subset():
+    g = build_cfg(parse_program("x := 1; y := 2; print x; print y;"))
+    dfg = build_dfg(g, variables={"x"}, control_edges=False)
+    assert all(v == "x" for (_n, v) in dfg.use_sources)
+
+
+# -- size (experiment F1's correctness side) -------------------------------------
+
+
+def test_dfg_size_linear_where_chains_quadratic():
+    def sizes(n):
+        g = build_cfg(defuse_worst_case(n))
+        return (
+            build_def_use_chains(g).size(),
+            build_ssa_cytron(g).size(),
+            build_dfg(g).size(include_control=False),
+        )
+
+    chains5, ssa5, dfg5 = sizes(5)
+    chains10, ssa10, dfg10 = sizes(10)
+    assert chains10 > 3 * chains5  # quadratic
+    assert ssa10 < 3 * ssa5  # linear
+    assert dfg10 < 3 * dfg5  # linear
+
+
+def test_every_use_has_exactly_one_source():
+    for seed in range(10):
+        g, dfg = dfg_of(random_program(seed, size=12, num_vars=3))
+        for node in g.nodes.values():
+            for var in node.uses():
+                assert (node.id, var) in dfg.use_sources

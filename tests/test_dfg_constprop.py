@@ -1,0 +1,238 @@
+"""DFG constant propagation (Figure 4(b)) tests.
+
+The central differential property: the DFG algorithm, the CFG vector
+algorithm (Figure 4(a)) and SCCP find exactly the same possible-paths
+constants and the same dead code; def-use-chain propagation finds only
+the all-paths subset.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.cfg.interp import run_cfg
+from repro.core.build import build_dfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.core.dfg import CTRL_VAR
+from repro.dataflow.lattice import BOTTOM, TOP
+from repro.defuse.constprop import defuse_constant_propagation
+from repro.lang.interp import eval_expr
+from repro.lang.parser import parse_program
+from repro.opt.cfg_constprop import cfg_constant_propagation
+from repro.ssa.cytron import build_ssa_cytron
+from repro.ssa.sccp import sparse_conditional_constant_propagation
+from repro.workloads import suites
+from repro.workloads.generators import (
+    inline_expansion_program,
+    irreducible_program,
+    random_program,
+)
+from conftest import random_envs
+
+
+def graph_of(source_or_prog):
+    prog = (
+        parse_program(source_or_prog)
+        if isinstance(source_or_prog, str)
+        else source_or_prog
+    )
+    return build_cfg(prog)
+
+
+def assign(g, target, value=None):
+    from repro.lang.ast_nodes import IntLit
+
+    nodes = [
+        n for n in g.assign_nodes()
+        if n.target == target
+        and (value is None or n.expr == IntLit(value))
+    ]
+    assert len(nodes) == 1
+    return nodes[0]
+
+
+# -- the paper's worked examples -------------------------------------------------
+
+
+def test_figure3a_all_paths_constants():
+    g = graph_of(suites.figure3a())
+    result = dfg_constant_propagation(g)
+    x_defs = [n for n in g.assign_nodes() if n.target == "x"]
+    assert {result.rhs_values[n.id] for n in x_defs} == {3}
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert result.rhs_values[y_def.id] == 3
+
+
+def test_figure3b_possible_paths_constant():
+    """The DFG algorithm ignores the definition on the unexecuted branch:
+    x is 1 at the last statement."""
+    g = graph_of(suites.figure3b())
+    result = dfg_constant_propagation(g)
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert result.use_values[(y_def.id, "x")] == 1
+    dead = assign(g, "x", 2)
+    assert dead.id in result.dead_nodes
+
+
+def test_figure3b_defuse_misses_what_dfg_finds():
+    g = graph_of(suites.figure3b())
+    dfg_result = dfg_constant_propagation(g)
+    chain_result = defuse_constant_propagation(g)
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert dfg_result.use_values[(y_def.id, "x")] == 1
+    assert chain_result.use_values[(y_def.id, "x")] is TOP
+
+
+def test_figure1_final_use_resolves_to_3():
+    g = graph_of(suites.figure1())
+    result = dfg_constant_propagation(g)
+    printer = next(n.id for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert result.use_values[(printer, "y")] == 3
+    dead = assign(g, "y", 5)
+    assert dead.id in result.dead_nodes
+
+
+# -- dead code ---------------------------------------------------------------
+
+
+def test_constant_predicate_kills_branch():
+    g = graph_of("if (0) { x := 1; print x; } else { skip; } print 2;")
+    result = dfg_constant_propagation(g)
+    x_def = next(n for n in g.assign_nodes() if n.target == "x")
+    assert x_def.id in result.dead_nodes
+
+
+def test_nested_dead_regions():
+    g = graph_of(
+        """
+        p := 0;
+        if (p) {
+            if (q) { x := 1; } else { x := 2; }
+            print x;
+        }
+        print 9;
+        """
+    )
+    result = dfg_constant_propagation(g)
+    dead_assigns = {
+        n.id for n in g.assign_nodes() if n.target == "x"
+    }
+    assert dead_assigns <= result.dead_nodes
+
+
+def test_zero_trip_loop_body_is_dead():
+    g = graph_of("x := 5; i := 0; while (i < 0) { x := 1; } print x;")
+    result = dfg_constant_propagation(g)
+    body_def = assign(g, "x", 1)
+    assert body_def.id in result.dead_nodes
+    printer = next(n.id for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert result.use_values[(printer, "x")] == 5
+
+
+def test_live_loop_variable_is_top():
+    g = graph_of("i := 0; while (i < n) { i := i + 1; } print i;")
+    result = dfg_constant_propagation(g)
+    printer = next(n.id for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert result.use_values[(printer, "i")] is TOP
+
+
+def test_constant_through_loop():
+    """A variable unmodified by the loop keeps its constant across it."""
+    g = graph_of("x := 7; i := 0; while (i < n) { i := i + 1; } print x;")
+    result = dfg_constant_propagation(g)
+    printer = next(n.id for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert result.use_values[(printer, "x")] == 7
+
+
+def test_entry_values_are_top():
+    g = graph_of("y := q + 1; print y;")
+    result = dfg_constant_propagation(g)
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert result.use_values[(y_def.id, "q")] is TOP
+
+
+# -- differential agreement ---------------------------------------------------
+
+
+def agreement_case(prog):
+    g = build_cfg(prog)
+    dfg_result = dfg_constant_propagation(g)
+    cfg_result = cfg_constant_propagation(g)
+    ssa = build_ssa_cytron(g)
+    sccp_result = sparse_conditional_constant_propagation(ssa)
+    for (nid, var), dv in dfg_result.use_values.items():
+        if var == CTRL_VAR:
+            continue
+        assert cfg_result.use_values[(nid, var)] == dv, (nid, var)
+        assert sccp_result.value_of_use(ssa, nid, var) == dv, (nid, var)
+    statements = {
+        n.id
+        for n in g.nodes.values()
+        if n.kind in (NodeKind.ASSIGN, NodeKind.PRINT, NodeKind.SWITCH)
+    }
+    assert (cfg_result.dead_nodes & statements) == dfg_result.dead_nodes
+
+
+@given(st.integers(min_value=0, max_value=800))
+@settings(max_examples=40, deadline=None)
+def test_three_way_agreement_on_random_programs(seed):
+    agreement_case(random_program(seed, size=14, num_vars=3))
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=20, deadline=None)
+def test_three_way_agreement_on_inline_expansion(seed):
+    agreement_case(inline_expansion_program(seed))
+
+
+def test_three_way_agreement_on_irreducible():
+    for seed in range(5):
+        agreement_case(irreducible_program(seed))
+
+
+def test_defuse_is_never_more_precise():
+    """All-paths constants are a subset of possible-paths constants."""
+    for seed in range(15):
+        g = build_cfg(inline_expansion_program(seed))
+        dfg_result = dfg_constant_propagation(g)
+        chain_result = defuse_constant_propagation(g)
+        for key, cv in chain_result.constant_uses().items():
+            dv = dfg_result.use_values[key]
+            assert dv is BOTTOM or dv == cv, key
+
+
+def test_inline_expansion_shows_the_precision_gap():
+    """The motivating workload: possible-paths constants the chains miss."""
+    gap = 0
+    for seed in range(10):
+        g = build_cfg(inline_expansion_program(seed))
+        dfg_found = dfg_constant_propagation(g).constant_uses()
+        chain_found = defuse_constant_propagation(g).constant_uses()
+        dead = dfg_constant_propagation(g).dead_nodes
+        live_dfg = {k: v for k, v in dfg_found.items() if k[0] not in dead}
+        gap += len(set(live_dfg) - set(chain_found))
+    assert gap > 0
+
+
+# -- soundness against real executions ------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=25, deadline=None)
+def test_claimed_constants_match_executions(seed):
+    prog = random_program(seed, size=12, num_vars=3)
+    g = build_cfg(prog)
+    result = dfg_constant_propagation(g)
+    constants = result.constant_uses()
+    for env in random_envs(seed, [f"v{i}" for i in range(4)], count=3):
+        run = run_cfg(g, env)
+        state = dict(env)
+        for nid in run.trace:
+            node = g.node(nid)
+            assert nid not in result.dead_nodes, f"dead node {nid} executed"
+            for var in node.uses():
+                if (nid, var) in constants:
+                    assert state.get(var, 0) == constants[(nid, var)]
+            if node.kind is NodeKind.ASSIGN:
+                state[node.target] = eval_expr(node.expr, state)

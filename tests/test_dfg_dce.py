@@ -1,0 +1,113 @@
+"""DFG mark-sweep dead code elimination tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.interp import run_cfg
+from repro.core.dce import dfg_dead_code_elimination
+from repro.lang.parser import parse_program
+from repro.opt.transform import remove_dead_assignments
+from repro.workloads.generators import array_program, random_program
+from conftest import random_envs
+
+
+def graph_of(source):
+    return build_cfg(parse_program(source))
+
+
+def test_straight_line_dead_assign_removed():
+    g = graph_of("x := 1; y := 2; print y;")
+    stats = dfg_dead_code_elimination(g)
+    assert len(stats.removed_assignments) == 1
+    assert run_cfg(g).outputs == [2]
+
+
+def test_cyclic_dead_counter_removed():
+    """The case liveness-based DCE cannot handle: the counter feeds only
+    itself around the loop."""
+    src = "i := 0; p := n; while (p > 0) { i := i + 1; p := p - 1; } print 9;"
+    by_liveness = graph_of(src)
+    stats_liveness = remove_dead_assignments(by_liveness)
+    by_adce = graph_of(src)
+    stats_adce = dfg_dead_code_elimination(by_adce)
+    # Liveness keeps the self-sustaining chain; mark-sweep removes it.
+    liveness_left = {n.target for n in by_liveness.assign_nodes()}
+    adce_left = {n.target for n in by_adce.assign_nodes()}
+    assert "i" in liveness_left
+    assert "i" not in adce_left
+    assert "p" in adce_left  # controls the branch: observable
+    del stats_liveness, stats_adce
+    for env in ({"n": 3}, {"n": 0}):
+        assert run_cfg(by_adce, env).outputs == [9]
+
+
+def test_mutually_dead_pair_removed():
+    src = (
+        "a := 1; b := 2; k := n; "
+        "while (k > 0) { a := b + 1; b := a + 1; k := k - 1; } print k;"
+    )
+    g = graph_of(src)
+    dfg_dead_code_elimination(g)
+    left = {n.target for n in g.assign_nodes()}
+    assert "a" not in left and "b" not in left
+    assert run_cfg(g, {"n": 2}).outputs == [0]
+
+
+def test_branch_predicate_keeps_its_operands():
+    g = graph_of("x := n + 1; if (x > 0) { print 1; } else { print 2; }")
+    stats = dfg_dead_code_elimination(g)
+    assert stats.removed_assignments == []
+    assert {n.target for n in g.assign_nodes()} == {"x"}
+
+
+def test_value_reaching_print_through_merge_kept():
+    g = graph_of("if (p) { x := 1; } else { x := 2; } print x;")
+    stats = dfg_dead_code_elimination(g)
+    assert stats.removed_assignments == []
+
+
+def test_dead_store_chain_removed():
+    g = graph_of("a[0] := 1; a[1] := 2; print 5;")
+    stats = dfg_dead_code_elimination(g)
+    assert len(stats.removed_assignments) == 2
+    assert run_cfg(g).outputs == [5]
+
+
+def test_live_store_chain_kept():
+    g = graph_of("a[0] := 1; a[1] := 2; print a[0];")
+    stats = dfg_dead_code_elimination(g)
+    assert stats.removed_assignments == []
+
+
+@given(st.integers(min_value=0, max_value=600))
+@settings(max_examples=30, deadline=None)
+def test_adce_preserves_outputs(seed):
+    prog = random_program(seed, size=14, num_vars=3)
+    g = build_cfg(prog)
+    g2 = g.copy()
+    dfg_dead_code_elimination(g2)
+    for env in random_envs(seed, [f"v{i}" for i in range(4)], count=3):
+        assert run_cfg(g, env).outputs == run_cfg(g2, env).outputs
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=15, deadline=None)
+def test_adce_preserves_outputs_with_arrays(seed):
+    prog = array_program(seed)
+    g = build_cfg(prog)
+    g2 = g.copy()
+    dfg_dead_code_elimination(g2)
+    for env in ({}, {"p": 2}, {"arr": {0: 5}, "s": 1}):
+        assert run_cfg(g, env).outputs == run_cfg(g2, env).outputs
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=20, deadline=None)
+def test_adce_removes_at_least_what_liveness_does(seed):
+    prog = random_program(seed, size=14, num_vars=3)
+    by_liveness = build_cfg(prog)
+    by_adce = build_cfg(prog)
+    live_stats = remove_dead_assignments(by_liveness)
+    adce_stats = dfg_dead_code_elimination(by_adce)
+    assert len(adce_stats.removed_assignments) >= live_stats.removed_assignments

@@ -1,0 +1,67 @@
+"""Depth-first search order and edge-classification tests."""
+
+from repro.graphs.dfs import depth_first_search, reverse_postorder
+
+
+def adj(graph):
+    return lambda n: graph.get(n, [])
+
+
+def test_linear_chain_orders():
+    g = {0: [1], 1: [2], 2: []}
+    r = depth_first_search([0], adj(g))
+    assert r.preorder == [0, 1, 2]
+    assert r.postorder == [2, 1, 0]
+    assert reverse_postorder(0, adj(g)) == [0, 1, 2]
+
+
+def test_tree_edges_form_spanning_tree():
+    g = {0: [1, 2], 1: [3], 2: [3], 3: []}
+    r = depth_first_search([0], adj(g))
+    assert set(r.tree_edges) == {(0, 1), (1, 3), (0, 2)}
+    assert r.parent[3] == 1
+
+
+def test_back_edge_detected_in_cycle():
+    g = {0: [1], 1: [2], 2: [1, 3], 3: []}
+    r = depth_first_search([0], adj(g))
+    assert r.back_edges == [(2, 1)]
+
+
+def test_self_loop_is_back_edge():
+    g = {0: [0, 1], 1: []}
+    r = depth_first_search([0], adj(g))
+    assert (0, 0) in r.back_edges
+
+
+def test_forward_and_cross_edges():
+    # 0 -> 1 -> 2, 0 -> 2 is forward; 0 -> 3, 3 -> 2 would be cross.
+    g = {0: [1, 2, 3], 1: [2], 2: [], 3: [2]}
+    r = depth_first_search([0], adj(g))
+    assert (0, 2) in r.forward_edges
+    assert (3, 2) in r.cross_edges
+
+
+def test_edge_partition_is_complete():
+    g = {0: [1, 2], 1: [2, 0], 2: [0, 2], 3: [0]}
+    r = depth_first_search([0, 3], adj(g))
+    all_edges = [(u, v) for u in g for v in g[u]]
+    classified = (
+        r.tree_edges + r.back_edges + r.forward_edges + r.cross_edges
+    )
+    assert sorted(classified) == sorted(all_edges)
+
+
+def test_multiple_roots_cover_disconnected_parts():
+    g = {0: [1], 1: [], 2: [3], 3: []}
+    r = depth_first_search([0, 2], adj(g))
+    assert set(r.preorder) == {0, 1, 2, 3}
+
+
+def test_rpo_respects_dependencies_in_dag():
+    g = {0: [2, 1], 1: [3], 2: [3], 3: []}
+    order = reverse_postorder(0, adj(g))
+    pos = {n: i for i, n in enumerate(order)}
+    for u in g:
+        for v in g[u]:
+            assert pos[u] < pos[v]

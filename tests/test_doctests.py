@@ -1,0 +1,35 @@
+"""Run the doctest examples embedded in the public modules, so the
+docstring snippets stay executable as the API evolves."""
+
+import doctest
+
+import pytest
+
+import repro.cfg.builder
+import repro.cfg.graph
+import repro.cfg.interp
+import repro.lang.interp
+import repro.lang.lexer
+import repro.lang.parser
+import repro.lang.pretty
+import repro.ssa.destruct
+import repro.util.counters
+
+MODULES = [
+    repro.cfg.builder,
+    repro.cfg.graph,
+    repro.cfg.interp,
+    repro.lang.interp,
+    repro.lang.lexer,
+    repro.lang.parser,
+    repro.lang.pretty,
+    repro.ssa.destruct,
+    repro.util.counters,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tried = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert failures == 0
+    assert tried > 0, f"{module.__name__} lost its doctest examples"

@@ -1,0 +1,160 @@
+"""Dominance tests: worked examples, a brute-force oracle, and a
+networkx cross-check on generated CFGs."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.graphs.dominance import (
+    cfg_dominators,
+    cfg_postdominators,
+    dominator_tree,
+    edge_dominators,
+    edge_key,
+    edge_postdominators,
+    node_key,
+)
+from repro.lang.parser import parse_program
+from repro.workloads.generators import irreducible_program, random_program
+
+
+def adj(graph):
+    return lambda n: graph.get(n, [])
+
+
+def preds_of(graph):
+    rev = {}
+    for u, vs in graph.items():
+        rev.setdefault(u, [])
+        for v in vs:
+            rev.setdefault(v, []).append(u)
+    return lambda n: rev.get(n, [])
+
+
+def brute_force_dominates(graph, root, a, b):
+    """a dom b iff b is unreachable from root when a is removed."""
+    if a == b:
+        return True
+    if a == root:
+        return True
+    seen, stack = {root}, [root]
+    while stack:
+        n = stack.pop()
+        for s in graph.get(n, []):
+            if s != a and s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return b not in seen
+
+
+def test_diamond_dominators():
+    g = {0: [1, 2], 1: [3], 2: [3], 3: []}
+    tree = dominator_tree(0, adj(g), preds_of(g))
+    assert tree.idom_of(3) == 0
+    assert tree.idom_of(1) == 0 and tree.idom_of(2) == 0
+    assert tree.dominates(0, 3)
+    assert not tree.dominates(1, 3)
+
+
+def test_loop_dominators():
+    g = {0: [1], 1: [2], 2: [1, 3], 3: []}
+    tree = dominator_tree(0, adj(g), preds_of(g))
+    assert tree.idom_of(2) == 1
+    assert tree.idom_of(3) == 2
+    assert tree.dominates(1, 3)
+
+
+def test_depths():
+    g = {0: [1, 2], 1: [3], 2: [3], 3: []}
+    tree = dominator_tree(0, adj(g), preds_of(g))
+    assert tree.depth(0) == 0
+    assert tree.depth(1) == tree.depth(2) == tree.depth(3) == 1
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=40, deadline=None)
+def test_dominators_match_brute_force(seed):
+    prog = random_program(seed, size=12, num_vars=3)
+    g = build_cfg(prog)
+    tree = cfg_dominators(g)
+    nodes = sorted(g.nodes)
+    graph = {n: g.succs(n) for n in nodes}
+    for a in nodes[::3]:
+        for b in nodes[::3]:
+            assert tree.dominates(a, b) == brute_force_dominates(
+                graph, g.start, a, b
+            )
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=30, deadline=None)
+def test_idoms_match_networkx(seed):
+    prog = random_program(seed, size=15, num_vars=3)
+    g = build_cfg(prog)
+    tree = cfg_dominators(g)
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(g.nodes)
+    nxg.add_edges_from((e.src, e.dst) for e in g.edges.values())
+    expected = nx.immediate_dominators(nxg, g.start)
+    for node, idom in expected.items():
+        if node == g.start:
+            assert tree.idom_of(node) is None
+        else:
+            assert tree.idom_of(node) == idom
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_irreducible_graphs_agree_with_networkx(seed):
+    g = build_cfg(irreducible_program(seed))
+    tree = cfg_dominators(g)
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(g.nodes)
+    nxg.add_edges_from((e.src, e.dst) for e in g.edges.values())
+    expected = nx.immediate_dominators(nxg, g.start)
+    for node, idom in expected.items():
+        if node != g.start:
+            assert tree.idom_of(node) == idom
+
+
+def test_postdominators_on_diamond():
+    g = build_cfg(
+        parse_program("if (p) { x := 1; } else { x := 2; } print x;")
+    )
+    post = cfg_postdominators(g)
+    printer = next(
+        n.id for n in g.nodes.values() if n.kind.value == "print"
+    )
+    switch = next(
+        n.id for n in g.nodes.values() if n.kind.value == "switch"
+    )
+    assert post.dominates(printer, switch)
+    assert post.dominates(g.end, g.start)
+
+
+def test_edge_dominance_on_diamond():
+    g = build_cfg(
+        parse_program("if (p) { x := 1; } else { x := 2; } print x;")
+    )
+    dom = edge_dominators(g)
+    post = edge_postdominators(g)
+    entry = g.out_edge(g.start)
+    exit_edge = g.in_edge(g.end)
+    # The entry edge dominates every edge; the exit edge postdominates all.
+    for eid in g.edges:
+        assert dom.dominates(edge_key(entry.id), edge_key(eid))
+        assert post.dominates(edge_key(exit_edge.id), edge_key(eid))
+    # Branch arms dominate nothing outside themselves.
+    switch = next(n.id for n in g.nodes.values() if n.kind.value == "switch")
+    t_edge = g.switch_edge(switch, "T")
+    assert not dom.dominates(edge_key(t_edge.id), edge_key(exit_edge.id))
+
+
+def test_edge_dominance_mixes_nodes_and_edges():
+    g = build_cfg(parse_program("x := 1; print x;"))
+    dom = edge_dominators(g)
+    assign = next(n.id for n in g.nodes.values() if n.kind.value == "assign")
+    out = g.out_edge(assign)
+    assert dom.dominates(node_key(assign), edge_key(out.id))
+    assert dom.dominates(edge_key(g.in_edge(assign).id), node_key(assign))

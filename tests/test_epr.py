@@ -1,0 +1,202 @@
+"""Partial redundancy elimination tests (Section 5.2).
+
+The governing dynamic properties, checked with the counting interpreter:
+
+* outputs never change;
+* no execution evaluates the candidate expression more often than before
+  (the Morel-Renvoise guarantee);
+* on genuinely redundant workloads some execution evaluates it less.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.interp import run_cfg
+from repro.core.epr import (
+    eliminate_partial_redundancies,
+    epr_all,
+    replace_subexpr,
+)
+from repro.lang.parser import parse_expr, parse_program
+from repro.opt.cfg_epr import cfg_eliminate_partial_redundancies, cfg_epr_all
+from repro.workloads import suites
+from repro.workloads.generators import random_program
+from conftest import random_envs
+
+AB = parse_expr("a + b")
+
+
+def graph_of(source_or_prog):
+    prog = (
+        parse_program(source_or_prog)
+        if isinstance(source_or_prog, str)
+        else source_or_prog
+    )
+    return build_cfg(prog)
+
+
+def assert_safe(original, transformed, expr, envs, expect_improvement=None):
+    improved = False
+    for env in envs:
+        r1, r2 = run_cfg(original, env), run_cfg(transformed, env)
+        assert r1.outputs == r2.outputs
+        c1, c2 = r1.eval_counts[expr], r2.eval_counts[expr]
+        assert c2 <= c1, f"a path got worse: {c1} -> {c2}"
+        improved |= c2 < c1
+    if expect_improvement is not None:
+        assert improved == expect_improvement
+    return improved
+
+
+def test_replace_subexpr():
+    expr = parse_expr("(a + b) * (a + b) + c")
+    out = replace_subexpr(expr, AB, parse_expr("t"))
+    assert out == parse_expr("t * t + c")
+
+
+def test_total_redundancy_eliminated():
+    g = graph_of("a := p; b := q; x := a + b; y := a + b; print x + y;")
+    res = eliminate_partial_redundancies(g, AB)
+    assert len(res.deleted_nodes) == 2
+    assert_safe(g, res.graph, AB, [{"p": 1, "q": 2}, {}], True)
+
+
+def test_partial_redundancy_diamond():
+    g = graph_of(
+        "a := p; b := q; if (c) { x := a + b; } else { skip; } "
+        "y := a + b; print y;"
+    )
+    res = eliminate_partial_redundancies(g, AB)
+    envs = [{"p": 1, "q": 2, "c": 1}, {"p": 1, "q": 2, "c": 0}]
+    assert_safe(g, res.graph, AB, envs, True)
+    # The c-true path drops from 2 evaluations to 1.
+    before = run_cfg(g, envs[0]).eval_counts[AB]
+    after = run_cfg(res.graph, envs[0]).eval_counts[AB]
+    assert (before, after) == (2, 1)
+
+
+def test_repeat_until_loop_invariant_hoisted():
+    """The back edge is switch-to-merge -- the critical edge of the
+    Section 5.2 discussion -- and the body runs at least once, so the
+    invariant hoists."""
+    g = graph_of(
+        "a := p; b := q; s := 0; "
+        "repeat { s := s + (a + b); n := n - 1; } until (n <= 0); print s;"
+    )
+    res = eliminate_partial_redundancies(g, AB)
+    envs = [{"p": 1, "q": 2, "n": 5}, {"n": 1}]
+    assert_safe(g, res.graph, AB, envs, True)
+    assert run_cfg(res.graph, {"p": 1, "q": 2, "n": 6}).eval_counts[AB] == 1
+
+
+def test_while_loop_zero_trip_blocks_hoisting():
+    """A while loop may run zero times: hoisting above the test would
+    lengthen that path, so the static guarantee forbids it."""
+    g = graph_of(
+        "a := p; b := q; i := 0; s := 0; "
+        "while (i < n) { s := s + (a + b); i := i + 1; } print s;"
+    )
+    res = eliminate_partial_redundancies(g, AB)
+    assert_safe(g, res.graph, AB, [{"n": 5}, {"n": 0}], False)
+    zero_trip = run_cfg(res.graph, {"n": 0}).eval_counts[AB]
+    assert zero_trip == 0
+
+
+def test_while_loop_with_later_use_hoists():
+    g = graph_of(
+        "a := p; b := q; i := 0; s := 0; "
+        "while (i < n) { s := s + (a + b); i := i + 1; } "
+        "t := a + b; print s + t;"
+    )
+    res = eliminate_partial_redundancies(g, AB)
+    envs = [{"n": 5}, {"n": 0}, {"n": 1}]
+    assert_safe(g, res.graph, AB, envs, True)
+    # Every run now evaluates a+b exactly once.
+    for env in envs:
+        assert run_cfg(res.graph, env).eval_counts[AB] == 1
+
+
+def test_section1_first_stage():
+    g = graph_of(suites.section1_example())
+    new_graph, results = epr_all(g)
+    r1, r2 = run_cfg(g), run_cfg(new_graph)
+    assert r1.outputs == r2.outputs
+    assert r2.eval_counts[AB] == 1 < r1.eval_counts[AB]
+
+
+def test_no_change_when_no_redundancy():
+    g = graph_of("a := p; b := q; x := a + b; print x;")
+    res = eliminate_partial_redundancies(g, AB)
+    assert not res.changed
+    assert res.graph.num_nodes == g.num_nodes
+
+
+def test_nested_occurrences_rewritten():
+    g = graph_of("a := p; b := q; x := (a + b) * (a + b); y := a + b; print x + y;")
+    res = eliminate_partial_redundancies(g, AB)
+    assert_safe(g, res.graph, AB, [{"p": 3, "q": 4}], True)
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=20, deadline=None)
+def test_epr_all_preserves_semantics_and_counts(seed):
+    prog = random_program(seed, size=14, num_vars=3)
+    g = build_cfg(prog)
+    g2, _results = epr_all(g)
+    for env in random_envs(seed, [f"v{i}" for i in range(4)], count=3):
+        r1, r2 = run_cfg(g, env), run_cfg(g2, env)
+        assert r1.outputs == r2.outputs
+        for expr in g.expressions():
+            assert r2.eval_counts[expr] <= r1.eval_counts[expr]
+
+
+# -- the dense CFG baseline ----------------------------------------------------
+
+
+def test_cfg_epr_matches_quality_on_diamond():
+    g = graph_of(
+        "a := p; b := q; if (c) { x := a + b; } else { skip; } "
+        "y := a + b; print y;"
+    )
+    res = cfg_eliminate_partial_redundancies(g, AB)
+    envs = [{"p": 1, "q": 2, "c": 1}, {"p": 1, "q": 2, "c": 0}]
+    assert_safe(g, res.graph, AB, envs, True)
+
+
+def test_cfg_epr_hoists_repeat_until():
+    g = graph_of(
+        "a := p; b := q; s := 0; "
+        "repeat { s := s + (a + b); n := n - 1; } until (n <= 0); print s;"
+    )
+    res = cfg_eliminate_partial_redundancies(g, AB)
+    assert_safe(g, res.graph, AB, [{"n": 5}, {"n": 1}], True)
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=10, deadline=None)
+def test_cfg_epr_safe_on_random_programs(seed):
+    prog = random_program(seed, size=12, num_vars=3)
+    g = build_cfg(prog)
+    g2, _ = cfg_epr_all(g)
+    for env in random_envs(seed, [f"v{i}" for i in range(4)], count=2):
+        r1, r2 = run_cfg(g, env), run_cfg(g2, env)
+        assert r1.outputs == r2.outputs
+        for expr in g.expressions():
+            assert r2.eval_counts[expr] <= r1.eval_counts[expr]
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=10, deadline=None)
+def test_dfg_and_cfg_epr_agree_on_improvement(seed):
+    """The two implementations share placement filtering; their dynamic
+    improvement should coincide on random workloads."""
+    prog = random_program(seed, size=12, num_vars=3)
+    g = build_cfg(prog)
+    dfg_graph, _ = epr_all(g)
+    cfg_graph, _ = cfg_epr_all(g)
+    for env in random_envs(seed + 7, [f"v{i}" for i in range(4)], count=2):
+        base = run_cfg(g, env)
+        d = run_cfg(dfg_graph, env)
+        c = run_cfg(cfg_graph, env)
+        assert d.outputs == base.outputs == c.outputs

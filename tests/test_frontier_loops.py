@@ -1,0 +1,128 @@
+"""Dominance frontier and natural-loop tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.graphs.dominance import cfg_dominators, dominator_tree
+from repro.graphs.frontier import dominance_frontiers, iterated_frontier
+from repro.graphs.loops import (
+    back_edges,
+    is_reducible,
+    natural_loops,
+    retreating_edges,
+)
+from repro.lang.parser import parse_program
+from repro.workloads.generators import irreducible_program, random_program
+
+
+def adj(graph):
+    return lambda n: graph.get(n, [])
+
+
+def preds_of(graph):
+    rev = {}
+    for u, vs in graph.items():
+        rev.setdefault(u, [])
+        for v in vs:
+            rev.setdefault(v, []).append(u)
+    return lambda n: rev.get(n, [])
+
+
+def test_diamond_frontier():
+    g = {0: [1, 2], 1: [3], 2: [3], 3: []}
+    tree = dominator_tree(0, adj(g), preds_of(g))
+    df = dominance_frontiers(tree, preds_of(g))
+    assert df[1] == {3} and df[2] == {3}
+    assert df[0] == set() and df[3] == set()
+
+
+def test_loop_frontier_contains_header():
+    g = {0: [1], 1: [2], 2: [1, 3], 3: []}
+    tree = dominator_tree(0, adj(g), preds_of(g))
+    df = dominance_frontiers(tree, preds_of(g))
+    # The loop body's frontier includes the header itself.
+    assert 1 in df[2]
+    assert 1 in df[1]
+
+
+def test_iterated_frontier_reaches_transitive_joins():
+    # Two nested diamonds: a def in the inner arm needs phis at both joins.
+    g = {0: [1, 2], 1: [3, 4], 3: [5], 4: [5], 5: [6], 2: [6], 6: []}
+    tree = dominator_tree(0, adj(g), preds_of(g))
+    df = dominance_frontiers(tree, preds_of(g))
+    assert iterated_frontier(df, [3]) == {5, 6}
+
+
+def test_frontier_matches_definition_on_generated_cfgs():
+    for seed in range(20):
+        g = build_cfg(random_program(seed, size=12, num_vars=3))
+        tree = cfg_dominators(g)
+        df = dominance_frontiers(tree, g.preds)
+        for x in g.nodes:
+            expected = set()
+            for y in g.nodes:
+                if any(tree.dominates(x, p) for p in g.preds(y)) and not (
+                    x != y and tree.dominates(x, y)
+                ):
+                    if g.preds(y):
+                        expected.add(y)
+            assert df[x] == expected, f"seed={seed} node={x}"
+
+
+def test_while_loop_is_natural_loop():
+    g = build_cfg(
+        parse_program("i := 0; while (i < 3) { i := i + 1; } print i;")
+    )
+    loops = natural_loops(g)
+    assert len(loops) == 1
+    (header, body), = loops.items()
+    assert header in body
+    kinds = {g.node(n).kind.value for n in body}
+    assert "merge" in kinds and "switch" in kinds and "assign" in kinds
+
+
+def test_nested_loops_nest():
+    g = build_cfg(
+        parse_program(
+            """
+            i := 0;
+            while (i < 3) {
+                j := 0;
+                while (j < 3) { j := j + 1; }
+                i := i + 1;
+            }
+            print i;
+            """
+        )
+    )
+    loops = natural_loops(g)
+    assert len(loops) == 2
+    bodies = sorted(loops.values(), key=len)
+    assert bodies[0] < bodies[1]  # inner strictly inside outer
+
+
+def test_structured_programs_are_reducible():
+    for seed in range(10):
+        g = build_cfg(random_program(seed, size=15, num_vars=3))
+        assert is_reducible(g)
+        assert set(retreating_edges(g)) == set(back_edges(g))
+
+
+def test_irreducible_graph_detected():
+    hits = 0
+    for seed in range(8):
+        g = build_cfg(irreducible_program(seed))
+        if not is_reducible(g):
+            hits += 1
+    assert hits > 0, "generator should produce at least one irreducible CFG"
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_loop_bodies_are_dominated_by_header(seed):
+    g = build_cfg(random_program(seed, size=15, num_vars=3))
+    dom = cfg_dominators(g)
+    for header, body in natural_loops(g).items():
+        for node in body:
+            assert dom.dominates(header, node)

@@ -1,0 +1,142 @@
+"""Unit tests for the AST interpreter (flattening + execution)."""
+
+import pytest
+
+from repro.lang.errors import InterpError, StepLimitExceeded
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.interp import run_program
+
+
+def outputs(source, env=None, **kw):
+    return run_program(parse_program(source), env, **kw).outputs
+
+
+def test_arithmetic_and_print():
+    assert outputs("print 2 + 3 * 4;") == [14]
+
+
+def test_division_is_floor():
+    assert outputs("print 7 / 2; print -7 / 2;") == [3, -4]
+
+
+def test_modulo_matches_floor_division():
+    assert outputs("print 7 % 3; print -7 % 3;") == [1, 2]
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(InterpError):
+        outputs("print 1 / 0;")
+
+
+def test_comparisons_yield_zero_one():
+    assert outputs("print 1 < 2; print 2 < 1; print 3 == 3;") == [1, 0, 1]
+
+
+def test_logical_ops_are_strict_and_boolean():
+    assert outputs("print 5 && 0; print 5 && 2; print 0 || 7;") == [0, 1, 1]
+
+
+def test_unary_negation_and_not():
+    assert outputs("print -3; print !0; print !9;") == [-3, 1, 0]
+
+
+def test_uninitialized_variable_defaults_to_env_or_zero():
+    assert outputs("print q;") == [0]
+    assert outputs("print q;", {"q": 42}) == [42]
+
+
+def test_if_else_branches():
+    src = "if (x > 0) { print 1; } else { print 2; }"
+    assert outputs(src, {"x": 5}) == [1]
+    assert outputs(src, {"x": -5}) == [2]
+
+
+def test_while_loop_counts():
+    src = "i := 0; while (i < 4) { i := i + 1; } print i;"
+    assert outputs(src) == [4]
+
+
+def test_repeat_until_runs_at_least_once():
+    src = "i := 10; repeat { i := i + 1; } until (1); print i;"
+    assert outputs(src) == [11]
+
+
+def test_repeat_until_loops_until_condition():
+    src = "i := 0; repeat { i := i + 1; } until (i >= 3); print i;"
+    assert outputs(src) == [3]
+
+
+def test_goto_forward_skips_statements():
+    src = "goto L; print 1; label L: print 2;"
+    assert outputs(src) == [2]
+
+
+def test_goto_backward_forms_loop():
+    src = """
+    i := 0;
+    label top:
+    i := i + 1;
+    if (i < 3) { goto top; }
+    print i;
+    """
+    assert outputs(src) == [3]
+
+
+def test_goto_into_loop_body():
+    src = """
+    i := 5;
+    goto inside;
+    while (i < 3) {
+        label inside:
+        i := i + 1;
+    }
+    print i;
+    """
+    # Jumping into the body runs it once; then the loop test fails.
+    assert outputs(src) == [6]
+
+
+def test_missing_label_raises():
+    with pytest.raises(InterpError):
+        outputs("goto nowhere;")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(InterpError):
+        outputs("label L: skip; label L: skip;")
+
+
+def test_step_limit():
+    with pytest.raises(StepLimitExceeded):
+        outputs("label L: goto L;", max_steps=100)
+
+
+def test_evaluation_counting():
+    result = run_program(
+        parse_program("a := 1; b := 2; x := a + b; y := a + b; print x + y;")
+    )
+    assert result.evaluations_of(parse_expr("a + b")) == 2
+    assert result.evaluations_of(parse_expr("x + y")) == 1
+
+
+def test_evaluation_counting_counts_subexpressions():
+    result = run_program(parse_program("z := (a + b) * 2;"))
+    assert result.evaluations_of(parse_expr("a + b")) == 1
+    assert result.evaluations_of(parse_expr("(a + b) * 2")) == 1
+
+
+def test_evaluation_counting_rejects_trivial():
+    result = run_program(parse_program("x := 1;"))
+    with pytest.raises(ValueError):
+        result.evaluations_of(parse_expr("x"))
+
+
+def test_skip_and_empty_program():
+    assert outputs("") == []
+    assert outputs("skip; skip;") == []
+
+
+def test_env_is_not_mutated():
+    env = {"x": 1}
+    run_program(parse_program("x := 2;"), env)
+    assert env == {"x": 1}

@@ -1,0 +1,124 @@
+"""Property tests for the constant lattice and abstract evaluation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.lattice import (
+    BOTTOM,
+    TOP,
+    eval_abstract,
+    join_all,
+    join_const,
+    leq_const,
+    truthiness,
+)
+from repro.lang.interp import eval_expr
+from repro.lang.errors import InterpError
+
+import strategies
+
+values = st.one_of(
+    st.just(BOTTOM), st.just(TOP), st.integers(min_value=-20, max_value=20)
+)
+
+
+@given(values, values)
+def test_join_commutative(a, b):
+    assert join_const(a, b) == join_const(b, a)
+
+
+@given(values, values, values)
+def test_join_associative(a, b, c):
+    assert join_const(join_const(a, b), c) == join_const(a, join_const(b, c))
+
+
+@given(values)
+def test_join_idempotent(a):
+    assert join_const(a, a) == a
+
+
+@given(values)
+def test_bottom_is_identity_top_absorbs(a):
+    assert join_const(BOTTOM, a) == a
+    assert join_const(TOP, a) is TOP
+
+
+@given(values, values)
+def test_leq_agrees_with_join(a, b):
+    assert leq_const(a, b) == (join_const(a, b) == b)
+
+
+def test_distinct_constants_join_to_top():
+    assert join_const(1, 2) is TOP
+    assert join_const(0, 0) == 0
+
+
+def test_join_all():
+    assert join_all([]) is BOTTOM
+    assert join_all([BOTTOM, 5, BOTTOM]) == 5
+    assert join_all([5, 5]) == 5
+    assert join_all([5, 6]) is TOP
+
+
+def test_truthiness():
+    assert truthiness(BOTTOM) is BOTTOM
+    assert truthiness(TOP) is TOP
+    assert truthiness(0) == 0
+    assert truthiness(7) == 1
+    assert truthiness(-3) == 1
+
+
+@given(strategies.exprs(max_leaves=8))
+@settings(max_examples=150)
+def test_eval_abstract_with_all_constants_matches_concrete(expr):
+    """With every variable bound to a constant, abstract evaluation folds
+    exactly like the interpreter (or yields TOP where the interpreter
+    would trap)."""
+    env = {name: 3 for name in _vars(expr)}
+    abstract = eval_abstract(expr, lambda v: env[v])
+    try:
+        concrete = eval_expr(expr, env)
+    except InterpError:
+        assert abstract is TOP  # would trap: must not fold
+        return
+    assert abstract == concrete
+
+
+@given(strategies.exprs(max_leaves=8))
+@settings(max_examples=100)
+def test_eval_abstract_bottom_dominates_top(expr):
+    names = sorted(_vars(expr))
+    if not names:
+        return
+    half = len(names) // 2
+    lookup = {}
+    for i, name in enumerate(names):
+        lookup[name] = BOTTOM if i <= half else TOP
+    result = eval_abstract(expr, lambda v: lookup[v])
+    assert result is BOTTOM  # any BOTTOM operand wins over TOP
+
+
+@given(strategies.exprs(max_leaves=8))
+@settings(max_examples=100)
+def test_eval_abstract_monotone_in_one_variable(expr):
+    """Raising one variable from BOTTOM to a constant to TOP never lowers
+    the result."""
+    names = sorted(_vars(expr))
+    if not names:
+        return
+    target = names[0]
+    base = {name: 2 for name in names}
+
+    def result(value):
+        env = dict(base)
+        env[target] = value
+        return eval_abstract(expr, lambda v: env[v])
+
+    assert leq_const(result(BOTTOM), result(5))
+    assert leq_const(result(5), result(TOP))
+
+
+def _vars(expr):
+    from repro.lang.ast_nodes import expr_vars
+
+    return expr_vars(expr)

@@ -1,0 +1,91 @@
+"""Lengauer-Tarjan vs Cooper-Harvey-Kennedy: two independent dominator
+implementations must agree everywhere."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.graphs.dominance import cfg_dominators, cfg_postdominators
+from repro.graphs.lengauer_tarjan import (
+    cfg_dominators_lt,
+    cfg_postdominators_lt,
+    lengauer_tarjan,
+)
+from repro.workloads.generators import irreducible_program, random_program
+from repro.workloads.ladders import diamond_chain, loop_nest
+
+
+def assert_same_tree(a, b, graph):
+    for nid in graph.nodes:
+        assert a.idom_of(nid) == b.idom_of(nid), nid
+
+
+@given(st.integers(min_value=0, max_value=800))
+@settings(max_examples=40, deadline=None)
+def test_agrees_with_iterative_on_random_programs(seed):
+    g = build_cfg(random_program(seed, size=15, num_vars=3))
+    assert_same_tree(cfg_dominators(g), cfg_dominators_lt(g), g)
+    assert_same_tree(cfg_postdominators(g), cfg_postdominators_lt(g), g)
+
+
+def test_agrees_on_irreducible_graphs():
+    for seed in range(8):
+        g = build_cfg(irreducible_program(seed))
+        assert_same_tree(cfg_dominators(g), cfg_dominators_lt(g), g)
+
+
+def test_agrees_on_ladders():
+    for prog in (diamond_chain(20), loop_nest(5, width=2)):
+        g = build_cfg(prog)
+        assert_same_tree(cfg_dominators(g), cfg_dominators_lt(g), g)
+        assert_same_tree(cfg_postdominators(g), cfg_postdominators_lt(g), g)
+
+
+def test_simple_diamond():
+    g = {0: [1, 2], 1: [3], 2: [3], 3: []}
+    preds = {0: [], 1: [0], 2: [0], 3: [1, 2]}
+    tree = lengauer_tarjan(0, lambda n: g[n], lambda n: preds[n])
+    assert tree.idom_of(0) is None
+    assert tree.idom_of(1) == 0
+    assert tree.idom_of(2) == 0
+    assert tree.idom_of(3) == 0
+
+
+def test_classic_lt_example():
+    """The worked example from the Lengauer-Tarjan paper (Figure 1 shape):
+    cross and back edges that force nontrivial semidominators."""
+    succs = {
+        "R": ["A", "B", "C"],
+        "A": ["D"],
+        "B": ["A", "D", "E"],
+        "C": ["F", "G"],
+        "D": ["L"],
+        "E": ["H"],
+        "F": ["I"],
+        "G": ["I", "J"],
+        "H": ["E", "K"],
+        "I": ["K"],
+        "J": ["I"],
+        "K": ["R", "I"],
+        "L": ["H"],
+    }
+    preds: dict = {n: [] for n in succs}
+    for u, vs in succs.items():
+        for v in vs:
+            preds[v].append(u)
+    tree = lengauer_tarjan("R", lambda n: succs[n], lambda n: preds[n])
+    expected = {
+        "R": None, "A": "R", "B": "R", "C": "R", "D": "R", "E": "R",
+        "F": "C", "G": "C", "H": "R", "I": "R", "J": "G", "K": "R",
+        "L": "D",
+    }
+    for node, idom in expected.items():
+        assert tree.idom_of(node) == idom, node
+
+
+def test_unreachable_predecessors_ignored():
+    succs = {0: [1], 1: [2], 2: [], 9: [2]}  # 9 unreachable
+    preds = {0: [], 1: [0], 2: [1, 9], 9: []}
+    tree = lengauer_tarjan(0, lambda n: succs[n], lambda n: preds[n])
+    assert tree.idom_of(2) == 1
+    assert 9 not in tree.idom

@@ -1,0 +1,76 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+def test_simple_assignment():
+    assert kinds_and_texts("x := 1;") == [
+        ("ident", "x"),
+        ("op", ":="),
+        ("int", "1"),
+        ("op", ";"),
+    ]
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds_and_texts("if ifx while whiley")
+    assert toks == [
+        ("keyword", "if"),
+        ("ident", "ifx"),
+        ("keyword", "while"),
+        ("ident", "whiley"),
+    ]
+
+
+def test_two_char_operators_are_maximal_munch():
+    toks = kinds_and_texts("a <= b == c != d >= e && f || g")
+    ops = [text for kind, text in toks if kind == "op"]
+    assert ops == ["<=", "==", "!=", ">=", "&&", "||"]
+
+
+def test_single_char_operators():
+    toks = kinds_and_texts("a < b > c ! d")
+    ops = [text for kind, text in toks if kind == "op"]
+    assert ops == ["<", ">", "!"]
+
+
+def test_comments_are_skipped():
+    toks = kinds_and_texts("x := 1; # a comment := while\ny := 2;")
+    texts = [text for _, text in toks]
+    assert texts == ["x", ":=", "1", ";", "y", ":=", "2", ";"]
+
+
+def test_positions_track_lines_and_columns():
+    toks = tokenize("x := 1;\n  y := 2;")
+    y_tok = next(t for t in toks if t.text == "y")
+    assert (y_tok.line, y_tok.column) == (2, 3)
+
+
+def test_eof_token_present():
+    toks = tokenize("")
+    assert len(toks) == 1 and toks[0].kind == "eof"
+
+
+def test_numbers_are_single_tokens():
+    toks = kinds_and_texts("x := 1234567;")
+    assert ("int", "1234567") in toks
+
+
+def test_underscored_identifiers():
+    toks = kinds_and_texts("_tmp1 := fuel_0;")
+    assert toks[0] == ("ident", "_tmp1")
+    assert ("ident", "fuel_0") in toks
+
+
+def test_unknown_character_raises_with_position():
+    with pytest.raises(LexError) as info:
+        tokenize("x := 1;\ny := @;")
+    assert info.value.line == 2
+    assert "@" in str(info.value)

@@ -1,0 +1,210 @@
+"""Loop-carried dependence analysis tests (the Section 6 extension),
+including a dynamic oracle that replays the loop and checks every
+claimed distance against the addresses actually touched."""
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.cfg.interp import run_cfg
+from repro.core.loopdeps import (
+    analyze_loop_dependences,
+    collect_accesses,
+    find_induction_variables,
+    parallelizable_loops,
+)
+from repro.graphs.loops import natural_loops
+from repro.lang.ast_nodes import Index, Update
+from repro.lang.parser import parse_program
+
+
+def loop_of(source):
+    g = build_cfg(parse_program(source))
+    loops = natural_loops(g)
+    assert len(loops) == 1, "expected exactly one loop"
+    (header, body), = loops.items()
+    return g, header, body
+
+
+STENCIL = """
+i := 1;
+while (i < n) {
+    a[i] := a[i - 1] + 1;
+    i := i + 1;
+}
+print a[4];
+"""
+
+
+def test_induction_variable_detected():
+    g, header, body = loop_of(STENCIL)
+    ivs = find_induction_variables(g, header, body)
+    assert len(ivs) == 1
+    assert ivs[0].var == "i" and ivs[0].step == 1
+
+
+def test_decrementing_induction_variable():
+    g, header, body = loop_of(
+        "i := n; while (i > 0) { a[i] := 1; i := i - 2; } print a[0];"
+    )
+    ivs = find_induction_variables(g, header, body)
+    assert [(iv.var, iv.step) for iv in ivs] == [("i", -2)]
+
+
+def test_conditionally_updated_variable_is_not_basic():
+    g, header, body = loop_of(
+        "i := 0; k := 0; "
+        "while (i < n) { if (p) { k := k + 1; } i := i + 1; } print k;"
+    )
+    ivs = find_induction_variables(g, header, body)
+    assert [iv.var for iv in ivs] == ["i"]  # k does not run every iteration
+
+
+def test_affine_accesses_collected_with_offsets():
+    g, header, body = loop_of(STENCIL)
+    ivs = find_induction_variables(g, header, body)
+    accesses = collect_accesses(g, body, ivs)
+    affine = {(a.is_write, a.offset) for a in accesses if a.affine}
+    assert (True, 0) in affine  # the store a[i]
+    assert (False, -1) in affine  # the load a[i-1]
+
+
+def test_access_after_increment_is_shifted():
+    g, header, body = loop_of(
+        "i := 0; while (i < n) { i := i + 1; a[i] := 1; } print a[1];"
+    )
+    ivs = find_induction_variables(g, header, body)
+    accesses = collect_accesses(g, body, ivs)
+    store = next(a for a in accesses if a.is_write)
+    assert store.offset == 1  # reads i after i := i + 1
+
+
+def test_stencil_has_flow_dependence_distance_1():
+    g, header, body = loop_of(STENCIL)
+    deps = analyze_loop_dependences(g, header, body)
+    flow = [d for d in deps if d.kind == "flow" and d.distance]
+    assert any(d.distance == 1 and d.direction == "<" for d in flow)
+    assert parallelizable_loops(g)[header] is False
+
+
+def test_elementwise_update_is_doall():
+    g, header, body = loop_of(
+        "i := 0; while (i < n) { a[i] := b[i] * 2; i := i + 1; } print a[0];"
+    )
+    deps = analyze_loop_dependences(g, header, body)
+    assert all(d.distance == 0 for d in deps)
+    assert parallelizable_loops(g)[header] is True
+
+
+def test_read_modify_write_same_element_is_doall():
+    g, header, body = loop_of(
+        "i := 0; while (i < n) { a[i] := a[i] + 1; i := i + 1; } print a[0];"
+    )
+    assert parallelizable_loops(g)[header] is True
+
+
+def test_anti_dependence_detected():
+    g, header, body = loop_of(
+        "i := 0; while (i < n) { a[i] := a[i + 1]; i := i + 1; } print a[0];"
+    )
+    deps = analyze_loop_dependences(g, header, body)
+    anti = [d for d in deps if d.kind == "anti" and d.distance]
+    assert any(d.distance == 1 for d in anti)
+    assert parallelizable_loops(g)[header] is False
+
+
+def test_stride_two_misses_odd_offsets():
+    """i stepping by 2: a[i] and a[i+1] never collide (offset parity)."""
+    g, header, body = loop_of(
+        "i := 0; while (i < n) { a[i] := a[i + 1]; i := i + 2; } print a[0];"
+    )
+    deps = analyze_loop_dependences(g, header, body)
+    carried = [d for d in deps if d.distance not in (0, None)]
+    assert carried == []
+    assert parallelizable_loops(g)[header] is True
+
+
+def test_non_affine_index_is_unknown():
+    g, header, body = loop_of(
+        "i := 0; while (i < n) { a[i * i] := 1; x := a[i]; i := i + 1; } print x;"
+    )
+    deps = analyze_loop_dependences(g, header, body)
+    assert any(d.distance is None and d.direction == "*" for d in deps)
+    assert parallelizable_loops(g)[header] is False
+
+
+def test_different_arrays_are_independent():
+    g, header, body = loop_of(
+        "i := 0; while (i < n) { a[i] := 1; b[i + 1] := 2; i := i + 1; } print a[0];"
+    )
+    deps = analyze_loop_dependences(g, header, body)
+    cross = [d for d in deps if {d.src, d.dst} != {d.src}]
+    for d in deps:
+        assert d.array in ("a", "b")
+        assert d.distance == 0 or d.kind == "output"
+    del cross
+
+
+# -- dynamic oracle -------------------------------------------------------------
+
+
+def dynamic_conflicts(graph, env, body):
+    """Replay the loop and record (address, iteration, node, is_write) for
+    every array access; return the set of observed inter-iteration
+    conflict distances per (src node, dst node)."""
+    from repro.lang.interp import eval_expr
+
+    trace = run_cfg(graph, env).trace
+    header = min(
+        (nid for nid in body if graph.node(nid).kind is NodeKind.MERGE),
+        default=None,
+    )
+    iteration = -1
+    state = dict(env)
+    touched = []  # (array, address, iteration, node, is_write)
+    for nid in trace:
+        node = graph.node(nid)
+        if nid == header:
+            iteration += 1
+        if node.expr is not None and nid in body:
+            from repro.lang.ast_nodes import subexpressions
+
+            for sub in subexpressions(node.expr):
+                if isinstance(sub, Index):
+                    addr = eval_expr(sub.index, state)
+                    touched.append((sub.array, addr, iteration, nid, False))
+                elif isinstance(sub, Update):
+                    addr = eval_expr(sub.index, state)
+                    touched.append((sub.array, addr, iteration, nid, True))
+        if node.kind is NodeKind.ASSIGN:
+            state[node.target] = eval_expr(node.expr, state)
+    conflicts = set()
+    for arr1, ad1, t1, n1, w1 in touched:
+        for arr2, ad2, t2, n2, w2 in touched:
+            if arr1 == arr2 and ad1 == ad2 and (w1 or w2) and t2 >= t1:
+                if (t1, n1) != (t2, n2):
+                    conflicts.add((n1, n2, t2 - t1))
+    return conflicts
+
+
+def test_claimed_distances_match_execution():
+    for src in (
+        STENCIL,
+        "i := 0; while (i < n) { a[i] := a[i + 1]; i := i + 1; } print a[0];",
+        "i := 0; while (i < n) { a[i] := a[i] + 1; i := i + 1; } print a[0];",
+        "i := 0; while (i < n) { a[i] := a[i - 2] + 1; i := i + 1; } print a[0];",
+    ):
+        g, header, body = loop_of(src)
+        deps = analyze_loop_dependences(g, header, body)
+        observed = dynamic_conflicts(g, {"n": 8}, body)
+        claimed = {
+            (d.src, d.dst, d.distance) for d in deps if d.distance is not None
+        }
+        # Every observed inter-iteration conflict must be claimed.
+        for n1, n2, dist in observed:
+            if dist == 0 and n1 == n2:
+                continue
+            assert any(
+                c[0] == n1 and c[1] == n2 and c[2] == dist for c in claimed
+            ) or any(
+                d.distance is None and {d.src, d.dst} >= {n1, n2} & {d.src, d.dst}
+                for d in deps
+            ), (src, (n1, n2, dist), claimed)

@@ -1,0 +1,166 @@
+"""Transform and pipeline tests: folding, branch folding, DCE, and the
+end-to-end optimizer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.cfg.interp import run_cfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.lang.ast_nodes import IntLit
+from repro.lang.parser import parse_program
+from repro.opt.pipeline import optimize
+from repro.opt.transform import (
+    fold_and_eliminate,
+    fold_constants,
+    remove_dead_assignments,
+)
+from repro.workloads import suites
+from repro.workloads.generators import (
+    inline_expansion_program,
+    irreducible_program,
+    random_program,
+)
+from conftest import random_envs
+
+
+def graph_of(source_or_prog):
+    prog = (
+        parse_program(source_or_prog)
+        if isinstance(source_or_prog, str)
+        else source_or_prog
+    )
+    return build_cfg(prog)
+
+
+def dfg_rhs(g):
+    return dfg_constant_propagation(g).rhs_values
+
+
+def test_fold_constant_rhs():
+    g = graph_of("x := 2; y := x + 3; print y;")
+    stats = fold_constants(g, dfg_rhs(g))
+    assert stats.folded_rhs >= 2
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert y_def.expr == IntLit(5)
+
+
+def test_fold_constant_branch_removes_dead_arm():
+    g = graph_of("if (1) { x := 1; } else { x := 2; } print x;")
+    before_switches = sum(
+        1 for n in g.nodes.values() if n.kind is NodeKind.SWITCH
+    )
+    stats = fold_constants(g, dfg_rhs(g))
+    assert before_switches == 1 and stats.folded_branches == 1
+    assert not any(n.kind is NodeKind.SWITCH for n in g.nodes.values())
+    assert run_cfg(g).outputs == [1]
+
+
+def test_branch_fold_preserves_semantics_in_loop():
+    g = graph_of(
+        "x := 0; i := 0; while (i < 3) { if (1) { x := x + 2; } "
+        "i := i + 1; } print x;"
+    )
+    expected = run_cfg(g).outputs
+    fold_and_eliminate(g, dfg_rhs)
+    assert run_cfg(g).outputs == expected
+
+
+def test_remove_dead_assignment():
+    g = graph_of("x := 1; y := 2; print y;")
+    stats = remove_dead_assignments(g)
+    assert stats.removed_assignments == 1
+    assert all(n.target != "x" for n in g.assign_nodes())
+    assert run_cfg(g).outputs == [2]
+
+
+def test_dead_chain_removed_over_rounds():
+    g = graph_of("a := 1; b := a + 1; c := b + 1; print 9;")
+    fold_and_eliminate(g, dfg_rhs)
+    assert g.assign_nodes() == []
+    assert run_cfg(g).outputs == [9]
+
+
+def test_live_out_protects_variables():
+    g = graph_of("x := 1;")
+    stats = remove_dead_assignments(g, live_out=frozenset({"x"}))
+    assert stats.removed_assignments == 0
+
+
+def test_figure1_collapses_to_print_3():
+    """The paper's running example fully optimizes: the conditional is
+    decided, the dead arm removed, and the remaining code folds."""
+    g, _report = optimize(suites.figure1())
+    exprs = [n.expr for n in g.nodes.values() if n.expr is not None]
+    assert exprs == [IntLit(3)]
+    assert run_cfg(g).outputs == [3]
+
+
+def test_figure3b_dead_branch_removed():
+    g, _report = optimize(suites.figure3b())
+    assert not any(n.kind is NodeKind.SWITCH for n in g.nodes.values())
+    assert run_cfg(g).outputs == [1]
+
+
+def test_inline_expansion_fully_decided():
+    for seed in range(5):
+        prog = inline_expansion_program(seed)
+        g, _report = optimize(prog)
+        # All flags are constants: every conditional is decided.
+        assert not any(
+            n.kind is NodeKind.SWITCH for n in g.nodes.values()
+        ), seed
+        assert run_cfg(g).outputs == run_cfg(build_cfg(prog)).outputs
+
+
+@given(st.integers(min_value=0, max_value=600))
+@settings(max_examples=25, deadline=None)
+def test_pipeline_preserves_semantics(seed):
+    prog = random_program(seed, size=14, num_vars=3)
+    g = build_cfg(prog)
+    for constprop in ("dfg", "cfg", "defuse"):
+        g2, _report = optimize(g, constprop=constprop, run_epr=False)
+        for env in random_envs(seed, [f"v{i}" for i in range(4)], count=2):
+            assert run_cfg(g, env).outputs == run_cfg(g2, env).outputs
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=12, deadline=None)
+def test_full_pipeline_with_epr_preserves_semantics(seed):
+    prog = random_program(seed, size=12, num_vars=3)
+    g = build_cfg(prog)
+    g2, _report = optimize(g)
+    for env in random_envs(seed, [f"v{i}" for i in range(4)], count=3):
+        assert run_cfg(g, env).outputs == run_cfg(g2, env).outputs
+
+
+def test_pipeline_on_irreducible_graphs():
+    for seed in range(4):
+        prog = irreducible_program(seed)
+        g = build_cfg(prog)
+        g2, _report = optimize(g)
+        assert run_cfg(g).outputs == run_cfg(g2).outputs
+
+
+def test_pipeline_never_grows_evaluation_counts():
+    for seed in range(8):
+        prog = random_program(seed, size=12, num_vars=3)
+        g = build_cfg(prog)
+        g2, _report = optimize(g)
+        for env in random_envs(seed, [f"v{i}" for i in range(4)], count=2):
+            r1, r2 = run_cfg(g, env), run_cfg(g2, env)
+            # Constant folding may remove expressions wholesale; EPR must
+            # not add evaluations of surviving original expressions.
+            for expr in g.expressions():
+                if expr in g2.expressions():
+                    assert r2.eval_counts[expr] <= r1.eval_counts[expr]
+
+
+def test_unknown_engine_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        optimize(parse_program("x := 1;"), constprop="magic")
+    with pytest.raises(ValueError):
+        optimize(parse_program("x := 1;"), epr="magic")

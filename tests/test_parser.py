@@ -1,0 +1,132 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Goto,
+    If,
+    IntLit,
+    Label,
+    Print,
+    Repeat,
+    Skip,
+    UnOp,
+    Var,
+    While,
+)
+from repro.lang.errors import LangError, ParseError
+from repro.lang.parser import parse_expr, parse_program
+
+
+def test_precedence_mul_over_add():
+    assert parse_expr("a + b * c") == BinOp(
+        "+", Var("a"), BinOp("*", Var("b"), Var("c"))
+    )
+
+
+def test_precedence_cmp_over_and_over_or():
+    expr = parse_expr("a < b && c || d")
+    assert expr == BinOp(
+        "||", BinOp("&&", BinOp("<", Var("a"), Var("b")), Var("c")), Var("d")
+    )
+
+
+def test_left_associativity_of_subtraction():
+    assert parse_expr("a - b - c") == BinOp(
+        "-", BinOp("-", Var("a"), Var("b")), Var("c")
+    )
+
+
+def test_parentheses_override_precedence():
+    assert parse_expr("(a + b) * c") == BinOp(
+        "*", BinOp("+", Var("a"), Var("b")), Var("c")
+    )
+
+
+def test_unary_operators_nest():
+    assert parse_expr("!-x") == UnOp("!", UnOp("-", Var("x")))
+
+
+def test_assignment_statement():
+    prog = parse_program("x := y + 1;")
+    assert prog.body == [Assign("x", BinOp("+", Var("y"), IntLit(1)))]
+
+
+def test_if_without_else():
+    prog = parse_program("if (x) { y := 1; }")
+    stmt = prog.body[0]
+    assert isinstance(stmt, If)
+    assert stmt.else_body == []
+
+
+def test_if_with_else():
+    prog = parse_program("if (x) { y := 1; } else { y := 2; }")
+    stmt = prog.body[0]
+    assert isinstance(stmt, If)
+    assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+
+def test_while_loop():
+    prog = parse_program("while (x < 3) { x := x + 1; }")
+    stmt = prog.body[0]
+    assert isinstance(stmt, While)
+    assert stmt.cond == BinOp("<", Var("x"), IntLit(3))
+
+
+def test_repeat_until():
+    prog = parse_program("repeat { x := x - 1; } until (x == 0);")
+    stmt = prog.body[0]
+    assert isinstance(stmt, Repeat)
+    assert stmt.cond == BinOp("==", Var("x"), IntLit(0))
+
+
+def test_goto_label_skip_print():
+    prog = parse_program("label L: skip; goto L; print x;")
+    assert isinstance(prog.body[0], Label)
+    assert isinstance(prog.body[1], Skip)
+    assert prog.body[2] == Goto("L")
+    assert prog.body[3] == Print(Var("x"))
+
+
+def test_nested_blocks():
+    prog = parse_program(
+        "if (a) { while (b) { if (c) { x := 1; } } } else { skip; }"
+    )
+    outer = prog.body[0]
+    assert isinstance(outer, If)
+    inner_while = outer.then_body[0]
+    assert isinstance(inner_while, While)
+    assert isinstance(inner_while.body[0], If)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "x := ;",
+        "x = 1;",
+        "if x { }",
+        "while (x) y := 1;",
+        "repeat { } until (x)",
+        "x := 1",
+        "{ x := 1; }",
+        "if (x) { y := 1; ",
+    ],
+)
+def test_syntax_errors_raise(bad):
+    # `x = 1;` fails in the lexer (bare `=` is not a token); the rest fail
+    # in the parser.  Both are LangErrors.
+    with pytest.raises(LangError):
+        parse_program(bad)
+
+
+def test_parse_expr_rejects_trailing_input():
+    with pytest.raises(ParseError):
+        parse_expr("a + b extra")
+
+
+def test_error_carries_position():
+    with pytest.raises(ParseError) as info:
+        parse_program("x := 1;\nbroken")
+    assert info.value.line == 2

@@ -1,0 +1,139 @@
+"""The Section 4 Multiflow extension: predicate-implied constants.
+
+"If the predicate at a switch is x=1, we can propagate the constant 1
+for x on the true side of the conditional even if we cannot determine
+the value of x for the false side.  It is easy to extend both the DFG
+and CFG algorithms to accomplish this, but this extension seems
+difficult in SSA-based algorithms since SSA edges bypass switches."
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.cfg.interp import run_cfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.core.dfg import CTRL_VAR
+from repro.dataflow.lattice import TOP, branch_implications
+from repro.lang.interp import eval_expr
+from repro.lang.parser import parse_expr, parse_program
+from repro.opt.cfg_constprop import cfg_constant_propagation
+from repro.ssa.cytron import build_ssa_cytron
+from repro.ssa.sccp import sparse_conditional_constant_propagation
+from repro.workloads.generators import random_program
+from conftest import random_envs
+
+
+def graph_of(source):
+    return build_cfg(parse_program(source))
+
+
+# -- branch_implications unit tests ---------------------------------------------
+
+
+def test_equality_true_side():
+    assert branch_implications(parse_expr("x == 5"), taken=True) == {"x": 5}
+    assert branch_implications(parse_expr("5 == x"), taken=True) == {"x": 5}
+    assert branch_implications(parse_expr("x == 5"), taken=False) == {}
+
+
+def test_inequality_false_side():
+    assert branch_implications(parse_expr("x != 7"), taken=False) == {"x": 7}
+    assert branch_implications(parse_expr("x != 7"), taken=True) == {}
+
+
+def test_no_implication_for_other_shapes():
+    for text in ("x < 5", "x == y", "x + 1 == 5", "x", "1 == 2"):
+        assert branch_implications(parse_expr(text), taken=True) == {}
+        assert branch_implications(parse_expr(text), taken=False) == {}
+
+
+# -- behaviour of the extended algorithms ----------------------------------------
+
+
+EXAMPLE = """
+if (x == 5) { y := x + 1; } else { z := x; }
+if (x != 7) { skip; } else { w := x * 2; }
+print y; print z; print w;
+"""
+
+
+def test_dfg_refinement_finds_branch_constants():
+    g = graph_of(EXAMPLE)
+    plain = dfg_constant_propagation(g)
+    refined = dfg_constant_propagation(g, refine_predicates=True)
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    z_def = next(n for n in g.assign_nodes() if n.target == "z")
+    w_def = next(n for n in g.assign_nodes() if n.target == "w")
+    assert plain.rhs_values[y_def.id] is TOP
+    assert refined.rhs_values[y_def.id] == 6
+    assert refined.rhs_values[w_def.id] == 14
+    # Nothing is known on the other side of ==.
+    assert refined.use_values[(z_def.id, "x")] is TOP
+
+
+def test_cfg_refinement_agrees_with_dfg():
+    g = graph_of(EXAMPLE)
+    dfg_result = dfg_constant_propagation(g, refine_predicates=True)
+    cfg_result = cfg_constant_propagation(g, refine_predicates=True)
+    for key, value in dfg_result.use_values.items():
+        if key[1] != CTRL_VAR:
+            assert cfg_result.use_values[key] == value
+
+
+def test_sccp_cannot_express_it():
+    """Unchanged SSA-based SCCP misses the branch constant -- the
+    paper's observation about SSA edges bypassing switches."""
+    g = graph_of(EXAMPLE)
+    ssa = build_ssa_cytron(g)
+    result = sparse_conditional_constant_propagation(ssa)
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert result.value_of_use(ssa, y_def.id, "x") is TOP
+
+
+def test_refinement_interacts_with_dead_code():
+    g = graph_of(
+        "x := 3; if (x == 5) { y := x + 1; print y; } print 0;"
+    )
+    refined = dfg_constant_propagation(g, refine_predicates=True)
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    # x is 3, so the == 5 arm is dead; refinement must not resurrect it.
+    assert y_def.id in refined.dead_nodes
+
+
+def test_refined_equals_plain_when_no_equalities():
+    g = graph_of("if (x < 5) { y := x; } print y;")
+    plain = dfg_constant_propagation(g)
+    refined = dfg_constant_propagation(g, refine_predicates=True)
+    assert plain.use_values == refined.use_values
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=20, deadline=None)
+def test_refined_dfg_and_cfg_agree_on_random_programs(seed):
+    g = build_cfg(random_program(seed, size=12, num_vars=3))
+    dfg_result = dfg_constant_propagation(g, refine_predicates=True)
+    cfg_result = cfg_constant_propagation(g, refine_predicates=True)
+    for key, value in dfg_result.use_values.items():
+        if key[1] != CTRL_VAR:
+            assert cfg_result.use_values[key] == value
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=20, deadline=None)
+def test_refined_constants_sound_on_executions(seed):
+    prog = random_program(seed, size=12, num_vars=3)
+    g = build_cfg(prog)
+    result = dfg_constant_propagation(g, refine_predicates=True)
+    constants = result.constant_uses()
+    for env in random_envs(seed, [f"v{i}" for i in range(4)], count=3):
+        run = run_cfg(g, env)
+        state = dict(env)
+        for nid in run.trace:
+            node = g.node(nid)
+            for var in node.uses():
+                if (nid, var) in constants:
+                    assert state.get(var, 0) == constants[(nid, var)]
+            if node.kind is NodeKind.ASSIGN:
+                state[node.target] = eval_expr(node.expr, state)

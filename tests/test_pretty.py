@@ -1,0 +1,54 @@
+"""Pretty-printer tests, including the parse/pretty round-trip property."""
+
+from hypothesis import given, settings
+
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.pretty import pretty_expr, pretty_program
+
+import strategies
+
+
+def test_minimal_parentheses():
+    assert pretty_expr(parse_expr("a + b * c")) == "a + b * c"
+    assert pretty_expr(parse_expr("(a + b) * c")) == "(a + b) * c"
+
+
+def test_left_associative_needs_parens_on_right():
+    assert pretty_expr(parse_expr("a - (b - c)")) == "a - (b - c)"
+    assert pretty_expr(parse_expr("(a - b) - c")) == "a - b - c"
+
+
+def test_unary_rendering():
+    assert pretty_expr(parse_expr("-x + 1")) == "-x + 1"
+    assert pretty_expr(parse_expr("-(x + 1)")) == "-(x + 1)"
+    assert pretty_expr(parse_expr("!(a && b)")) == "!(a && b)"
+
+
+def test_program_rendering_structure():
+    src = "x := 1;\nif (x) {\n    y := 2;\n} else {\n    y := 3;\n}\n"
+    assert pretty_program(parse_program(src)) == src
+
+
+def test_repeat_and_label_rendering():
+    src = "label L:\nrepeat {\n    x := x - 1;\n} until (x <= 0);\ngoto L;\n"
+    assert pretty_program(parse_program(src)) == src
+
+
+@given(strategies.exprs())
+@settings(max_examples=200)
+def test_expr_round_trip(expr):
+    assert parse_expr(pretty_expr(expr)) == expr
+
+
+@given(strategies.programs())
+@settings(max_examples=100)
+def test_program_round_trip(program):
+    text = pretty_program(program)
+    assert parse_program(text) == program
+
+
+@given(strategies.terminating_programs())
+@settings(max_examples=50, deadline=None)
+def test_generated_program_round_trip(program):
+    text = pretty_program(program)
+    assert parse_program(text) == program

@@ -1,0 +1,180 @@
+"""SESE region / program structure tree tests, with brute-force oracles."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.controldep.sese import ProgramStructure
+from repro.graphs.dominance import edge_key, node_key
+from repro.lang.parser import parse_program
+from repro.workloads import suites
+from repro.workloads.generators import irreducible_program, random_program
+from repro.workloads.ladders import diamond_chain, loop_nest
+
+
+def structure_of(source_or_prog):
+    prog = (
+        parse_program(source_or_prog)
+        if isinstance(source_or_prog, str)
+        else source_or_prog
+    )
+    g = build_cfg(prog)
+    return g, ProgramStructure(g)
+
+
+def brute_smallest_region_of_node(ps, nid):
+    holding = [r for r in ps.regions if ps.contains_node(r, nid)]
+    if not holding:
+        return None
+    best = holding[0]
+    for r in holding[1:]:
+        if region_strictly_inside(ps, r, best):
+            best = r
+    # Sanity: the pick must be inside every other holding region.
+    assert all(
+        r is best or region_strictly_inside(ps, best, r) for r in holding
+    )
+    return best
+
+
+def region_strictly_inside(ps, inner, outer):
+    if inner is outer:
+        return False
+    return ps.dom.dominates(
+        edge_key(outer.entry), edge_key(inner.entry)
+    ) and ps.pdom.dominates(edge_key(outer.exit), edge_key(inner.exit))
+
+
+# -- chain / Theorem 1 structure -----------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_class_chains_are_dominance_and_postdominance_ordered(seed):
+    g, ps = structure_of(random_program(seed, size=14, num_vars=3))
+    for eids in ps.classes.values():
+        for e1, e2 in zip(eids, eids[1:]):
+            assert ps.dom.dominates(edge_key(e1), edge_key(e2))
+            assert ps.pdom.dominates(edge_key(e2), edge_key(e1))
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=30, deadline=None)
+def test_canonical_regions_satisfy_theorem1(seed):
+    g, ps = structure_of(random_program(seed, size=12, num_vars=3))
+    for region in ps.regions:
+        assert ps.is_sese(region.entry, region.exit)
+
+
+def test_irreducible_graphs_still_decompose():
+    for seed in range(6):
+        g, ps = structure_of(irreducible_program(seed))
+        for eids in ps.classes.values():
+            for e1, e2 in zip(eids, eids[1:]):
+                assert ps.dom.dominates(edge_key(e1), edge_key(e2))
+
+
+# -- worked examples -------------------------------------------------------------
+
+
+def test_figure2_structure():
+    """Each assignment is a SESE region; the if-then-else is one region
+    that defines y; x's definition region does not define y."""
+    g, ps = structure_of(suites.figure2())
+    switch = next(n.id for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    cond_entry = g.in_edge(switch)
+    cond_region = ps.opens.get(cond_entry.id)
+    assert cond_region is not None, "conditional should open a region"
+    assert ps.defs_in(cond_region) == frozenset({"y"})
+    assign_x = next(
+        n.id for n in g.nodes.values()
+        if n.kind is NodeKind.ASSIGN and n.target == "x"
+    )
+    x_region = ps.opens[g.in_edge(assign_x).id]
+    assert ps.defs_in(x_region) == frozenset({"x"})
+    assert ps.contains_node(cond_region, switch)
+
+
+def test_straight_line_regions_are_sequence():
+    g, ps = structure_of("a := 1; b := 2; c := 3;")
+    # One class (the spine), length num_edges, hence num_edges-1 regions.
+    assert len(ps.classes) == 1
+    assert len(ps.regions) == g.num_edges - 1
+    assert all(r.parent is None for r in ps.regions)
+
+
+def test_nested_if_nests_in_pst():
+    g, ps = structure_of(
+        """
+        if (a) {
+            if (b) { x := 1; } else { x := 2; }
+        } else { x := 3; }
+        print x;
+        """
+    )
+    depths = sorted(r.depth for r in ps.regions)
+    assert depths[-1] > depths[0]
+    # Every child region is geometrically inside its parent.
+    for region in ps.regions:
+        if region.parent is not None:
+            assert region_strictly_inside(ps, region, region.parent)
+
+
+def test_while_loop_is_a_region():
+    g, ps = structure_of("i := 0; while (i < 3) { i := i + 1; } print i;")
+    loop_regions = [
+        r for r in ps.regions if "i" in ps.defs_in(r)
+        and g.node(g.edge(r.entry).dst).kind is NodeKind.MERGE
+    ]
+    assert loop_regions, "the loop should form a region entered at its merge"
+    loop = loop_regions[0]
+    switch = next(n.id for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    assert ps.contains_node(loop, switch)
+
+
+# -- oracles -------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_region_of_node_matches_brute_force(seed):
+    g, ps = structure_of(random_program(seed, size=12, num_vars=3))
+    for nid in g.nodes:
+        assert ps.region_of_node[nid] is brute_smallest_region_of_node(ps, nid)
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_defs_in_matches_brute_force(seed):
+    g, ps = structure_of(random_program(seed, size=12, num_vars=3))
+    for region in ps.regions:
+        expected = frozenset(
+            n.target
+            for n in g.assign_nodes()
+            if ps.contains_node(region, n.id)
+        )
+        assert ps.defs_in(region) == expected
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_pst_parents_contain_children(seed):
+    g, ps = structure_of(random_program(seed, size=12, num_vars=3))
+    for region in ps.regions:
+        if region.parent is not None:
+            assert region_strictly_inside(ps, region, region.parent)
+            assert region.depth == region.parent.depth + 1
+
+
+def test_ladder_region_counts_scale_linearly():
+    small = structure_of(diamond_chain(5))[1]
+    large = structure_of(diamond_chain(10))[1]
+    assert len(large.regions) > len(small.regions)
+    # Diamond chains nest nothing: every diamond region sits at depth <= 2.
+    assert all(r.depth <= 2 for r in large.regions)
+
+
+def test_loop_nest_depth_tracks_nesting():
+    ps = structure_of(loop_nest(4))[1]
+    assert max(r.depth for r in ps.regions) >= 4

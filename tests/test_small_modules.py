@@ -1,0 +1,194 @@
+"""Unit tests for the small supporting modules: counters, dot export,
+workload generators, the factored CDG, and the generic solver."""
+
+import random
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.dot import cfg_to_dot
+from repro.cfg.graph import NodeKind
+from repro.controldep.factored import build_factored_cdg
+from repro.dataflow.solver import solve_dataflow
+from repro.lang.ast_nodes import program_labels, program_vars
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.util.counters import WorkCounter
+from repro.workloads.generators import (
+    inline_expansion_program,
+    irreducible_program,
+    random_expr,
+    random_program,
+)
+from repro.workloads.ladders import (
+    defuse_worst_case,
+    diamond_chain,
+    loop_nest,
+    sparse_use_program,
+    wide_variable_program,
+)
+
+
+# -- counters ------------------------------------------------------------------
+
+
+def test_counter_basics():
+    w = WorkCounter()
+    w.tick("a")
+    w.tick("a", 4)
+    w.tick("b")
+    assert w["a"] == 5 and w["b"] == 1 and w["missing"] == 0
+    assert w.total() == 6
+    assert w.as_dict() == {"a": 5, "b": 1}
+
+
+def test_counter_merge_and_reset():
+    a, b = WorkCounter(), WorkCounter()
+    a.tick("x", 2)
+    b.tick("x")
+    b.tick("y", 3)
+    a.merge(b)
+    assert a["x"] == 3 and a["y"] == 3
+    a.reset()
+    assert a.total() == 0
+
+
+def test_counter_repr_sorted():
+    w = WorkCounter()
+    w.tick("zeta")
+    w.tick("alpha")
+    assert repr(w).index("alpha") < repr(w).index("zeta")
+
+
+# -- dot export -----------------------------------------------------------------
+
+
+def test_dot_contains_nodes_edges_and_labels():
+    g = build_cfg(parse_program('if (p) { x := 1; } else { x := 2; } print x;'))
+    text = cfg_to_dot(g)
+    assert text.startswith("digraph cfg {")
+    assert text.count("->") == g.num_edges
+    assert 'label="T"' in text and 'label="F"' in text
+    assert "x := 1" in text
+
+
+def test_dot_edge_notes_and_custom_labels():
+    g = build_cfg(parse_program("x := 1;"))
+    eid = g.out_edge(g.start).id
+    text = cfg_to_dot(g, edge_notes={eid: "hello"}, name="g2")
+    assert "digraph g2" in text and "hello" in text
+    text2 = cfg_to_dot(g, node_label=lambda graph, nid: f"N{nid}")
+    assert "N0" in text2
+
+
+def test_dot_escapes_quotes():
+    g = build_cfg(parse_program("x := 1;"))
+    text = cfg_to_dot(g, node_label=lambda graph, nid: 'say "hi"')
+    assert '\\"hi\\"' in text
+
+
+# -- workload generators -----------------------------------------------------------
+
+
+def test_random_program_deterministic():
+    a = random_program(99, size=15, num_vars=3)
+    b = random_program(99, size=15, num_vars=3)
+    assert a == b
+
+
+def test_random_program_terminates_on_inputs():
+    rng = random.Random(0)
+    for seed in range(10):
+        prog = random_program(seed, size=20, num_vars=4)
+        for _ in range(3):
+            env = {f"v{i}": rng.randint(-9, 9) for i in range(4)}
+            run_program(prog, env, max_steps=200_000)  # must not raise
+
+
+def test_random_expr_is_total():
+    for seed in range(30):
+        expr = random_expr(seed, ["a", "b"], depth=3)
+        from repro.lang.interp import eval_expr
+
+        eval_expr(expr, {"a": 0, "b": 0})  # never divides by zero
+
+
+def test_inline_expansion_has_constant_flags():
+    prog = inline_expansion_program(4, calls=6)
+    text_vars = program_vars(prog)
+    assert "p" in text_vars
+    g = build_cfg(prog)
+    switches = [n for n in g.nodes.values() if n.kind is NodeKind.SWITCH]
+    assert len(switches) == 6
+
+
+def test_irreducible_program_runs():
+    for seed in range(6):
+        prog = irreducible_program(seed)
+        assert program_labels(prog)
+        run_program(prog, max_steps=100_000)
+
+
+def test_ladder_families_build_and_validate():
+    for prog in (
+        defuse_worst_case(4),
+        diamond_chain(5),
+        loop_nest(3, width=2),
+        wide_variable_program(6, uses_per_var=2),
+        sparse_use_program(4),
+    ):
+        g = build_cfg(prog)
+        g.validate(normalized=True)
+        run_program(prog, max_steps=100_000)
+
+
+def test_defuse_worst_case_multi_var():
+    g = build_cfg(defuse_worst_case(4, num_vars=3))
+    assert len([v for v in g.variables() if v.startswith("x")]) == 3
+
+
+# -- factored CDG -----------------------------------------------------------------
+
+
+def test_factored_cdg_queries():
+    g = build_cfg(parse_program("if (p) { x := 1; } else { x := 2; } print x;"))
+    f = build_factored_cdg(g)
+    switch = next(n.id for n in g.nodes.values() if n.kind is NodeKind.SWITCH)
+    t_arm = g.switch_edge(switch, "T").id
+    f_arm = g.switch_edge(switch, "F").id
+    entry = g.out_edge(g.start).id
+    exit_edge = g.in_edge(g.end).id
+    assert not f.same_control_dependence(t_arm, f_arm)
+    assert f.same_control_dependence(entry, exit_edge)
+    assert f.class_of(t_arm) != f.class_of(f_arm)
+    assert f.num_classes == len(f.members)
+    assert sorted(e for m in f.members.values() for e in m) == sorted(g.edges)
+
+
+# -- generic solver ---------------------------------------------------------------
+
+
+class _ReachableFromStart:
+    """Trivial forward problem: an edge's fact is True when reachable."""
+
+    direction = "forward"
+
+    def initial(self, graph, eid):
+        return False
+
+    def transfer(self, graph, nid, facts_in):
+        node = graph.node(nid)
+        reached = (
+            nid == graph.start or any(facts_in.values()) if facts_in or nid == graph.start else False
+        )
+        return {e.id: bool(reached or nid == graph.start) for e in graph.out_edges(nid)}
+
+
+def test_solver_reaches_fixpoint_and_counts():
+    g = build_cfg(
+        parse_program("i := 0; while (i < 3) { i := i + 1; } print i;")
+    )
+    counter = WorkCounter()
+    facts = solve_dataflow(g, _ReachableFromStart(), counter)
+    assert all(facts.values())  # every edge reachable in a valid CFG
+    assert counter["node_visits"] >= g.num_nodes

@@ -1,0 +1,203 @@
+"""SSA construction (Cytron) and SCCP tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.dataflow.lattice import BOTTOM, TOP
+from repro.lang.parser import parse_program
+from repro.ssa.cytron import build_ssa_cytron
+from repro.ssa.sccp import sparse_conditional_constant_propagation
+from repro.workloads import suites
+from repro.workloads.generators import irreducible_program, random_program
+from repro.workloads.ladders import defuse_worst_case
+
+
+def graph_of(source):
+    return build_cfg(parse_program(source))
+
+
+def test_straight_line_has_no_phis():
+    ssa = build_ssa_cytron(graph_of("x := 1; x := x + 1; print x;"))
+    assert ssa.all_phis() == []
+    # Two defs of x get distinct names; the use reads the first.
+    names = set(ssa.def_names.values())
+    assert len(names) == 2
+
+
+def test_diamond_places_one_phi():
+    ssa = build_ssa_cytron(
+        graph_of("if (p) { x := 1; } else { x := 2; } print x;")
+    )
+    placement = ssa.phi_placement()
+    assert len(placement) == 1
+    (nid, var), = placement
+    assert var == "x"
+    assert ssa.graph.node(nid).kind is NodeKind.MERGE
+
+
+def test_phi_args_come_from_each_branch():
+    g = graph_of("if (p) { x := 1; } else { x := 2; } print x;")
+    ssa = build_ssa_cytron(g)
+    phi = ssa.all_phis()[0]
+    assert set(phi.args.values()) == set(ssa.def_names.values())
+    printer = next(n for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert ssa.use_names[(printer.id, "x")] == phi.result
+
+
+def test_loop_places_phi_at_header():
+    g = graph_of("i := 0; while (i < 3) { i := i + 1; } print i;")
+    ssa = build_ssa_cytron(g)
+    placement = ssa.phi_placement()
+    headers = {nid for nid, var in placement if var == "i"}
+    merge = next(n.id for n in g.nodes.values() if n.kind is NodeKind.MERGE)
+    assert merge in headers
+
+
+def test_minimal_places_phi_for_dead_variable_pruned_does_not():
+    # x is dead after the conditional; minimal SSA still places a phi,
+    # pruned SSA does not.
+    src = "if (p) { x := 1; } else { x := 2; } y := 3; print y;"
+    minimal = build_ssa_cytron(graph_of(src), pruned=False)
+    pruned = build_ssa_cytron(graph_of(src), pruned=True)
+    assert any(var == "x" for _, var in minimal.phi_placement())
+    assert not any(var == "x" for _, var in pruned.phi_placement())
+
+
+def test_ssa_size_linear_on_defuse_worst_case():
+    small = build_ssa_cytron(build_cfg(defuse_worst_case(5))).size()
+    big = build_ssa_cytron(build_cfg(defuse_worst_case(10))).size()
+    # Doubling n should roughly double (not quadruple) the size.
+    assert big < 3 * small
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=30, deadline=None)
+def test_ssa_validates_on_generated_programs(seed):
+    g = build_cfg(random_program(seed, size=14, num_vars=3))
+    build_ssa_cytron(g).validate()
+    build_ssa_cytron(g, pruned=True).validate()
+
+
+def test_ssa_on_irreducible_graphs():
+    for seed in range(5):
+        g = build_cfg(irreducible_program(seed))
+        build_ssa_cytron(g).validate()
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=30, deadline=None)
+def test_pruned_placement_subset_of_minimal(seed):
+    g = build_cfg(random_program(seed, size=14, num_vars=3))
+    minimal = build_ssa_cytron(g).phi_placement()
+    pruned = build_ssa_cytron(g, pruned=True).phi_placement()
+    assert pruned <= minimal
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=25, deadline=None)
+def test_single_reaching_name_per_use(seed):
+    """Each use of a variable maps to exactly one SSA name -- the defining
+    property of SSA (Definition 5's factoring)."""
+    g = build_cfg(random_program(seed, size=12, num_vars=3))
+    ssa = build_ssa_cytron(g)
+    definers = ssa.definers()
+    for (nid, var), name in ssa.use_names.items():
+        kind, _site = definers[name]
+        assert kind in ("assign", "phi", "entry")
+
+
+# -- SCCP ------------------------------------------------------------------
+
+
+def sccp_of(source_or_prog):
+    prog = (
+        parse_program(source_or_prog)
+        if isinstance(source_or_prog, str)
+        else source_or_prog
+    )
+    g = build_cfg(prog)
+    ssa = build_ssa_cytron(g)
+    return g, ssa, sparse_conditional_constant_propagation(ssa)
+
+
+def test_sccp_folds_straight_line():
+    g, ssa, result = sccp_of("x := 2; y := x + 3; print y;")
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert result.values[ssa.def_names[y_def.id]] == 5
+
+
+def test_sccp_finds_possible_paths_constant_figure3b():
+    g, ssa, result = sccp_of(suites.figure3b())
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    assert result.value_of_use(ssa, y_def.id, "x") == 1
+
+
+def test_sccp_marks_dead_branch_unexecutable():
+    g, ssa, result = sccp_of(suites.figure3b())
+    dead_assign = next(
+        n for n in g.assign_nodes()
+        if n.target == "x" and n.expr.value == 2
+    )
+    assert dead_assign.id not in result.executable_nodes
+    assert result.value_of_use(ssa, dead_assign.id, "x") is BOTTOM
+
+
+def test_sccp_figure1_finds_final_constant():
+    """SCCP resolves the final use of y to 3 (dead false side ignored)."""
+    g, ssa, result = sccp_of(suites.figure1())
+    printer = next(n for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert result.value_of_use(ssa, printer.id, "y") == 3
+
+
+def test_sccp_join_of_live_branches_is_top():
+    g, ssa, result = sccp_of(
+        "if (p) { x := 1; } else { x := 2; } print x;"
+    )
+    printer = next(n for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    assert result.value_of_use(ssa, printer.id, "x") is TOP
+
+
+def test_sccp_loop_fixpoint():
+    g, ssa, result = sccp_of(
+        "i := 0; while (i < 3) { i := i + 1; } print i;"
+    )
+    printer = next(n for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    # i varies around the loop: TOP at the print.
+    assert result.value_of_use(ssa, printer.id, "i") is TOP
+
+
+def test_sccp_constant_loop_bound_folds_through():
+    g, ssa, result = sccp_of(
+        "x := 7; i := 0; while (i < 0) { x := 1; i := i + 1; } print x;"
+    )
+    printer = next(n for n in g.nodes.values() if n.kind is NodeKind.PRINT)
+    # The loop body never executes (0 < 0 is false): x stays 7.
+    assert result.value_of_use(ssa, printer.id, "x") == 7
+
+
+def test_sccp_sound_on_executions():
+    from repro.cfg.interp import run_cfg
+    from repro.lang.interp import eval_expr
+    from conftest import random_envs
+
+    for seed in range(8):
+        prog = random_program(seed, size=12, num_vars=3)
+        g = build_cfg(prog)
+        ssa = build_ssa_cytron(g)
+        result = sparse_conditional_constant_propagation(ssa)
+        for env in random_envs(seed, [f"v{i}" for i in range(4)], count=3):
+            run = run_cfg(g, env)
+            state = dict(env)
+            for nid in run.trace:
+                node = g.node(nid)
+                assert nid in result.executable_nodes or nid in (
+                    g.start, g.end
+                ), f"executed node {nid} claimed dead"
+                for var in node.uses():
+                    claimed = result.value_of_use(ssa, nid, var)
+                    if isinstance(claimed, int):
+                        assert state.get(var, 0) == claimed
+                if node.kind is NodeKind.ASSIGN:
+                    state[node.target] = eval_expr(node.expr, state)

@@ -1,0 +1,87 @@
+"""Experiment C3's correctness core: the DFG-derived SSA construction
+(Section 3.3) agrees with the classical one."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.lang.parser import parse_program
+from repro.ssa.cytron import build_ssa_cytron
+from repro.ssa.from_dfg import build_ssa_from_dfg
+from repro.workloads import suites
+from repro.workloads.generators import irreducible_program, random_program
+from repro.workloads.ladders import defuse_worst_case, diamond_chain, loop_nest
+
+
+def both(prog):
+    g = build_cfg(prog)
+    return g, build_ssa_from_dfg(g), build_ssa_cytron(g, pruned=True)
+
+
+def names_equivalent(g, a, b):
+    """Same phi placement and the same def-use factoring: two uses share
+    a name in one form iff they share a name in the other."""
+    if a.phi_placement() != b.phi_placement():
+        return False
+    groups_a = {}
+    groups_b = {}
+    for key, name in a.use_names.items():
+        groups_a.setdefault(name, set()).add(key)
+    for key, name in b.use_names.items():
+        groups_b.setdefault(name, set()).add(key)
+    return set(
+        frozenset(v) for v in groups_a.values()
+    ) == set(frozenset(v) for v in groups_b.values())
+
+
+@given(st.integers(min_value=0, max_value=800))
+@settings(max_examples=40, deadline=None)
+def test_matches_pruned_cytron_on_random_programs(seed):
+    g, from_dfg, cytron = both(random_program(seed, size=14, num_vars=3))
+    assert from_dfg.phi_placement() == cytron.phi_placement()
+    assert names_equivalent(g, from_dfg, cytron)
+
+
+def test_matches_on_paper_examples():
+    for make in (
+        suites.figure1,
+        suites.figure2,
+        suites.figure3a,
+        suites.figure3b,
+        suites.figure6,
+        suites.figure7,
+    ):
+        g, from_dfg, cytron = both(make())
+        assert from_dfg.phi_placement() == cytron.phi_placement()
+        assert names_equivalent(g, from_dfg, cytron)
+
+
+def test_matches_on_irreducible_graphs():
+    for seed in range(6):
+        g, from_dfg, cytron = both(irreducible_program(seed))
+        assert from_dfg.phi_placement() == cytron.phi_placement()
+
+
+def test_matches_on_ladders():
+    for prog in (defuse_worst_case(6), diamond_chain(8), loop_nest(3)):
+        g, from_dfg, cytron = both(prog)
+        assert from_dfg.phi_placement() == cytron.phi_placement()
+        assert names_equivalent(g, from_dfg, cytron)
+
+
+def test_trivial_phis_are_removed():
+    """A variable crossing a loop unchanged gets a merge operator in the
+    DFG but must not surface as a phi."""
+    g, from_dfg, cytron = both(
+        parse_program(
+            "x := 7; i := 0; while (i < n) { i := i + 1; } print x + i;"
+        )
+    )
+    assert not any(var == "x" for _, var in from_dfg.phi_placement())
+    assert any(var == "i" for _, var in from_dfg.phi_placement())
+
+
+def test_result_validates():
+    for seed in range(10):
+        g = build_cfg(random_program(seed, size=12, num_vars=3))
+        build_ssa_from_dfg(g).validate()

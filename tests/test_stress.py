@@ -1,0 +1,68 @@
+"""Moderate-scale stress tests: the full stack on graphs one order of
+magnitude larger than the unit tests use.  Guards against recursion
+blowups and accidental quadratic hot paths."""
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.interp import run_cfg
+from repro.controldep.sese import ProgramStructure
+from repro.core.build import build_dfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.core.dfg import CTRL_VAR
+from repro.opt.cfg_constprop import cfg_constant_propagation
+from repro.ssa.cytron import build_ssa_cytron
+from repro.ssa.from_dfg import build_ssa_from_dfg
+from repro.workloads.generators import random_program
+from repro.workloads.ladders import diamond_chain, loop_nest
+
+
+def test_large_random_program_full_stack():
+    prog = random_program(123, size=400, num_vars=8)
+    g = build_cfg(prog)
+    assert g.num_nodes > 300
+    ps = ProgramStructure(g)
+    dfg = build_dfg(g, structure=ps)
+    dfg_result = dfg_constant_propagation(g, dfg)
+    cfg_result = cfg_constant_propagation(g)
+    for key, value in dfg_result.use_values.items():
+        if key[1] != CTRL_VAR:
+            assert cfg_result.use_values[key] == value
+    run_cfg(g, max_steps=500_000)
+
+
+def test_long_diamond_chain():
+    g = build_cfg(diamond_chain(300, num_vars=4))
+    ps = ProgramStructure(g)
+    assert len(ps.regions) > 300
+    dfg = build_dfg(g, structure=ps)
+    assert dfg.size() > 0
+    dfg_constant_propagation(g, dfg)
+
+
+def test_deep_loop_nest():
+    g = build_cfg(loop_nest(12))
+    ps = ProgramStructure(g)
+    assert max(r.depth for r in ps.regions) >= 12
+    build_dfg(g, structure=ps)
+    run_cfg(g, max_steps=500_000)
+
+
+def test_ssa_constructions_agree_at_scale():
+    g = build_cfg(random_program(55, size=250, num_vars=6))
+    assert (
+        build_ssa_from_dfg(g).phi_placement()
+        == build_ssa_cytron(g, pruned=True).phi_placement()
+    )
+
+
+def test_deeply_sequential_program_no_recursion_limit():
+    """A 1000-statement straight line: resolution walks must be
+    iterative, not recursive."""
+    src = "x := 0;\n" + "\n".join(f"x := x + {i};" for i in range(1000))
+    src += "\nprint x;"
+    from repro.lang.parser import parse_program
+
+    g = build_cfg(parse_program(src))
+    dfg = build_dfg(g)
+    result = dfg_constant_propagation(g, dfg)
+    printer = next(n for n in g.nodes.values() if n.kind.value == "print")
+    assert result.use_values[(printer.id, "x")] == sum(range(1000))

@@ -1,0 +1,111 @@
+"""Negative tests: the Definition-6 verifier must catch corrupted DFGs.
+
+Each test takes a correctly constructed DFG, damages it in one specific
+way, and requires :func:`verify_dfg` to object.  (A verifier that never
+fires proves nothing.)
+"""
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.core.build import build_dfg
+from repro.core.dfg import Head, HeadKind, Port, PortKind
+from repro.core.verify import DFGVerificationError, verify_dfg
+from repro.lang.parser import parse_program
+
+
+def fresh(source):
+    g = build_cfg(parse_program(source))
+    return g, build_dfg(g)
+
+
+def test_use_fed_from_wrong_definition():
+    """Feed a use from a def whose value is killed in between."""
+    g, dfg = fresh("x := 1; x := 2; print x;")
+    printer = next(n for n in g.nodes.values() if n.kind.value == "print")
+    first_def = next(
+        n for n in g.assign_nodes() if n.expr.value == 1
+    )
+    dfg.use_sources[(printer.id, "x")] = Port(PortKind.DEF, "x", first_def.id)
+    with pytest.raises(DFGVerificationError, match="assignment to x"):
+        verify_dfg(g, dfg)
+
+
+def test_dependence_jumping_into_branch():
+    """A def feeding a use inside a conditional directly (bypassing the
+    switch operator) violates postdominance."""
+    g, dfg = fresh("x := 1; if (p) { y := x; } print y;")
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    x_def = next(n for n in g.assign_nodes() if n.target == "x")
+    dfg.use_sources[(y_def.id, "x")] = Port(PortKind.DEF, "x", x_def.id)
+    # Remove the switch operator's record so only the bad edge remains.
+    dfg.switch_inputs.pop((next(
+        n.id for n in g.nodes.values() if n.kind.value == "switch"
+    ), "x"), None)
+    with pytest.raises(DFGVerificationError):
+        verify_dfg(g, dfg)
+
+
+def test_dependence_escaping_branch():
+    """A switch-arm port feeding a use after the merge violates cycle
+    equivalence / postdominance the other way."""
+    g, dfg = fresh("x := 1; if (p) { y := x; } else { y := 2; } print y;")
+    printer = next(n for n in g.nodes.values() if n.kind.value == "print")
+    switch = next(n.id for n in g.nodes.values() if n.kind.value == "switch")
+    bad = Port(PortKind.SWITCH, "y", switch, "T")
+    dfg.switch_ports.setdefault((switch, "y"), []).append(bad)
+    dfg.switch_inputs.setdefault(
+        (switch, "y"), dfg.use_sources[(printer.id, "y")]
+    )
+    dfg.use_sources[(printer.id, "y")] = bad
+    with pytest.raises(DFGVerificationError):
+        verify_dfg(g, dfg)
+
+
+def test_variable_mismatch():
+    g, dfg = fresh("x := 1; print x;")
+    printer = next(n for n in g.nodes.values() if n.kind.value == "print")
+    x_def = next(n for n in g.assign_nodes())
+    dfg.use_sources[(printer.id, "x")] = Port(PortKind.DEF, "q", x_def.id)
+    with pytest.raises(DFGVerificationError):
+        verify_dfg(g, dfg)
+
+
+def test_merge_with_missing_input():
+    g, dfg = fresh("if (p) { x := 1; } else { x := 2; } print x;")
+    merge_port = next(p for p in dfg.merge_inputs if p.var == "x")
+    some_edge = next(iter(dfg.merge_inputs[merge_port]))
+    del dfg.merge_inputs[merge_port][some_edge]
+    with pytest.raises(DFGVerificationError, match="merge operator"):
+        verify_dfg(g, dfg)
+
+
+def test_switch_arms_without_input():
+    g, dfg = fresh("x := 1; if (p) { y := x; } print y;")
+    switch = next(n.id for n in g.nodes.values() if n.kind.value == "switch")
+    assert (switch, "x") in dfg.switch_inputs
+    del dfg.switch_inputs[(switch, "x")]
+    with pytest.raises(DFGVerificationError, match="no input"):
+        verify_dfg(g, dfg)
+
+
+def test_use_source_for_non_use():
+    g, dfg = fresh("x := 1; print x;")
+    x_def = next(n for n in g.assign_nodes())
+    dfg.use_sources[(x_def.id, "zz")] = Port(PortKind.ENTRY, "zz")
+    with pytest.raises(DFGVerificationError, match="non-use"):
+        verify_dfg(g, dfg)
+
+
+def test_def_port_of_wrong_variable():
+    g, dfg = fresh("x := 1; y := 2; print x;")
+    printer = next(n for n in g.nodes.values() if n.kind.value == "print")
+    y_def = next(n for n in g.assign_nodes() if n.target == "y")
+    dfg.use_sources[(printer.id, "x")] = Port(PortKind.DEF, "x", y_def.id)
+    with pytest.raises(DFGVerificationError):
+        verify_dfg(g, dfg)
+
+
+def test_clean_dfg_passes():
+    g, dfg = fresh("x := 1; if (p) { y := x; } else { y := 2; } print y;")
+    verify_dfg(g, dfg)  # sanity: undamaged input is accepted
