@@ -63,3 +63,14 @@ def test_time_full_construction(benchmark, large_random_graph):
 def test_time_structure_only(benchmark, large_random_graph):
     """The SESE/cycle-equivalence prerequisite, timed separately."""
     benchmark(ProgramStructure, large_random_graph)
+
+
+def test_time_warm_manager_query(benchmark, large_random_manager):
+    """A warm pipeline-manager query must be dictionary-lookup cheap:
+    no construction work at all compared to the cold build above."""
+    manager = large_random_manager
+    manager.get("dfg")  # ensure warm
+    counter = manager.metrics.counter
+    before = counter.snapshot()
+    benchmark(manager.get, "dfg")
+    assert counter.diff(before) == {}, "warm queries must do zero work"

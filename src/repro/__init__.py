@@ -58,15 +58,19 @@ from repro.opt.cfg_constprop import cfg_constant_propagation
 from repro.opt.copyprop import copy_propagation
 from repro.opt.cfg_epr import cfg_eliminate_partial_redundancies
 from repro.opt.pipeline import optimize
+from repro.pipeline.manager import AnalysisManager
+from repro.pipeline.passes import default_registry
 from repro.ssa.cytron import build_ssa_cytron
 from repro.ssa.from_dfg import build_ssa_from_dfg
 from repro.ssa.sccp import sparse_conditional_constant_propagation
 from repro.ssa.ssagraph import SSAForm
 from repro.util.counters import WorkCounter
+from repro.util.metrics import Metrics
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisManager",
     "AnticipatabilityResult",
     "CFG",
     "CTRL_VAR",
@@ -80,6 +84,7 @@ __all__ = [
     "FactoredCDG",
     "Head",
     "HeadKind",
+    "Metrics",
     "Node",
     "NodeKind",
     "Port",
@@ -103,6 +108,7 @@ __all__ = [
     "control_dependence_edges",
     "control_dependence_nodes",
     "cycle_equivalence",
+    "default_registry",
     "defuse_constant_propagation",
     "dfg_anticipatability",
     "dfg_constant_propagation",

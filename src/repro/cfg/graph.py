@@ -113,6 +113,16 @@ class CFG:
         self._next_edge = 0
         self.start: int = -1
         self.end: int = -1
+        #: Bumped by every structural mutation (node/edge added or
+        #: removed).  :class:`repro.pipeline.manager.AnalysisManager`
+        #: compares it against the version it last analyzed to decide
+        #: what to invalidate.
+        self.shape_version: int = 0
+        #: Bumped by in-place expression rewrites (constant folding, copy
+        #: propagation, EPR substitution) via :meth:`note_rewrite` --
+        #: those bypass the graph's mutators, so the rewriting transform
+        #: must announce them.
+        self.expr_version: int = 0
 
     # -- construction -------------------------------------------------------
 
@@ -129,6 +139,7 @@ class CFG:
             raise CFGError(f"{kind.value} nodes need an expression")
         nid = self._next_node
         self._next_node += 1
+        self.shape_version += 1
         self.nodes[nid] = Node(nid, kind, target, expr)
         self._out[nid] = []
         self._in[nid] = []
@@ -145,6 +156,7 @@ class CFG:
             raise CFGError(f"edge endpoints must exist: {src}->{dst}")
         eid = self._next_edge
         self._next_edge += 1
+        self.shape_version += 1
         self.edges[eid] = Edge(eid, src, dst, label)
         self._out[src].append(eid)
         self._in[dst].append(eid)
@@ -154,6 +166,7 @@ class CFG:
         edge = self.edges.pop(eid)
         self._out[edge.src].remove(eid)
         self._in[edge.dst].remove(eid)
+        self.shape_version += 1
 
     def remove_node(self, nid: int) -> None:
         """Remove a node; all incident edges are removed too."""
@@ -163,6 +176,21 @@ class CFG:
         del self.nodes[nid]
         del self._out[nid]
         del self._in[nid]
+        self.shape_version += 1
+
+    def note_rewrite(self, structural: bool = False) -> None:
+        """Record an in-place rewrite that bypassed the graph's mutators.
+
+        Transforms that assign ``node.expr`` (or ``node.target``)
+        directly must call this so cached analyses can be invalidated.
+        ``structural=True`` marks rewrites that change more than
+        expression text -- e.g. renaming assignment targets -- and
+        invalidates shape-derived analyses too.
+        """
+        if structural:
+            self.shape_version += 1
+        else:
+            self.expr_version += 1
 
     # -- accessors ----------------------------------------------------------
 
@@ -332,6 +360,8 @@ class CFG:
         dup = CFG()
         dup._next_node = self._next_node
         dup._next_edge = self._next_edge
+        dup.shape_version = self.shape_version
+        dup.expr_version = self.expr_version
         dup.start = self.start
         dup.end = self.end
         for nid, node in self.nodes.items():

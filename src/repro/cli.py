@@ -1,34 +1,45 @@
-"""Command-line interface: run, analyze and optimize programs.
+"""Command-line interface: run, analyze, optimize and profile programs.
 
 ::
 
     python -m repro run program.dfg --env n=5
     python -m repro analyze program.dfg
     python -m repro optimize program.dfg --dot optimized.dot --env n=5
+    python -m repro profile program.dfg
+    python -m repro trace program.dfg --optimize
 
 The source language is the small imperative language of
 :mod:`repro.lang` (see README).  ``analyze`` prints the control
 structure (cycle-equivalence classes, SESE regions), the dependence
 counts, constants and dead code; ``optimize`` runs the staged pipeline
 and reports dynamic evaluation counts before and after on the given
-environment.
+environment.  ``profile`` runs every registered analysis pass through
+the pipeline manager and emits per-pass JSON (work units, wall-clock
+time, cache hits/misses); ``trace`` emits the span-level timeline the
+same run produced.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.cfg.builder import build_cfg
 from repro.cfg.dot import cfg_to_dot
 from repro.cfg.interp import run_cfg
-from repro.controldep.sese import ProgramStructure
-from repro.core.build import build_dfg
-from repro.core.constprop import dfg_constant_propagation
 from repro.core.dfg import CTRL_VAR
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_expr
 from repro.opt.pipeline import optimize
+from repro.pipeline.manager import AnalysisManager
+from repro.util.metrics import Metrics
+
+#: Schema identifiers pinned by the golden CLI tests; bump on any
+#: structural change to the emitted JSON.
+PROFILE_SCHEMA = "repro.profile/1"
+TRACE_SCHEMA = "repro.trace/1"
 
 
 def _parse_env(pairs: list[str]) -> dict[str, int]:
@@ -58,9 +69,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     graph = build_cfg(_load(args.file))
-    structure = ProgramStructure(graph)
-    dfg = build_dfg(graph, structure=structure)
-    constants = dfg_constant_propagation(graph, dfg)
+    manager = AnalysisManager(graph)
+    structure = manager.get("sese")
+    dfg = manager.get("dfg")
+    constants = manager.get("constprop")
 
     print(f"CFG: {graph.num_nodes} nodes, {graph.num_edges} edges, "
           f"{len(graph.variables())} variables")
@@ -122,6 +134,65 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _program_summary(path: str, graph) -> dict:
+    return {
+        "file": os.path.basename(path),
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "variables": len(graph.variables()),
+    }
+
+
+def _profiled_manager(args: argparse.Namespace) -> tuple[AnalysisManager, dict]:
+    """Build the program's CFG, sweep it through the pipeline manager
+    (optionally via the full optimizer), and return (manager, program row)."""
+    graph = build_cfg(_load(args.file))
+    manager = AnalysisManager(graph, metrics=Metrics())
+    program = _program_summary(args.file, graph)
+    if getattr(args, "optimize", False):
+        optimize(graph, manager=manager)
+        manager.run_all()
+    else:
+        manager.run_all()
+        # A second sweep makes the cache traffic visible: every pass is
+        # warm, so hits == misses on an unchanged graph.
+        manager.run_all()
+    return manager, program
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    manager, program = _profiled_manager(args)
+    rows = manager.report()
+    totals = {
+        "passes": len(rows),
+        "cache": {
+            key: sum(row["cache"][key] for row in rows)
+            for key in ("hits", "misses", "invalidations")
+        },
+        "work_total": sum(row["work_total"] for row in rows),
+        "wall_ms": round(sum(row["wall_ms"] for row in rows), 3),
+    }
+    payload = {
+        "schema": PROFILE_SCHEMA,
+        "program": program,
+        "passes": rows,
+        "totals": totals,
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    manager, program = _profiled_manager(args)
+    payload = {
+        "schema": TRACE_SCHEMA,
+        "program": program,
+        **manager.metrics.as_dict(),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -153,6 +224,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
     opt_p.add_argument("--stages", type=int, default=3)
     opt_p.add_argument("--dot", help="write the optimized CFG as Graphviz")
     opt_p.set_defaults(handler=cmd_optimize)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="per-pass work/time/cache JSON from the pipeline manager",
+    )
+    common(prof_p)
+    prof_p.add_argument(
+        "--optimize", action="store_true",
+        help="profile a full optimizer run instead of a cold+warm sweep",
+    )
+    prof_p.set_defaults(handler=cmd_profile)
+
+    trace_p = sub.add_parser(
+        "trace", help="span-level timeline JSON of the same sweep"
+    )
+    common(trace_p)
+    trace_p.add_argument(
+        "--optimize", action="store_true",
+        help="trace a full optimizer run instead of a cold+warm sweep",
+    )
+    trace_p.set_defaults(handler=cmd_trace)
     return parser
 
 

@@ -19,21 +19,32 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.cfg.graph import CFG
-from repro.graphs.dominance import edge_key, edge_postdominators, node_key
+from repro.graphs.dominance import (
+    DominatorTree,
+    edge_key,
+    edge_postdominators,
+    node_key,
+)
+from repro.util.counters import WorkCounter
 
 
 def control_dependence_items(
     graph: CFG,
+    pdom: DominatorTree | None = None,
+    counter: WorkCounter | None = None,
 ) -> dict[tuple[str, int], frozenset[int]]:
     """Control-dependence sets for every node key ``("n", id)`` and edge
     key ``("e", id)``: the set of CFG edge ids each item is control
-    dependent on."""
-    pdom = edge_postdominators(graph)
+    dependent on.  A precomputed edge-postdominator tree can be injected
+    (the pipeline manager caches it as its own pass)."""
+    counter = counter if counter is not None else WorkCounter()
+    pdom = pdom if pdom is not None else edge_postdominators(graph)
     deps: dict[tuple[str, int], set[int]] = defaultdict(set)
     for eid, edge in graph.edges.items():
         stop = pdom.idom_of(node_key(edge.src))
         runner: tuple[str, int] | None = edge_key(eid)
         while runner is not None and runner != stop:
+            counter.tick("cdg_walk_steps")
             deps[runner].add(eid)
             runner = pdom.idom_of(runner)
     result: dict[tuple[str, int], frozenset[int]] = {}

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cfg.graph import CFG
+from repro.util.counters import WorkCounter
 
 #: Sentinel id for the synthetic end->start edge (never a real edge id).
 SYNTHETIC_EDGE = -1
@@ -144,13 +145,19 @@ class _Fresh:
         return cls
 
 
-def cycle_equivalence(graph: CFG) -> dict[int, int]:
+def cycle_equivalence(
+    graph: CFG, counter: WorkCounter | None = None
+) -> dict[int, int]:
     """Partition the CFG's edges into cycle-equivalence classes.
 
     Returns ``{edge_id: class_id}``.  The classes are those of the
     strongly connected augmentation (CFG plus ``end -> start``); the
-    synthetic edge itself is omitted from the result.  Runs in O(E).
+    synthetic edge itself is omitted from the result.  Runs in O(E) --
+    ``counter`` records ``ce_dfs_steps`` (adjacency entries examined) and
+    ``ce_bracket_ops`` (bracket pushes/deletes/concats), which together
+    witness the linear bound.
     """
+    counter = counter if counter is not None else WorkCounter()
     fresh = _Fresh()
     uedges: list[_UEdge] = []
     adjacency: dict[int, list[tuple[int, int]]] = {n: [] for n in graph.nodes}
@@ -190,6 +197,7 @@ def cycle_equivalence(graph: CFG) -> dict[int, int]:
             stack.pop()
             continue
         stack[-1] = (vertex, cursor + 1)
+        counter.tick("ce_dfs_steps")
         index, other = adjacency[vertex][cursor]
         uedge = uedges[index]
         if uedge.used:
@@ -223,17 +231,21 @@ def cycle_equivalence(graph: CFG) -> dict[int, int]:
 
         current = _BracketList()
         for child in children[vertex]:
+            counter.tick("ce_bracket_ops")
             current.concat(blist[child])
         for capping in capping_to[vertex]:
+            counter.tick("ce_bracket_ops")
             current.delete(capping)
         for backedge in backedges_to[vertex]:
             assert backedge.bracket is not None
+            counter.tick("ce_bracket_ops")
             current.delete(backedge.bracket)
             if backedge.cls is None:
                 backedge.cls = fresh()
         for backedge in backedges_from[vertex]:
             bracket = _Bracket(backedge)
             backedge.bracket = bracket
+            counter.tick("ce_bracket_ops")
             current.push(bracket)
         if hi2 < num:
             # A second child also reaches above this vertex: cap it so the

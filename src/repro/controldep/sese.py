@@ -36,6 +36,7 @@ from repro.graphs.dominance import (
     edge_postdominators,
     node_key,
 )
+from repro.util.counters import WorkCounter
 
 
 @dataclass
@@ -63,16 +64,38 @@ class Region:
 
 
 class ProgramStructure:
-    """Cycle-equivalence classes, canonical regions, and the PST."""
+    """Cycle-equivalence classes, canonical regions, and the PST.
 
-    def __init__(self, graph: CFG) -> None:
+    The three substrates -- edge dominators, edge postdominators, and the
+    cycle-equivalence partition -- are computed on demand, but callers
+    that already hold them (the analysis pipeline manager caches each as
+    its own pass) can inject them and pay only for the region/PST
+    assembly.
+    """
+
+    def __init__(
+        self,
+        graph: CFG,
+        dom: DominatorTree | None = None,
+        pdom: DominatorTree | None = None,
+        edge_class: dict[int, int] | None = None,
+        counter: WorkCounter | None = None,
+    ) -> None:
+        counter = counter if counter is not None else WorkCounter()
         self.graph = graph
-        self.dom: DominatorTree = edge_dominators(graph)
-        self.pdom: DominatorTree = edge_postdominators(graph)
-        self.edge_class: dict[int, int] = cycle_equivalence(graph)
+        self.dom: DominatorTree = dom if dom is not None else edge_dominators(graph)
+        self.pdom: DominatorTree = (
+            pdom if pdom is not None else edge_postdominators(graph)
+        )
+        self.edge_class: dict[int, int] = (
+            edge_class
+            if edge_class is not None
+            else cycle_equivalence(graph, counter)
+        )
 
         grouped: dict[int, list[int]] = defaultdict(list)
         for eid, cls in self.edge_class.items():
+            counter.tick("sese_edge_groupings")
             grouped[cls].append(eid)
         #: class id -> edge ids in dominance order (entry-most first).
         self.classes: dict[int, list[int]] = {
@@ -85,6 +108,7 @@ class ProgramStructure:
         self.opens: dict[int, Region] = {}
         for cls, eids in self.classes.items():
             for index in range(len(eids) - 1):
+                counter.tick("sese_regions_built")
                 region = Region(eids[index], eids[index + 1], cls, index)
                 self.regions.append(region)
                 self.opens[eids[index]] = region

@@ -84,6 +84,7 @@ class DependenceResolver:
         while True:
             key = (current, var)
             if key in self.memo:
+                self.counter.tick("source_memo_hits")
                 result = self.memo[key]
                 break
             self.counter.tick("source_resolutions")

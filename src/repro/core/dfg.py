@@ -157,8 +157,10 @@ class DFG:
             self._heads = self._build_heads()
         return self._heads.get(port, [])
 
-    def ports(self) -> set[Port]:
-        """Every producer port in the graph."""
+    def ports(self) -> list[Port]:
+        """Every producer port in the graph, in a deterministic order
+        (clients seed worklists from this; hash order would make work
+        counts vary run to run)."""
         found: set[Port] = set()
         found.update(self.use_sources.values())
         found.update(self.switch_inputs.values())
@@ -167,7 +169,10 @@ class DFG:
         found.update(self.merge_inputs.keys())
         for ports in self.switch_ports.values():
             found.update(ports)
-        return found
+        return sorted(
+            found,
+            key=lambda p: (p.node, p.kind.value, p.var, p.label or ""),
+        )
 
     def dep_edges(self) -> list[DepEdge]:
         """All dependence edges, producer-to-consumer."""

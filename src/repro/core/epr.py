@@ -135,9 +135,15 @@ def eliminate_partial_redundancies(
     structure: ProgramStructure | None = None,
     anticipatability: AnticipatabilityResult | None = None,
     counter: WorkCounter | None = None,
+    av: dict[int, frozenset[Expr]] | None = None,
+    pav: dict[int, frozenset[Expr]] | None = None,
 ) -> EPRResult:
     """Apply the paper's EPR rules for ``expr`` and return a transformed
-    copy of ``graph`` (the input graph is never mutated)."""
+    copy of ``graph`` (the input graph is never mutated).
+
+    The per-graph substrates (DFG, program structure, availability) are
+    injectable so :func:`epr_all` can serve them from the analysis
+    pipeline cache instead of recomputing per candidate expression."""
     counter = counter if counter is not None else WorkCounter()
     if is_trivial(expr) or not expr_vars(expr):
         raise ValueError("EPR applies to compound expressions over variables")
@@ -148,8 +154,12 @@ def eliminate_partial_redundancies(
         if anticipatability is not None
         else dfg_anticipatability(graph, expr, dfg, ps, counter)
     )
-    av = available_expressions(graph, counter)
-    pav = partially_available_expressions(graph, counter)
+    av = av if av is not None else available_expressions(graph, counter)
+    pav = (
+        pav
+        if pav is not None
+        else partially_available_expressions(graph, counter)
+    )
 
     # -- profitable placement points (PP) -----------------------------------
     pp_edges: set[int] = set()
@@ -300,6 +310,7 @@ def place_and_transform(
         assert node.expr is not None
         if nid in deleted:
             node.expr = replace_subexpr(node.expr, expr, Var(temp))
+            result_graph.note_rewrite()
             result.deleted_nodes.append(nid)
         else:
             # Surviving computation: also define the temporary so deleted
@@ -307,6 +318,7 @@ def place_and_transform(
             in_edge = result_graph.in_edge(nid).id
             _splice_assign(result_graph, in_edge, temp, expr)
             node.expr = replace_subexpr(node.expr, expr, Var(temp))
+            result_graph.note_rewrite()
             result.defining_nodes.append(nid)
     result_graph.validate(normalized=True)
     return result
@@ -319,16 +331,38 @@ def candidate_expressions(graph: CFG) -> list[Expr]:
     return sorted(exprs, key=lambda e: (-len(list(subexpressions(e))), repr(e)))
 
 
-def epr_all(graph: CFG, counter: WorkCounter | None = None):
+def epr_all(graph: CFG, counter: WorkCounter | None = None, manager=None):
     """Apply EPR to every candidate expression of ``graph``, re-deriving
-    structures after each change.  Returns (final graph, results)."""
+    structures after each change.  Returns (final graph, results).
+
+    With a :class:`repro.pipeline.manager.AnalysisManager`, the
+    per-graph substrates (SESE structure, DFG, availability) come from
+    the pass cache: consecutive candidates that change nothing reuse
+    them instead of rebuilding, and each change rebinds the manager to
+    the transformed copy.
+    """
     counter = counter if counter is not None else WorkCounter()
+    if manager is None:
+        from repro.pipeline.manager import AnalysisManager
+        from repro.util.metrics import Metrics
+
+        manager = AnalysisManager(graph, metrics=Metrics(counter=counter))
     current = graph
     results: list[EPRResult] = []
     for expr in candidate_expressions(graph):
         if expr not in current.expressions():
             continue  # rewritten away by an earlier pass
-        outcome = eliminate_partial_redundancies(current, expr, counter=counter)
+        if manager.graph is not current:
+            manager.rebind(current)
+        outcome = eliminate_partial_redundancies(
+            current,
+            expr,
+            dfg=manager.get("dfg"),
+            structure=manager.get("sese"),
+            counter=counter,
+            av=manager.get("available"),
+            pav=manager.get("pavailable"),
+        )
         if outcome.changed:
             results.append(outcome)
             current = outcome.graph

@@ -49,7 +49,8 @@ def solve_dataflow(
     The worklist is seeded with every node in reverse postorder (forward
     problems) or reverse postorder of the reversed graph (backward), which
     makes the common structured cases converge in near-linear passes.
-    Counters: ``node_visits`` and whatever the problem itself ticks.
+    Counters: ``node_visits``, ``fact_updates`` (edge facts that actually
+    changed), and whatever the problem itself ticks.
     """
     counter = counter if counter is not None else WorkCounter()
     forward = problem.direction == "forward"
@@ -78,6 +79,7 @@ def solve_dataflow(
         updates = problem.transfer(graph, nid, incoming)
         for eid, value in updates.items():
             if facts[eid] != value:
+                counter.tick("fact_updates")
                 facts[eid] = value
                 nxt = downstream(graph.edge(eid))
                 if nxt not in queued:

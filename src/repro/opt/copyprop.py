@@ -69,19 +69,29 @@ def _substitute_var(expr: Expr, old: str, new: str) -> Expr:
 
 
 def copy_propagation(
-    graph: CFG, counter: WorkCounter | None = None, max_rounds: int = 10
+    graph: CFG,
+    counter: WorkCounter | None = None,
+    max_rounds: int = 10,
+    manager=None,
 ) -> CopyPropStats:
     """Propagate copies in place; returns statistics.
 
     Each round rebuilds the DFG of the current graph (copy chains expose
     new opportunities), rewrites every justified use, and stops when a
-    round changes nothing.
+    round changes nothing.  With an
+    :class:`~repro.pipeline.manager.AnalysisManager`, the DFG comes from
+    the pass cache: rewrites invalidate it between rounds automatically,
+    and the final (no-change) round's DFG stays warm for whatever runs
+    next.
     """
     counter = counter if counter is not None else WorkCounter()
     stats = CopyPropStats()
     for _ in range(max_rounds):
         stats.rounds += 1
-        dfg = build_dfg(graph, counter=counter)
+        if manager is not None and manager.graph is graph:
+            dfg = manager.get("dfg")
+        else:
+            dfg = build_dfg(graph, counter=counter)
         resolver = dfg.resolver
 
         def elide(port):
@@ -115,6 +125,7 @@ def copy_propagation(
             node = graph.node(nid)
             assert node.expr is not None
             node.expr = _substitute_var(node.expr, var, original)
+            graph.note_rewrite()
             changed += 1
         stats.rewritten_uses += changed
         if not changed:

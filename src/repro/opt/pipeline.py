@@ -10,6 +10,16 @@ middle-end.
    expression, DFG-based by default;
 3. a final fold/DCE round to clean up temporaries made constant.
 
+Every analysis request goes through an
+:class:`~repro.pipeline.manager.AnalysisManager`: the supporting
+structures (SESE regions, cycle equivalence, the DFG) are computed once
+per graph state and shared across passes, and each transform's mutation
+-- folding, branch removal, copy propagation, EPR splicing -- invalidates
+exactly the downstream results (shape changes drop everything;
+expression rewrites keep the control structure warm).  The manager's
+metrics record per-pass work, time, and cache traffic; ``repro trace``
+exposes them.
+
 Every pass preserves observable behaviour; the test suite verifies runs
 on the original and optimized graphs agree on outputs, and that no
 execution evaluates any original expression more often afterwards.
@@ -22,20 +32,20 @@ from typing import Callable, Union
 
 from repro.cfg.builder import build_cfg
 from repro.cfg.graph import CFG
-from repro.core.constprop import dfg_constant_propagation
 from repro.core.epr import epr_all
-from repro.defuse.constprop import defuse_constant_propagation
 from repro.lang.ast_nodes import Program
-from repro.opt.cfg_constprop import cfg_constant_propagation
 from repro.opt.cfg_epr import cfg_epr_all
 from repro.opt.transform import TransformStats, fold_and_eliminate
+from repro.pipeline.manager import AnalysisManager
 from repro.util.counters import WorkCounter
 
-#: Selectable constant-propagation engines.
+#: Selectable constant-propagation engines; each pulls its result
+#: through the analysis manager so repeated queries on an unchanged
+#: graph are cache hits.
 CONSTPROP_ENGINES: dict[str, Callable] = {
-    "dfg": lambda g: dfg_constant_propagation(g).rhs_values,
-    "cfg": lambda g: cfg_constant_propagation(g).rhs_values,
-    "defuse": lambda g: defuse_constant_propagation(g).rhs_values,
+    "dfg": lambda m: m.get("constprop").rhs_values,
+    "cfg": lambda m: m.get("constprop-cfg").rhs_values,
+    "defuse": lambda m: m.get("constprop-defuse").rhs_values,
 }
 
 #: Selectable redundancy-elimination engines.
@@ -66,6 +76,7 @@ def optimize(
     live_out: frozenset[str] = frozenset(),
     stages: int = 3,
     run_adce: bool = True,
+    manager: AnalysisManager | None = None,
 ) -> tuple[CFG, OptimizationReport]:
     """Optimize a program or CFG; returns (new graph, report).
 
@@ -76,6 +87,12 @@ def optimize(
     propagation turns reads of those temporaries back into syntactically
     equal expressions, and the next stage's PRE eliminates them.  Stages
     stop early once a full stage changes nothing.
+
+    ``manager`` lets a caller share one analysis cache (and its metrics)
+    with the optimizer; it is rebound to the working copy, so the
+    caller's cached results for the *original* graph are dropped.  When
+    omitted, a private manager is created and exposed on
+    ``report.counter`` via its shared work counter.
     """
     if constprop not in CONSTPROP_ENGINES:
         raise ValueError(f"unknown constprop engine {constprop!r}")
@@ -84,23 +101,45 @@ def optimize(
     graph = (
         build_cfg(source) if isinstance(source, Program) else source.copy()
     )
-    report = OptimizationReport()
+    if manager is None:
+        manager = AnalysisManager(graph)
+    else:
+        manager.rebind(graph)
+    report = OptimizationReport(counter=manager.metrics.counter)
+    engine = CONSTPROP_ENGINES[constprop]
 
-    report.constprop = fold_and_eliminate(
-        graph, CONSTPROP_ENGINES[constprop], live_out
-    )
+    def analyze(_graph: CFG) -> dict:
+        # fold_and_eliminate mutates the graph between rounds; the
+        # manager notices via the graph's version counters and
+        # recomputes only what the mutation kind invalidated.
+        return engine(manager)
+
+    with manager.metrics.span("opt:fold"):
+        report.constprop = fold_and_eliminate(graph, analyze, live_out)
     if run_epr:
         from repro.opt.copyprop import copy_propagation
 
         for _stage in range(stages):
             report.stages_run += 1
-            graph, results = EPR_ENGINES[epr](graph, counter=report.counter)
+            with manager.metrics.span("opt:epr"):
+                if epr == "dfg":
+                    graph, results = epr_all(
+                        graph, counter=report.counter, manager=manager
+                    )
+                else:
+                    graph, results = EPR_ENGINES[epr](
+                        graph, counter=report.counter
+                    )
+            if manager.graph is not graph:
+                manager.rebind(graph)
             report.pre_expressions.extend(r.expr for r in results)
-            copies = copy_propagation(graph, counter=report.counter)
+            with manager.metrics.span("opt:copyprop"):
+                copies = copy_propagation(
+                    graph, counter=report.counter, manager=manager
+                )
             report.copies_propagated += copies.rewritten_uses
-            cleanup = fold_and_eliminate(
-                graph, CONSTPROP_ENGINES[constprop], live_out
-            )
+            with manager.metrics.span("opt:fold"):
+                cleanup = fold_and_eliminate(graph, analyze, live_out)
             report.cleanup.merge(cleanup)
             stage_changed = (
                 bool(results)
@@ -119,7 +158,13 @@ def optimize(
         # predicates only.
         from repro.core.dce import dfg_dead_code_elimination
 
-        adce = dfg_dead_code_elimination(graph, counter=report.counter)
+        with manager.metrics.span("opt:adce"):
+            manager.refresh()
+            adce = dfg_dead_code_elimination(
+                graph,
+                dfg=manager.get("dfg") if manager.graph is graph else None,
+                counter=report.counter,
+            )
         report.adce_removed = len(adce.removed_assignments)
     graph.validate(normalized=True)
     return graph, report

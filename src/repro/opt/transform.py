@@ -53,6 +53,7 @@ def fold_constants(graph: CFG, rhs_values: dict[int, object]) -> TransformStats:
         if node.kind in (NodeKind.ASSIGN, NodeKind.PRINT):
             if node.expr != IntLit(value):
                 node.expr = IntLit(value)
+                graph.note_rewrite()
                 stats.folded_rhs += 1
         elif node.kind is NodeKind.SWITCH:
             taken = graph.switch_edge(node.id, "T" if value else "F")

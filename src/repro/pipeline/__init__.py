@@ -1,0 +1,29 @@
+"""Analysis pipeline: registered passes, caching, invalidation, metrics.
+
+* :class:`~repro.pipeline.manager.AnalysisManager` -- memoized access to
+  every registered analysis of one CFG, with mutation-driven
+  invalidation and per-pass (work, time, hit/miss) accounting;
+* :func:`~repro.pipeline.passes.default_registry` -- the standard pass
+  DAG (dominance, cycle equivalence, SESE, CDG, DFG, SSA, def-use
+  chains, four constant propagators, classic dataflow);
+* :class:`~repro.util.metrics.Metrics` is re-exported for convenience.
+"""
+
+from repro.pipeline.manager import (
+    AnalysisManager,
+    PassRegistry,
+    PassSpec,
+    PassStats,
+)
+from repro.pipeline.passes import default_registry
+from repro.util.metrics import Metrics, Span
+
+__all__ = [
+    "AnalysisManager",
+    "PassRegistry",
+    "PassSpec",
+    "PassStats",
+    "Metrics",
+    "Span",
+    "default_registry",
+]

@@ -1,0 +1,208 @@
+"""The default pass registry: every analysis in the project, as a DAG.
+
+::
+
+    cfg ─┬─ dfs
+         ├─ dom ──────────┐
+         ├─ pdom ─┬─ cdg  │
+         ├─ cycle-equiv ──┴─ sese ── dfg ─┬─ ssa ── sccp
+         ├─ liveness                      ├─ constprop
+         ├─ reaching                      └─ (copyprop, EPR consume it too)
+         ├─ available / pavailable
+         ├─ defuse ── constprop-defuse
+         └─ constprop-cfg
+
+Shape-only passes (``uses_exprs=False``) read the graph's nodes, edges
+and assignment targets but never an expression: dominance, cycle
+equivalence, SESE structure and the CDG all survive copy propagation and
+constant folding of right-hand sides.  Everything that reads operands --
+the DFG, def-use chains, liveness, reaching definitions, and all four
+constant propagators -- recomputes after an expression rewrite.
+
+Pass bodies receive ``(graph, deps, counter)`` and must be pure
+functions of the graph and their declared dependencies: the manager
+caches results on that assumption.
+"""
+
+from __future__ import annotations
+
+from repro.controldep.cdg import control_dependence_items
+from repro.controldep.cycle_equiv import cycle_equivalence
+from repro.controldep.sese import ProgramStructure
+from repro.core.build import build_dfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.dataflow.available import (
+    available_expressions,
+    partially_available_expressions,
+)
+from repro.dataflow.liveness import live_variables
+from repro.dataflow.reaching import reaching_definitions
+from repro.defuse.chains import build_def_use_chains
+from repro.defuse.constprop import defuse_constant_propagation
+from repro.graphs.dfs import depth_first_search
+from repro.graphs.dominance import edge_dominators, edge_postdominators
+from repro.opt.cfg_constprop import cfg_constant_propagation
+from repro.pipeline.manager import PassRegistry
+from repro.ssa.from_dfg import build_ssa_from_dfg
+from repro.ssa.sccp import sparse_conditional_constant_propagation
+
+_REGISTRY = PassRegistry()
+
+
+def default_registry() -> PassRegistry:
+    """The shared registry of standard passes (do not mutate)."""
+    return _REGISTRY
+
+
+@_REGISTRY.register(
+    "cfg", uses_exprs=False, description="validated normalized CFG"
+)
+def _cfg(graph, deps, counter):
+    graph.validate(normalized=True)
+    return graph
+
+
+@_REGISTRY.register(
+    "dfs", deps=("cfg",), uses_exprs=False,
+    description="depth-first numbering and edge classification",
+)
+def _dfs(graph, deps, counter):
+    result = depth_first_search([graph.start], graph.succs)
+    counter.tick("dfs_nodes_numbered", len(result.pre_number))
+    return result
+
+
+@_REGISTRY.register(
+    "dom", deps=("cfg",), uses_exprs=False,
+    description="edge dominator tree (split graph)",
+)
+def _dom(graph, deps, counter):
+    result = edge_dominators(graph)
+    counter.tick("dom_tree_entries", len(result.idom))
+    return result
+
+
+@_REGISTRY.register(
+    "pdom", deps=("cfg",), uses_exprs=False,
+    description="edge postdominator tree (split graph)",
+)
+def _pdom(graph, deps, counter):
+    result = edge_postdominators(graph)
+    counter.tick("pdom_tree_entries", len(result.idom))
+    return result
+
+
+@_REGISTRY.register(
+    "cycle-equiv", deps=("cfg",), uses_exprs=False,
+    description="O(E) cycle-equivalence classes of CFG edges",
+)
+def _cycle_equiv(graph, deps, counter):
+    return cycle_equivalence(graph, counter)
+
+
+@_REGISTRY.register(
+    "sese", deps=("cfg", "dom", "pdom", "cycle-equiv"), uses_exprs=False,
+    description="canonical SESE regions and the program structure tree",
+)
+def _sese(graph, deps, counter):
+    return ProgramStructure(
+        graph,
+        dom=deps["dom"],
+        pdom=deps["pdom"],
+        edge_class=deps["cycle-equiv"],
+        counter=counter,
+    )
+
+
+@_REGISTRY.register(
+    "cdg", deps=("cfg", "pdom"), uses_exprs=False,
+    description="Ferrante-Ottenstein-Warren control dependence sets",
+)
+def _cdg(graph, deps, counter):
+    return control_dependence_items(graph, pdom=deps["pdom"], counter=counter)
+
+
+@_REGISTRY.register(
+    "dfg", deps=("cfg", "sese"),
+    description="dependence flow graph (demand-driven, region bypassing)",
+)
+def _dfg(graph, deps, counter):
+    return build_dfg(graph, structure=deps["sese"], counter=counter)
+
+
+@_REGISTRY.register(
+    "defuse", deps=("cfg",),
+    description="def-use chains from reaching definitions",
+)
+def _defuse(graph, deps, counter):
+    return build_def_use_chains(graph, counter)
+
+
+@_REGISTRY.register(
+    "liveness", deps=("cfg",), description="live variables per edge"
+)
+def _liveness(graph, deps, counter):
+    return live_variables(graph, counter=counter)
+
+
+@_REGISTRY.register(
+    "reaching", deps=("cfg",), description="reaching definitions per edge"
+)
+def _reaching(graph, deps, counter):
+    return reaching_definitions(graph, counter)
+
+
+@_REGISTRY.register(
+    "available", deps=("cfg",),
+    description="available expressions per edge (EPR safety substrate)",
+)
+def _available(graph, deps, counter):
+    return available_expressions(graph, counter)
+
+
+@_REGISTRY.register(
+    "pavailable", deps=("cfg",),
+    description="partially available expressions per edge (EPR profitability)",
+)
+def _pavailable(graph, deps, counter):
+    return partially_available_expressions(graph, counter)
+
+
+@_REGISTRY.register(
+    "ssa", deps=("dfg",),
+    description="pruned SSA derived from the DFG (no dominance frontier)",
+)
+def _ssa(graph, deps, counter):
+    return build_ssa_from_dfg(graph, dfg=deps["dfg"], counter=counter)
+
+
+@_REGISTRY.register(
+    "constprop", deps=("dfg",),
+    description="DFG constant propagation (Section 4, possible-paths)",
+)
+def _constprop(graph, deps, counter):
+    return dfg_constant_propagation(graph, dfg=deps["dfg"], counter=counter)
+
+
+@_REGISTRY.register(
+    "constprop-cfg", deps=("cfg",),
+    description="Kildall vector constant propagation (Figure 4a baseline)",
+)
+def _constprop_cfg(graph, deps, counter):
+    return cfg_constant_propagation(graph, counter)
+
+
+@_REGISTRY.register(
+    "constprop-defuse", deps=("defuse",),
+    description="def-use chain constant propagation (all-paths baseline)",
+)
+def _constprop_defuse(graph, deps, counter):
+    return defuse_constant_propagation(graph, chains=deps["defuse"], counter=counter)
+
+
+@_REGISTRY.register(
+    "sccp", deps=("ssa",),
+    description="sparse conditional constant propagation over SSA",
+)
+def _sccp(graph, deps, counter):
+    return sparse_conditional_constant_propagation(deps["ssa"], counter=counter)

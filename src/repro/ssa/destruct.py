@@ -107,6 +107,9 @@ def destruct_ssa(ssa: SSAForm) -> CFG:
             node.expr = _rename_expr(node.expr, mapping)
         if node.kind is NodeKind.ASSIGN and node.id in ssa.def_names:
             node.target = ssa.def_names[node.id]
+    # Renaming rewrites targets as well as operands, so shape-derived
+    # caches (SESE defs) are stale too.
+    graph.note_rewrite(structural=True)
 
     # Lower phi-functions to parallel copies on each in-edge.
     for merge_id, by_var in ssa.phis.items():

@@ -92,7 +92,11 @@ def sparse_conditional_constant_propagation(
         lookup = lambda v: name_value(ssa.use_names[(nid, v)])  # noqa: E731
         if node.kind is NodeKind.ASSIGN:
             assert node.expr is not None
-            raise_name(ssa.def_names[nid], eval_abstract(node.expr, lookup))
+            # Pruned SSA (e.g. derived from the DFG) gives dead
+            # definitions no name; nothing consumes their value.
+            name = ssa.def_names.get(nid)
+            if name is not None:
+                raise_name(name, eval_abstract(node.expr, lookup))
             mark_edges(graph.out_edges(nid))
         elif node.kind is NodeKind.SWITCH:
             assert node.expr is not None

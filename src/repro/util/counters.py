@@ -11,6 +11,8 @@ units through a :class:`WorkCounter`.  Benchmarks report both.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator
 
 
 class WorkCounter:
@@ -23,6 +25,24 @@ class WorkCounter:
     (1, 3)
     >>> w["missing"]
     0
+
+    ``snapshot``/``diff`` attribute work to a phase of a larger
+    computation that ticks into one shared counter:
+
+    >>> before = w.snapshot()
+    >>> w.tick("node_visits", 2)
+    >>> w.diff(before)
+    {'node_visits': 2}
+
+    ``scoped`` hands a nested solver its own counter and folds it in
+    exactly once on exit -- the safe alternative to passing the shared
+    counter down *and* calling :meth:`merge` afterwards, which counts the
+    nested work twice:
+
+    >>> with w.scoped() as local:
+    ...     local.tick("node_visits")
+    >>> w["node_visits"]
+    4
     """
 
     def __init__(self) -> None:
@@ -46,6 +66,28 @@ class WorkCounter:
     def merge(self, other: "WorkCounter") -> None:
         """Fold another counter's totals into this one."""
         self._counts.update(other._counts)
+
+    def snapshot(self) -> dict[str, int]:
+        """A frozen view of the current totals, for later :meth:`diff`."""
+        return dict(self._counts)
+
+    def diff(self, since: dict[str, int]) -> dict[str, int]:
+        """Work done since ``since`` (a :meth:`snapshot`); zero-delta
+        names are omitted, so no work at all diffs to ``{}``."""
+        return {
+            name: count - since.get(name, 0)
+            for name, count in self._counts.items()
+            if count != since.get(name, 0)
+        }
+
+    @contextmanager
+    def scoped(self) -> Iterator["WorkCounter"]:
+        """A child counter that merges into this one exactly once on exit."""
+        child = WorkCounter()
+        try:
+            yield child
+        finally:
+            self.merge(child)
 
     def reset(self) -> None:
         self._counts.clear()

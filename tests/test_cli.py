@@ -1,8 +1,22 @@
-"""CLI smoke tests (direct invocation of the handlers)."""
+"""CLI smoke tests (direct invocation of the handlers) and golden-output
+tests for the JSON-emitting ``profile`` / ``trace`` subcommands.
+
+The golden files live in ``tests/golden/``; timing fields are zeroed
+before comparison (span *order* is deterministic, durations are not).
+Regenerate after an intentional schema change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_cli.py
+"""
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
-from repro.cli import main
+from repro.cli import PROFILE_SCHEMA, TRACE_SCHEMA, main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
 
 
 @pytest.fixture
@@ -54,6 +68,81 @@ def test_optimize_reports_and_preserves(sample, capsys):
 def test_bad_env_rejected(sample):
     with pytest.raises(SystemExit):
         main(["run", sample, "--env", "p=notanumber"])
+
+
+# -- golden JSON output --------------------------------------------------------
+
+
+def _scrub_times(obj):
+    """Zero every timing field; everything else must match exactly."""
+    if isinstance(obj, dict):
+        return {
+            key: 0.0 if key in ("wall_ms", "dur_ms", "start_ms")
+            else _scrub_times(value)
+            for key, value in obj.items()
+        }
+    if isinstance(obj, list):
+        return [_scrub_times(item) for item in obj]
+    return obj
+
+
+def _check_golden(name: str, payload: dict) -> None:
+    normalized = _scrub_times(payload)
+    path = GOLDEN_DIR / name
+    if os.environ.get("REGEN_GOLDEN"):
+        path.write_text(json.dumps(normalized, indent=2, sort_keys=True) + "\n")
+    expected = json.loads(path.read_text())
+    assert normalized == expected, f"{name} drifted; see module docstring"
+
+
+def test_profile_matches_golden(sample, capsys):
+    assert main(["profile", sample]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == PROFILE_SCHEMA
+    _check_golden("profile_sample.json", payload)
+
+
+def test_trace_matches_golden(sample, capsys):
+    assert main(["trace", sample]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == TRACE_SCHEMA
+    _check_golden("trace_sample.json", payload)
+
+
+def test_profile_meets_reporting_floor(sample, capsys):
+    """Acceptance criterion: per-pass rows with work units, wall time and
+    cache traffic for at least six passes."""
+    assert main(["profile", sample]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    rows = payload["passes"]
+    assert len(rows) >= 6
+    with_work = [row for row in rows if row["work_total"] > 0]
+    assert len(with_work) >= 6
+    for row in rows:
+        assert {"pass", "cache", "work", "work_total", "wall_ms"} <= set(row)
+        assert row["cache"]["misses"] >= 1
+        assert row["cache"]["hits"] >= 1  # the warm second sweep
+    assert payload["totals"]["cache"]["invalidations"] == 0
+
+
+def test_trace_spans_interleave_cold_and_warm(sample, capsys):
+    assert main(["trace", sample]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    by_name: dict[str, list] = {}
+    for span in payload["spans"]:
+        by_name.setdefault(span["name"], []).append(span["cached"])
+    # Every pass appears cold exactly once, and warm at least once
+    # (second sweep, plus dependency hits).
+    for name, flags in by_name.items():
+        assert flags.count(False) == 1, name
+        assert flags.count(True) >= 1, name
+
+
+def test_profile_optimize_flag(sample, capsys):
+    assert main(["profile", sample, "--optimize"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # The optimizer's transforms invalidate analyses mid-run.
+    assert payload["totals"]["cache"]["invalidations"] > 0
 
 
 def test_constant_program_analysis(tmp_path, capsys):

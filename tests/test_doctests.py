@@ -12,8 +12,10 @@ import repro.lang.interp
 import repro.lang.lexer
 import repro.lang.parser
 import repro.lang.pretty
+import repro.pipeline.manager
 import repro.ssa.destruct
 import repro.util.counters
+import repro.util.metrics
 
 MODULES = [
     repro.cfg.builder,
@@ -23,8 +25,10 @@ MODULES = [
     repro.lang.lexer,
     repro.lang.parser,
     repro.lang.pretty,
+    repro.pipeline.manager,
     repro.ssa.destruct,
     repro.util.counters,
+    repro.util.metrics,
 ]
 
 
