@@ -40,6 +40,7 @@ from repro.util.metrics import Metrics
 #: structural change to the emitted JSON.
 PROFILE_SCHEMA = "repro.profile/1"
 TRACE_SCHEMA = "repro.trace/1"
+BENCH_SCHEMA = "repro.bench/1"
 
 
 def _parse_env(pairs: list[str]) -> dict[str, int]:
@@ -193,6 +194,60 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.batch import check_regression, run_bench, write_payload
+
+    payload = run_bench(
+        tag=args.tag,
+        smoke=args.smoke,
+        repeat=args.repeat,
+        batch_workers=args.workers,
+    )
+    out = args.output or f"BENCH_{args.tag}.json"
+    write_payload(payload, out)
+    for workload in payload["workloads"]:
+        largest = workload["largest"]
+        flag = "ok" if all(r["identical"] for r in workload["rows"]) else \
+            "RESULTS DIFFER"
+        print(f"{workload['name']:14s} largest={largest['size']:>10} "
+              f"legacy={largest['legacy_ms']:9.2f}ms "
+              f"fast={largest['fast_ms']:8.2f}ms "
+              f"speedup={largest['speedup']:5.2f}x  [{flag}]")
+    batch = payload["batch"]
+    print(f"batch          {batch['programs']} programs, "
+          f"{batch['workers']} workers, {batch['chunks']} chunks, "
+          f"pool {batch['pool_wall_ms']:.1f}ms "
+          f"(analysis {batch['analysis_wall_ms']:.1f}ms)")
+    print(f"wrote {out}")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_regression(payload, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"no regression vs {args.check}")
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.perf.batch import default_suite, run_batch, write_payload
+
+    result = run_batch(
+        suite=default_suite(args.programs, size=args.size),
+        workers=args.workers,
+    )
+    payload = {"schema": BENCH_SCHEMA, "tag": args.tag, "batch": result}
+    if args.output:
+        write_payload(payload, args.output)
+        print(f"analyzed {result['programs']} programs on "
+              f"{result['workers']} workers; wrote {args.output}")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -245,6 +300,45 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="trace a full optimizer run instead of a cold+warm sweep",
     )
     trace_p.set_defaults(handler=cmd_trace)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="time fast paths vs legacy on the paper workloads; write "
+        "BENCH_<tag>.json",
+    )
+    bench_p.add_argument("--tag", default="dev")
+    bench_p.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes / fewer repeats (the CI profile)",
+    )
+    bench_p.add_argument(
+        "--repeat", type=int, default=None,
+        help="timing samples per row (best-of; default 5, smoke 3)",
+    )
+    bench_p.add_argument(
+        "--workers", type=int, default=0,
+        help="pool size for the batch section (0 = in-process)",
+    )
+    bench_p.add_argument("--output", help="payload path (default BENCH_<tag>.json)")
+    bench_p.add_argument(
+        "--check", metavar="BASELINE",
+        help="fail on >25%% speedup regression vs this baseline JSON",
+    )
+    bench_p.set_defaults(handler=cmd_bench)
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="analyze a generated program suite across a process pool",
+    )
+    batch_p.add_argument("--tag", default="dev")
+    batch_p.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size (default: CPU count; 0 = in-process)",
+    )
+    batch_p.add_argument("--programs", type=int, default=8)
+    batch_p.add_argument("--size", type=int, default=80)
+    batch_p.add_argument("--output", help="write JSON here instead of stdout")
+    batch_p.set_defaults(handler=cmd_batch)
     return parser
 
 

@@ -28,14 +28,27 @@ closely:
 Strong connectivity of the augmented graph guarantees the undirected
 graph is 2-edge-connected (every edge lies on a cycle), so every tree
 edge has at least one bracket.
+
+Two implementations share the bracket-list machinery:
+:func:`cycle_equivalence` is the CSR fast path -- flat integer arrays
+for the undirected adjacency, the DFS stack and the per-vertex
+bookkeeping, with work counted in locals and ticked once at the end --
+and :func:`cycle_equivalence_reference` is the legacy dict-based
+version.  Both walk the adjacency in the same order, so they emit
+*identical class ids*, not merely the same partition; the equivalence
+tests assert exact dict equality.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cfg.graph import CFG
 from repro.util.counters import WorkCounter
+
+if TYPE_CHECKING:
+    from repro.perf.csr import CSRGraph
 
 #: Sentinel id for the synthetic end->start edge (never a real edge id).
 SYNTHETIC_EDGE = -1
@@ -44,15 +57,16 @@ _INF = float("inf")
 
 
 class _Bracket:
-    """A backedge acting as a bracket: either a real undirected edge or a
-    synthetic capping backedge."""
+    """A backedge acting as a bracket: either a real undirected edge
+    (``uedge`` is a :class:`_UEdge`) or a synthetic capping backedge
+    (``uedge is None``)."""
 
     __slots__ = (
         "uedge", "recent_size", "recent_class", "prev", "nxt", "deleted"
     )
 
     def __init__(self, uedge: "_UEdge | None") -> None:
-        self.uedge = uedge  # None for capping backedges
+        self.uedge = uedge
         self.recent_size = -1
         self.recent_class: int | None = None
         self.prev: _Bracket | None = None
@@ -146,7 +160,9 @@ class _Fresh:
 
 
 def cycle_equivalence(
-    graph: CFG, counter: WorkCounter | None = None
+    graph: CFG,
+    counter: WorkCounter | None = None,
+    csr: "CSRGraph | None" = None,
 ) -> dict[int, int]:
     """Partition the CFG's edges into cycle-equivalence classes.
 
@@ -156,6 +172,282 @@ def cycle_equivalence(
     ``counter`` records ``ce_dfs_steps`` (adjacency entries examined) and
     ``ce_bracket_ops`` (bracket pushes/deletes/concats), which together
     witness the linear bound.
+
+    This is the CSR fast path; pass a warm ``csr`` snapshot to skip the
+    O(V+E) rebuild.  :func:`cycle_equivalence_reference` computes the
+    same result on the legacy dict representation.
+    """
+    if csr is not None:
+        csr.check()
+    else:
+        from repro.perf.csr import build_csr
+
+        csr = build_csr(graph)
+    counter = counter if counter is not None else WorkCounter()
+
+    n, m = csr.n, csr.m
+    edge_src, edge_dst, edge_ids = csr.edge_src, csr.edge_dst, csr.edge_ids
+    result: dict[int, int] = {}
+    next_class = 0
+
+    # ---- undirected augmented adjacency, in flat arrays ------------------
+    # Same construction order as the reference: each non-self-loop edge
+    # appends (uedge, dst) to src's list then (uedge, src) to dst's list;
+    # the synthetic end->start edge goes last.  A stable two-pass
+    # counting fill reproduces the per-vertex entry order exactly.
+    self_loops = [e for e in range(m) if edge_src[e] == edge_dst[e]]
+    if self_loops:
+        loop_set = set(self_loops)
+        for e in self_loops:
+            # A self-loop is a cycle by itself: its own singleton class.
+            result[edge_ids[e]] = next_class
+            next_class += 1
+        ue_eid = [e for e in range(m) if e not in loop_set]
+        ue_u = [edge_src[e] for e in ue_eid]
+        ue_v = [edge_dst[e] for e in ue_eid]
+        degree = [0] * n
+        for u in ue_u:
+            degree[u] += 1
+        for v in ue_v:
+            degree[v] += 1
+    else:
+        # Common case: the undirected edge list is the dense edge list,
+        # and every vertex's degree is just out-degree + in-degree.
+        ue_eid = list(range(m))
+        ue_u = list(edge_src)
+        ue_v = list(edge_dst)
+        succ_off, pred_off = csr.succ_off, csr.pred_off
+        degree = [
+            succ_off[v + 1] - succ_off[v] + pred_off[v + 1] - pred_off[v]
+            for v in range(n)
+        ]
+    if csr.start != csr.end:
+        ue_eid.append(SYNTHETIC_EDGE)
+        ue_u.append(csr.end)
+        ue_v.append(csr.start)
+        degree[csr.end] += 1
+        degree[csr.start] += 1
+    num_ue = len(ue_eid)
+
+    adj_off = [0] * (n + 1)
+    for v in range(n):
+        adj_off[v + 1] = adj_off[v] + degree[v]
+    adj_ue = [0] * (2 * num_ue)
+    adj_other = [0] * (2 * num_ue)
+    cursor = list(adj_off[:-1])
+    for index in range(num_ue):
+        u, v = ue_u[index], ue_v[index]
+        at = cursor[u]
+        adj_ue[at] = index
+        adj_other[at] = v
+        cursor[u] = at + 1
+        at = cursor[v]
+        adj_ue[at] = index
+        adj_other[at] = u
+        cursor[v] = at + 1
+
+    ue_used = bytearray(num_ue)
+    ue_cls = [-1] * num_ue
+
+    # ---- undirected DFS --------------------------------------------------
+    INF = n + 1
+    dfsnum = [-1] * n
+    node_at: list[int] = []
+    parent_uedge = [-1] * n
+    children: list[list[int]] = [[] for _ in range(n)]
+    backedges_from: list[list[int]] = [[] for _ in range(n)]
+    backedges_to: list[list[int]] = [[] for _ in range(n)]
+    capping_to: list[list[int]] = [[] for _ in range(n)]
+    dfs_steps = 0
+
+    root = csr.start
+    dfsnum[root] = 0
+    node_append = node_at.append
+    node_append(root)
+    stack_vertex: list[int] = []
+    stack_cursor: list[int] = []
+    vertex = root
+    at = adj_off[root]
+    limit = adj_off[root + 1]
+    while True:
+        if at < limit:
+            dfs_steps += 1
+            index = adj_ue[at]
+            other = adj_other[at]
+            at += 1
+            if ue_used[index]:
+                continue
+            ue_used[index] = 1
+            if dfsnum[other] < 0:
+                dfsnum[other] = len(node_at)
+                node_append(other)
+                parent_uedge[other] = index
+                children[vertex].append(other)
+                stack_vertex.append(vertex)
+                stack_cursor.append(at)
+                vertex = other
+                at = adj_off[other]
+                limit = adj_off[other + 1]
+            else:
+                # Non-tree edge: `other` is an ancestor of `vertex`.
+                backedges_from[vertex].append(index)
+                backedges_to[other].append(index)
+        elif stack_vertex:
+            vertex = stack_vertex.pop()
+            at = stack_cursor.pop()
+            limit = adj_off[vertex + 1]
+        else:
+            break
+
+    # ---- bottom-up bracket pass ------------------------------------------
+    # Brackets live in flat parallel arrays: bracket ids < num_ue are the
+    # (unique) bracket of that undirected backedge; ids >= num_ue are
+    # capping brackets.  Each vertex's bracket list is a doubly linked
+    # chain through br_prev/br_nxt with (head, tail, size) per vertex,
+    # and all splicing happens inline on locals -- no objects, no method
+    # dispatch in the O(E) loop.
+    total_brackets = num_ue + n + 1
+    br_prev = [-1] * total_brackets
+    br_nxt = [-1] * total_brackets
+    br_deleted = bytearray(total_brackets)
+    br_recent_size = [-1] * total_brackets
+    br_recent_class = [-1] * total_brackets
+    next_capping = num_ue
+
+    hi = [INF] * n
+    bl_head = [-1] * n
+    bl_tail = [-1] * n
+    bl_size = [0] * n
+    bracket_ops = 0
+    for vertex in reversed(node_at):
+        num = dfsnum[vertex]
+        hi0 = INF
+        for index in backedges_from[vertex]:
+            other = ue_v[index] if ue_u[index] == vertex else ue_u[index]
+            if dfsnum[other] < hi0:
+                hi0 = dfsnum[other]
+        # hi1/hi2: the two smallest child hi values (no sort needed).
+        hi1 = INF
+        hi2 = INF
+        for child in children[vertex]:
+            h = hi[child]
+            if h < hi1:
+                hi2 = hi1
+                hi1 = h
+            elif h < hi2:
+                hi2 = h
+        hi[vertex] = hi0 if hi0 < hi1 else hi1
+
+        head = -1
+        tail = -1
+        size = 0
+        for child in children[vertex]:
+            bracket_ops += 1
+            csize = bl_size[child]
+            if csize == 0:
+                continue
+            chead = bl_head[child]
+            if size == 0:
+                head, tail, size = chead, bl_tail[child], csize
+            else:
+                br_nxt[tail] = chead
+                br_prev[chead] = tail
+                tail = bl_tail[child]
+                size += csize
+        for bracket in capping_to[vertex]:
+            bracket_ops += 1
+            if not br_deleted[bracket]:
+                br_deleted[bracket] = 1
+                p = br_prev[bracket]
+                nx = br_nxt[bracket]
+                if p >= 0:
+                    br_nxt[p] = nx
+                else:
+                    head = nx
+                if nx >= 0:
+                    br_prev[nx] = p
+                else:
+                    tail = p
+                size -= 1
+        for index in backedges_to[vertex]:
+            bracket_ops += 1
+            if not br_deleted[index]:
+                br_deleted[index] = 1
+                p = br_prev[index]
+                nx = br_nxt[index]
+                if p >= 0:
+                    br_nxt[p] = nx
+                else:
+                    head = nx
+                if nx >= 0:
+                    br_prev[nx] = p
+                else:
+                    tail = p
+                size -= 1
+            if ue_cls[index] < 0:
+                ue_cls[index] = next_class
+                next_class += 1
+        for index in backedges_from[vertex]:
+            # Push this backedge's bracket (id == its uedge index).
+            bracket_ops += 1
+            br_nxt[index] = head
+            if head >= 0:
+                br_prev[head] = index
+            head = index
+            if tail < 0:
+                tail = index
+            size += 1
+        if hi2 < num:
+            # A second child also reaches above this vertex: cap it so the
+            # sibling subtrees cannot share bracket names.
+            capping = next_capping
+            next_capping += 1
+            br_nxt[capping] = head
+            if head >= 0:
+                br_prev[head] = capping
+            head = capping
+            if tail < 0:
+                tail = capping
+            size += 1
+            capping_to[node_at[hi2]].append(capping)
+        bl_head[vertex] = head
+        bl_tail[vertex] = tail
+        bl_size[vertex] = size
+
+        if vertex != root:
+            assert head >= 0, (
+                "tree edge with empty bracket list -- augmented graph not "
+                "2-edge-connected (is the CFG valid?)"
+            )
+            if br_recent_size[head] != size:
+                br_recent_size[head] = size
+                br_recent_class[head] = next_class
+                next_class += 1
+            tree_index = parent_uedge[vertex]
+            ue_cls[tree_index] = br_recent_class[head]
+            if size == 1 and head < num_ue:
+                # The tree edge's lone bracket is equivalent to it.
+                ue_cls[head] = ue_cls[tree_index]
+
+    for index in range(num_ue):
+        e = ue_eid[index]
+        if e == SYNTHETIC_EDGE:
+            continue
+        cls = ue_cls[index]
+        assert cls >= 0, f"unclassified edge {edge_ids[e]}"
+        result[edge_ids[e]] = cls
+    counter.tick("ce_dfs_steps", dfs_steps)
+    counter.tick("ce_bracket_ops", bracket_ops)
+    return result
+
+
+def cycle_equivalence_reference(
+    graph: CFG, counter: WorkCounter | None = None
+) -> dict[int, int]:
+    """The legacy dict-based implementation (equivalence-test oracle).
+
+    Emits the same class ids as :func:`cycle_equivalence`: both walk the
+    undirected adjacency in the same construction order.
     """
     counter = counter if counter is not None else WorkCounter()
     fresh = _Fresh()

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cfg.graph import CFG
 from repro.controldep.cycle_equiv import cycle_equivalence
@@ -37,6 +38,9 @@ from repro.graphs.dominance import (
     node_key,
 )
 from repro.util.counters import WorkCounter
+
+if TYPE_CHECKING:
+    from repro.perf.csr import CSRGraph
 
 
 @dataclass
@@ -80,17 +84,26 @@ class ProgramStructure:
         pdom: DominatorTree | None = None,
         edge_class: dict[int, int] | None = None,
         counter: WorkCounter | None = None,
+        csr: "CSRGraph | None" = None,
     ) -> None:
         counter = counter if counter is not None else WorkCounter()
         self.graph = graph
-        self.dom: DominatorTree = dom if dom is not None else edge_dominators(graph)
+        if csr is None and (dom is None or pdom is None or edge_class is None):
+            # Build the flat-array snapshot once and share it across all
+            # substrates computed here.
+            from repro.perf.csr import build_csr
+
+            csr = build_csr(graph)
+        self.dom: DominatorTree = (
+            dom if dom is not None else edge_dominators(graph, csr=csr)
+        )
         self.pdom: DominatorTree = (
-            pdom if pdom is not None else edge_postdominators(graph)
+            pdom if pdom is not None else edge_postdominators(graph, csr=csr)
         )
         self.edge_class: dict[int, int] = (
             edge_class
             if edge_class is not None
-            else cycle_equivalence(graph, counter)
+            else cycle_equivalence(graph, counter, csr=csr)
         )
 
         grouped: dict[int, list[int]] = defaultdict(list)

@@ -184,7 +184,9 @@ def build_dfg(
             uses &= variables
         if control_edges and not node.uses():
             uses.add(CTRL_VAR)
-        for var in uses:
+        # Sorted so demand resolution order (and hence memo-table build
+        # order and work counts) is independent of string hash seeds.
+        for var in sorted(uses):
             counter.tick("use_sites")
             dfg.use_sources[(node.id, var)] = resolver.source(
                 graph.in_edge(node.id).id, var

@@ -11,6 +11,12 @@ meet/join plumbing.
 The worklist solver counts node visits and lattice operations through a
 :class:`~repro.util.counters.WorkCounter`; the O(EV^2)-vs-O(EV) claims of
 Section 4 are measured with these counters as well as wall time.
+
+The four separable gen/kill analyses (liveness, reaching definitions,
+available and anticipatable expressions) are solved on the bitset fast
+path of :mod:`repro.dataflow.bitsets`; each keeps a ``*_reference``
+twin on the generic frozenset solver as the differential-testing
+oracle.
 """
 
 from repro.dataflow.lattice import (
@@ -22,12 +28,22 @@ from repro.dataflow.lattice import (
     truthiness,
 )
 from repro.dataflow.solver import solve_dataflow
-from repro.dataflow.liveness import live_variables
-from repro.dataflow.reaching import reaching_definitions
-from repro.dataflow.available import available_expressions
+from repro.dataflow.liveness import live_variables, live_variables_reference
+from repro.dataflow.reaching import (
+    reaching_definitions,
+    reaching_definitions_reference,
+)
+from repro.dataflow.available import (
+    available_expressions,
+    available_expressions_reference,
+    partially_available_expressions,
+    partially_available_expressions_reference,
+)
 from repro.dataflow.anticipatable import (
     anticipatable_expressions,
+    anticipatable_expressions_reference,
     partially_anticipatable_expressions,
+    partially_anticipatable_expressions_reference,
 )
 
 __all__ = [
@@ -35,12 +51,19 @@ __all__ = [
     "ConstValue",
     "TOP",
     "anticipatable_expressions",
+    "anticipatable_expressions_reference",
     "available_expressions",
+    "available_expressions_reference",
     "eval_abstract",
     "join_const",
     "live_variables",
+    "live_variables_reference",
     "partially_anticipatable_expressions",
+    "partially_anticipatable_expressions_reference",
+    "partially_available_expressions",
+    "partially_available_expressions_reference",
     "reaching_definitions",
+    "reaching_definitions_reference",
     "solve_dataflow",
     "truthiness",
 ]

@@ -14,11 +14,16 @@ expression's operands are live.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.cfg.graph import CFG, NodeKind
 from repro.dataflow.available import gen_expressions, kill_map
 from repro.dataflow.solver import solve_dataflow
 from repro.lang.ast_nodes import Expr
 from repro.util.counters import WorkCounter
+
+if TYPE_CHECKING:
+    from repro.perf.csr import CSRGraph
 
 
 class _Anticipatable:
@@ -62,16 +67,43 @@ class _Anticipatable:
 
 
 def anticipatable_expressions(
+    graph: CFG,
+    counter: WorkCounter | None = None,
+    csr: "CSRGraph | None" = None,
+) -> dict[int, frozenset[Expr]]:
+    """ANT: totally anticipatable expressions on every edge.
+
+    Solved on the bitset fast path (:mod:`repro.dataflow.bitsets`);
+    :func:`anticipatable_expressions_reference` is the generic-solver
+    twin the equivalence tests compare against.
+    """
+    from repro.dataflow.bitsets import anticipatable_bitsets
+
+    return anticipatable_bitsets(graph, counter, csr, must=True)
+
+
+def partially_anticipatable_expressions(
+    graph: CFG,
+    counter: WorkCounter | None = None,
+    csr: "CSRGraph | None" = None,
+) -> dict[int, frozenset[Expr]]:
+    """PAN: partially anticipatable expressions on every edge."""
+    from repro.dataflow.bitsets import anticipatable_bitsets
+
+    return anticipatable_bitsets(graph, counter, csr, must=False)
+
+
+def anticipatable_expressions_reference(
     graph: CFG, counter: WorkCounter | None = None
 ) -> dict[int, frozenset[Expr]]:
-    """ANT: totally anticipatable expressions on every edge."""
+    """Frozenset-based ANT oracle on the generic worklist solver."""
     problem = _Anticipatable(graph.expressions(), must=True)
     return solve_dataflow(graph, problem, counter)
 
 
-def partially_anticipatable_expressions(
+def partially_anticipatable_expressions_reference(
     graph: CFG, counter: WorkCounter | None = None
 ) -> dict[int, frozenset[Expr]]:
-    """PAN: partially anticipatable expressions on every edge."""
+    """Frozenset-based PAN oracle on the generic worklist solver."""
     problem = _Anticipatable(graph.expressions(), must=False)
     return solve_dataflow(graph, problem, counter)

@@ -8,11 +8,15 @@ redefined since.  Feeds the DELETE rule of partial redundancy elimination.
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import TYPE_CHECKING
 
 from repro.cfg.graph import CFG, NodeKind
 from repro.dataflow.solver import solve_dataflow
 from repro.lang.ast_nodes import Expr, expr_vars, is_trivial, subexpressions
 from repro.util.counters import WorkCounter
+
+if TYPE_CHECKING:
+    from repro.perf.csr import CSRGraph
 
 
 def gen_expressions(node) -> frozenset[Expr]:
@@ -66,19 +70,46 @@ class _Available:
 
 
 def available_expressions(
-    graph: CFG, counter: WorkCounter | None = None
+    graph: CFG,
+    counter: WorkCounter | None = None,
+    csr: "CSRGraph | None" = None,
 ) -> dict[int, frozenset[Expr]]:
     """AV: the expressions available on every edge (computed on all paths,
-    operands untouched since)."""
-    return solve_dataflow(graph, _Available(graph.expressions()), counter)
+    operands untouched since).
+
+    Solved on the bitset fast path (:mod:`repro.dataflow.bitsets`);
+    :func:`available_expressions_reference` is the generic-solver twin
+    the equivalence tests compare against.
+    """
+    from repro.dataflow.bitsets import available_bitsets
+
+    return available_bitsets(graph, counter, csr, must=True)
 
 
 def partially_available_expressions(
-    graph: CFG, counter: WorkCounter | None = None
+    graph: CFG,
+    counter: WorkCounter | None = None,
+    csr: "CSRGraph | None" = None,
 ) -> dict[int, frozenset[Expr]]:
     """PAV: expressions computed on *some* path with operands untouched --
     the profitability half of the PP rules (a partially available,
     anticipatable expression is partially redundant)."""
+    from repro.dataflow.bitsets import available_bitsets
+
+    return available_bitsets(graph, counter, csr, must=False)
+
+
+def available_expressions_reference(
+    graph: CFG, counter: WorkCounter | None = None
+) -> dict[int, frozenset[Expr]]:
+    """Frozenset-based AV oracle on the generic worklist solver."""
+    return solve_dataflow(graph, _Available(graph.expressions()), counter)
+
+
+def partially_available_expressions_reference(
+    graph: CFG, counter: WorkCounter | None = None
+) -> dict[int, frozenset[Expr]]:
+    """Frozenset-based PAV oracle on the generic worklist solver."""
     return solve_dataflow(
         graph, _Available(graph.expressions(), must=False), counter
     )

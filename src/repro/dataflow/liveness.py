@@ -8,9 +8,14 @@ a conditional branch but dead on the other...").
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.cfg.graph import CFG
 from repro.dataflow.solver import solve_dataflow
 from repro.util.counters import WorkCounter
+
+if TYPE_CHECKING:
+    from repro.perf.csr import CSRGraph
 
 
 class _Liveness:
@@ -36,10 +41,27 @@ def live_variables(
     graph: CFG,
     live_out: frozenset[str] = frozenset(),
     counter: WorkCounter | None = None,
+    csr: "CSRGraph | None" = None,
 ) -> dict[int, frozenset[str]]:
     """The set of live variables on every edge.
 
     ``live_out`` declares variables observable after ``end`` (none by
     default -- ``print`` is the language's only observation).
+
+    Solved on the bitset fast path (:mod:`repro.dataflow.bitsets`);
+    callers holding a CSR snapshot of the graph can pass it to skip the
+    rebuild.  :func:`live_variables_reference` is the generic-solver
+    twin the equivalence tests compare against.
     """
+    from repro.dataflow.bitsets import liveness_bitsets
+
+    return liveness_bitsets(graph, live_out, counter, csr)
+
+
+def live_variables_reference(
+    graph: CFG,
+    live_out: frozenset[str] = frozenset(),
+    counter: WorkCounter | None = None,
+) -> dict[int, frozenset[str]]:
+    """Frozenset-based oracle on the generic worklist solver."""
     return solve_dataflow(graph, _Liveness(live_out), counter)

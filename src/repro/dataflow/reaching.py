@@ -8,9 +8,14 @@ still have a producer.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.cfg.graph import CFG, NodeKind
 from repro.dataflow.solver import solve_dataflow
 from repro.util.counters import WorkCounter
+
+if TYPE_CHECKING:
+    from repro.perf.csr import CSRGraph
 
 #: A definition: (variable, defining node id).
 Definition = tuple[str, int]
@@ -46,7 +51,23 @@ class _Reaching:
 
 
 def reaching_definitions(
+    graph: CFG,
+    counter: WorkCounter | None = None,
+    csr: "CSRGraph | None" = None,
+) -> dict[int, frozenset[Definition]]:
+    """The definitions reaching every edge.
+
+    Solved on the bitset fast path (:mod:`repro.dataflow.bitsets`);
+    :func:`reaching_definitions_reference` is the generic-solver twin
+    the equivalence tests compare against.
+    """
+    from repro.dataflow.bitsets import reaching_bitsets
+
+    return reaching_bitsets(graph, counter, csr)
+
+
+def reaching_definitions_reference(
     graph: CFG, counter: WorkCounter | None = None
 ) -> dict[int, frozenset[Definition]]:
-    """The definitions reaching every edge."""
+    """Frozenset-based oracle on the generic worklist solver."""
     return solve_dataflow(graph, _Reaching(graph.variables()), counter)

@@ -90,7 +90,7 @@ def defuse_constant_propagation(
         worklist.append(key)
         queued.add(key)
     entry_key: set[tuple[str, int]] = set()
-    for var in graph.variables():
+    for var in sorted(graph.variables()):
         key = (var, graph.start)
         entry_key.add(key)
         worklist.append(key)

@@ -3,12 +3,25 @@
 Iterative (no recursion limits on big generated graphs), generic over a
 successor function, and deterministic: successors are visited in the
 order the successor function yields them.
+
+Two entry points share the same classification semantics:
+
+* :func:`depth_first_search` -- the generic path over any successor
+  function (hashable nodes, dict bookkeeping);
+* :func:`depth_first_search_csr` -- the fast path over a
+  :class:`~repro.perf.csr.CSRGraph` snapshot, which runs the flat-array
+  kernel and translates its output back to node/edge ids.  Identical
+  results in identical order; the generic path is the oracle the
+  equivalence tests compare against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, TypeVar
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, TypeVar
+
+if TYPE_CHECKING:
+    from repro.perf.csr import CSRGraph
 
 N = TypeVar("N", bound=Hashable)
 
@@ -96,3 +109,39 @@ def reverse_postorder(root: N, succs: Callable[[N], Iterable[N]]) -> list[N]:
     forward dataflow problems."""
     result = depth_first_search([root], succs)
     return list(reversed(result.postorder))
+
+
+def depth_first_search_csr(csr: "CSRGraph") -> DFSResult:
+    """DFS of a CFG from ``start`` via its CSR snapshot.
+
+    Equivalent to ``depth_first_search([graph.start], graph.succs)`` --
+    same numbering, same classification, same list orders -- but run on
+    the flat-array kernel.
+    """
+    from repro.perf.kernels import csr_dfs_classify
+
+    csr.check()
+    raw = csr_dfs_classify(
+        csr.succ_off, csr.succ_node, csr.succ_edge, csr.start, csr.n
+    )
+    ids = csr.node_ids
+    edge_src, edge_dst = csr.edge_src, csr.edge_dst
+    result = DFSResult()
+    result.preorder = [ids[v] for v in raw.preorder]
+    result.postorder = [ids[v] for v in raw.postorder]
+    result.pre_number = {ids[v]: raw.pre[v] for v in raw.preorder}
+    result.post_number = {ids[v]: raw.post[v] for v in raw.postorder}
+    # Tree edges in discovery order are exactly preorder[1:] paired with
+    # their DFS parents; non-tree lists come out in encounter order.
+    result.parent = {
+        ids[v]: ids[raw.parent[v]] for v in raw.preorder[1:]
+    }
+    result.tree_edges = [
+        (ids[raw.parent[v]], ids[v]) for v in raw.preorder[1:]
+    ]
+    result.back_edges = [(ids[edge_src[e]], ids[edge_dst[e]]) for e in raw.back]
+    result.forward_edges = [
+        (ids[edge_src[e]], ids[edge_dst[e]]) for e in raw.forward
+    ]
+    result.cross_edges = [(ids[edge_src[e]], ids[edge_dst[e]]) for e in raw.cross]
+    return result

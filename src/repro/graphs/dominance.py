@@ -11,14 +11,30 @@ nodes leaves the asymptotic complexity unchanged.
 The core is the Cooper-Harvey-Kennedy iterative algorithm on reverse
 postorder, plus a dominator tree with Euler intervals so ``dominates`` is
 an O(1) query.
+
+Two implementations of the core fixpoint coexist:
+
+* :func:`dominator_tree` -- generic over succ/pred functions and any
+  hashable node type (the legacy path, and the oracle for the
+  equivalence tests);
+* the CSR fast path used by :func:`cfg_dominators`,
+  :func:`cfg_postdominators`, :func:`edge_dominators` and
+  :func:`edge_postdominators`, which runs
+  :func:`repro.perf.kernels.csr_dominators` on a flat-array snapshot
+  (building the split graph directly in CSR form for the edge
+  variants).  Immediate dominators are unique, so both paths produce
+  identical trees.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterable, TypeVar
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, TypeVar
 
 from repro.cfg.graph import CFG
 from repro.graphs.dfs import depth_first_search
+
+if TYPE_CHECKING:
+    from repro.perf.csr import CSRGraph
 
 N = TypeVar("N", bound=Hashable)
 
@@ -117,15 +133,227 @@ def dominator_tree(
     return DominatorTree(root, idom)
 
 
-def cfg_dominators(graph: CFG) -> DominatorTree:
+def _csr_of(graph: CFG, csr: "CSRGraph | None") -> "CSRGraph":
+    if csr is not None:
+        return csr.check()
+    from repro.perf.csr import build_csr
+
+    return build_csr(graph)
+
+
+def _dense_tree_arrays(
+    idom_arr: list[int], root_vertex: int, total: int
+) -> tuple[list[int], list[int], list[int], list[int], list[int]]:
+    """Children (CSR, ascending dense order), Euler ``pre``/``post``
+    intervals and depths of a dense dominator tree, all as flat arrays.
+    Entries for unreachable vertices (``idom_arr[v] < 0``) are garbage;
+    callers must filter on reachability first."""
+    count = [0] * total
+    for v in range(total):
+        p = idom_arr[v]
+        if p >= 0 and v != root_vertex:
+            count[p] += 1
+    off = [0] * (total + 1)
+    for v in range(total):
+        off[v + 1] = off[v] + count[v]
+    kids = [0] * off[total]
+    cursor = list(off[:-1])
+    for v in range(total):
+        p = idom_arr[v]
+        if p >= 0 and v != root_vertex:
+            kids[cursor[p]] = v
+            cursor[p] += 1
+
+    pre = [0] * total
+    post = [0] * total
+    depth = [0] * total
+    clock = 0
+    stack_v: list[int] = []
+    stack_c: list[int] = []
+    v = root_vertex
+    c = off[v]
+    pre[v] = clock
+    clock += 1
+    while True:
+        if c < off[v + 1]:
+            w = kids[c]
+            c += 1
+            stack_v.append(v)
+            stack_c.append(c)
+            depth[w] = depth[v] + 1
+            pre[w] = clock
+            clock += 1
+            v = w
+            c = off[v]
+        else:
+            post[v] = clock
+            clock += 1
+            if not stack_v:
+                break
+            v = stack_v.pop()
+            c = stack_c.pop()
+    return off, kids, pre, post, depth
+
+
+class _DenseDominatorTree(DominatorTree):
+    """A :class:`DominatorTree` backed by dense flat arrays.
+
+    ``dominates``/``depth`` answer straight from Euler interval arrays
+    through one key->vertex dict probe; the ``children`` dict (rarely
+    consulted) is materialized lazily.  The public ``idom`` mapping and
+    every query answer are identical to the eager dict-based tree."""
+
+    def __init__(
+        self,
+        root,
+        idom,
+        keys: list,
+        index: dict,
+        off: list[int],
+        kids: list[int],
+        pre: list[int],
+        post: list[int],
+        depth: list[int],
+    ) -> None:
+        self.root = root
+        self.idom = idom
+        self._keys = keys
+        self._index = index
+        self._off = off
+        self._kids = kids
+        self._pre_arr = pre
+        self._post_arr = post
+        self._depth_arr = depth
+        self._children: dict | None = None
+
+    @property
+    def children(self) -> dict:  # type: ignore[override]
+        if self._children is None:
+            keys, off, kids = self._keys, self._off, self._kids
+            kid_keys = [keys[w] for w in kids]
+            index = self._index
+            self._children = {
+                k: kid_keys[off[index[k]]:off[index[k] + 1]]
+                for k in self.idom
+            }
+        return self._children
+
+    def dominates(self, a, b) -> bool:
+        index = self._index
+        i = index[a]
+        j = index[b]
+        return (
+            self._pre_arr[i] <= self._pre_arr[j]
+            and self._post_arr[j] <= self._post_arr[i]
+        )
+
+    def depth(self, node) -> int:
+        return self._depth_arr[self._index[node]]
+
+
+def _tree_from_dense(
+    idom_arr: list[int],
+    root_vertex: int,
+    total: int,
+    keys: list,
+    dense: tuple | None = None,
+) -> DominatorTree:
+    """Assemble a dominator tree straight from a dense ``idom`` array
+    (``keys[v]`` is dense vertex ``v``'s external key), skipping the
+    generic dict-based DFS of ``DominatorTree.__init__``.
+
+    Semantically equivalent to ``DominatorTree(root, idom_dict)`` -- same
+    tree, same ``dominates``/``depth`` answers.  ``dense`` supplies
+    precomputed :func:`_dense_tree_arrays` output when the caller
+    already has it.
+    """
+    off, kids, pre, post, depth = (
+        dense
+        if dense is not None
+        else _dense_tree_arrays(idom_arr, root_vertex, total)
+    )
+    if all(p >= 0 for p in idom_arr):
+        # Everything reachable: bulk-zip the key->vertex map.
+        index = dict(zip(keys, range(total)))
+        idom_d = {keys[v]: keys[idom_arr[v]] for v in range(total)}
+    else:
+        index = {}
+        idom_d = {}
+        for v in range(total):
+            p = idom_arr[v]
+            if p < 0:
+                continue
+            k = keys[v]
+            index[k] = v
+            idom_d[k] = keys[p]
+    root_key = keys[root_vertex]
+    idom_d[root_key] = None
+    return _DenseDominatorTree(
+        root_key, idom_d, keys, index, off, kids, pre, post, depth
+    )
+
+
+def _node_idom_from_csr(
+    csr: "CSRGraph", forward: bool
+) -> tuple[list[int], int]:
+    """Dense node-graph immediate dominators for one direction, memoized
+    on the (immutable) snapshot: the node-tree and split-tree builders
+    both need them, and the pipeline's dom/edom passes share one
+    snapshot."""
+    key = ("node_idom", forward)
+    hit = csr.memo.get(key)
+    if hit is not None:
+        return hit
+    from repro.perf.kernels import csr_dominators
+
+    if forward:
+        idom_arr, _ = csr_dominators(
+            csr.succ_off, csr.succ_node, csr.pred_off, csr.pred_node,
+            csr.start, csr.n,
+        )
+        root_vertex = csr.start
+    else:
+        idom_arr, _ = csr_dominators(
+            csr.pred_off, csr.pred_node, csr.succ_off, csr.succ_node,
+            csr.end, csr.n,
+        )
+        root_vertex = csr.end
+    result = (idom_arr, root_vertex)
+    csr.memo[key] = result
+    return result
+
+
+def _node_euler_from_csr(csr: "CSRGraph", forward: bool) -> tuple:
+    """Memoized :func:`_dense_tree_arrays` of the node dominator tree."""
+    key = ("node_euler", forward)
+    hit = csr.memo.get(key)
+    if hit is not None:
+        return hit
+    idom_arr, root_vertex = _node_idom_from_csr(csr, forward)
+    dense = _dense_tree_arrays(idom_arr, root_vertex, csr.n)
+    csr.memo[key] = dense
+    return dense
+
+
+def _node_tree_from_csr(csr: "CSRGraph", forward: bool) -> DominatorTree:
+    idom_arr, root_vertex = _node_idom_from_csr(csr, forward)
+    return _tree_from_dense(
+        idom_arr, root_vertex, csr.n, csr.node_ids,
+        dense=_node_euler_from_csr(csr, forward),
+    )
+
+
+def cfg_dominators(graph: CFG, csr: "CSRGraph | None" = None) -> DominatorTree:
     """Dominator tree over CFG node ids, rooted at ``start``."""
-    return dominator_tree(graph.start, graph.succs, graph.preds)
+    return _node_tree_from_csr(_csr_of(graph, csr), forward=True)
 
 
-def cfg_postdominators(graph: CFG) -> DominatorTree:
+def cfg_postdominators(
+    graph: CFG, csr: "CSRGraph | None" = None
+) -> DominatorTree:
     """Postdominator tree over CFG node ids: dominators of the reversed
     graph, rooted at ``end``."""
-    return dominator_tree(graph.end, graph.preds, graph.succs)
+    return _node_tree_from_csr(_csr_of(graph, csr), forward=False)
 
 
 def _split_succs(graph: CFG) -> Callable:
@@ -148,17 +376,96 @@ def _split_preds(graph: CFG) -> Callable:
     return preds
 
 
-def edge_dominators(graph: CFG) -> DominatorTree:
+def _split_tree_from_csr(csr: "CSRGraph", forward: bool) -> DominatorTree:
+    """Split-graph dominators derived from *node* dominators in O(V+E).
+
+    Rather than running the fixpoint on the materialized split graph,
+    use the structure Definition 2 imposes:
+
+    * an edge vertex ``(u, v)`` has the single predecessor ``u``, so its
+      immediate dominator is ``u``;
+    * an in-edge ``e = (u, v)`` dominates ``v`` iff every *other*
+      in-edge of ``v`` starts at a node dominated by ``v`` (any path
+      must first reach ``v`` through ``e``; conversely a second
+      ``v``-free entry path kills dominance).  When exactly one such
+      edge exists it is ``idom(v)`` in the split graph; otherwise no
+      edge dominates ``v`` and ``idom(v)`` is the node-graph immediate
+      dominator.
+
+    Immediate dominators are unique, so this tree is identical to the
+    one the generic fixpoint computes on the split graph (the
+    ``*_reference`` functions below; the equivalence tests compare the
+    two on reducible and irreducible CFGs alike).
+    """
+    from repro.perf.kernels import UNVISITED
+
+    n, m = csr.n, csr.m
+    node_idom, root_vertex = _node_idom_from_csr(csr, forward)
+    if forward:
+        in_off, in_node, in_edge = csr.pred_off, csr.pred_node, csr.pred_edge
+        edge_source = csr.edge_src
+    else:
+        in_off, in_node, in_edge = csr.succ_off, csr.succ_node, csr.succ_edge
+        edge_source = csr.edge_dst
+    _, _, pre, post, _ = _node_euler_from_csr(csr, forward)
+
+    total = n + m
+    sidom = [UNVISITED] * total
+    for e in range(m):
+        u = edge_source[e]
+        if node_idom[u] != UNVISITED:
+            sidom[n + e] = u
+    sidom[root_vertex] = root_vertex
+    for v in range(n):
+        if v == root_vertex or node_idom[v] == UNVISITED:
+            continue
+        pv, qv = pre[v], post[v]
+        dominating_edge = -1
+        entries = 0
+        for i in range(in_off[v], in_off[v + 1]):
+            u = in_node[i]
+            if node_idom[u] == UNVISITED:
+                continue
+            if pv <= pre[u] and post[u] <= qv:
+                continue  # u is dominated by v (e.g. a loop latch)
+            entries += 1
+            if entries > 1:
+                break
+            dominating_edge = in_edge[i]
+        if entries == 1:
+            sidom[v] = n + dominating_edge
+        else:
+            sidom[v] = node_idom[v]
+
+    node_ids, edge_ids = csr.node_ids, csr.edge_ids
+    keys: list = [("n", node_ids[v]) for v in range(n)]
+    keys += [("e", edge_ids[e]) for e in range(m)]
+    return _tree_from_dense(sidom, root_vertex, total, keys)
+
+
+def edge_dominators(graph: CFG, csr: "CSRGraph | None" = None) -> DominatorTree:
     """Dominance over the split graph: keys are ``("n", node_id)`` and
     ``("e", edge_id)``, so node-node, node-edge and edge-edge dominance
     are all answerable (Definition 2)."""
+    return _split_tree_from_csr(_csr_of(graph, csr), forward=True)
+
+
+def edge_postdominators(
+    graph: CFG, csr: "CSRGraph | None" = None
+) -> DominatorTree:
+    """Postdominance over the split graph, rooted at ``end``."""
+    return _split_tree_from_csr(_csr_of(graph, csr), forward=False)
+
+
+def edge_dominators_reference(graph: CFG) -> DominatorTree:
+    """The legacy generic-path split-graph dominators (equivalence oracle)."""
     return dominator_tree(
         node_key(graph.start), _split_succs(graph), _split_preds(graph)
     )
 
 
-def edge_postdominators(graph: CFG) -> DominatorTree:
-    """Postdominance over the split graph, rooted at ``end``."""
+def edge_postdominators_reference(graph: CFG) -> DominatorTree:
+    """The legacy generic-path split-graph postdominators."""
     return dominator_tree(
         node_key(graph.end), _split_preds(graph), _split_succs(graph)
     )

@@ -24,15 +24,13 @@ from __future__ import annotations
 from repro.cfg.graph import CFG, NodeKind
 from repro.cfg.normalize import split_critical_edges
 from repro.core.epr import EPRResult, candidate_expressions, place_and_transform
-from repro.dataflow.anticipatable import (
-    anticipatable_expressions,
-    partially_anticipatable_expressions,
-)
-from repro.dataflow.available import (
-    available_expressions,
-    partially_available_expressions,
+from repro.dataflow.bitsets import (
+    anticipatable_bitsets,
+    available_bitsets,
+    expression_space,
 )
 from repro.lang.ast_nodes import Expr, expr_vars, is_trivial
+from repro.perf.csr import build_csr
 from repro.util.counters import WorkCounter
 
 
@@ -54,10 +52,15 @@ def cfg_eliminate_partial_redundancies(
     inserted_nops = split_critical_edges(split)
     counter.tick("critical_edges_split", len(inserted_nops))
 
-    ant = anticipatable_expressions(split, counter)
-    pan = partially_anticipatable_expressions(split, counter)
-    av = available_expressions(split, counter)
-    pav = partially_available_expressions(split, counter)
+    # One CSR snapshot and one compiled expression universe feed all
+    # four dense solves (AV/PAV/ANT/PAN differ only in direction, meet
+    # and initial value).
+    csr = build_csr(split)
+    space = expression_space(split, csr)
+    ant = anticipatable_bitsets(split, counter, csr=csr, space=space)
+    pan = anticipatable_bitsets(split, counter, csr=csr, space=space, must=False)
+    av = available_bitsets(split, counter, csr=csr, space=space)
+    pav = available_bitsets(split, counter, csr=csr, space=space, must=False)
     del pan  # dense PAN is computed (and costed) but PP below uses PAV
 
     pp_edges: set[int] = set()

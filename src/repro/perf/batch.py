@@ -1,0 +1,392 @@
+"""Benchmark batteries and the parallel batch-analysis driver.
+
+Two entry points, both surfaced through the CLI:
+
+* :func:`run_bench` (``repro bench``) times the fast paths (CSR kernels,
+  bitset dataflow) against the legacy generic implementations on the
+  paper-experiment workload families -- the C1 diamond chains and the F4
+  wide-variable programs -- verifying on every row that both sides
+  produce identical results.  The payload (schema ``repro.bench/1``) is
+  written to ``BENCH_<tag>.json`` so successive PRs leave a perf
+  trajectory at the repo root.
+* :func:`run_batch` (``repro batch``) analyzes a suite of generated
+  programs across a ``multiprocessing`` pool: the suite is chunked, each
+  worker builds its own :class:`~repro.pipeline.manager.AnalysisManager`
+  per program (spawn-safe -- workers receive program *specs*, never live
+  graphs), and per-pass work/wall metrics are aggregated across the
+  pool.
+
+Speedups are computed from best-of-``repeat`` wall times, so a noisy
+scheduler tick slows a sample, not the ratio.  Regression checking
+(:func:`check_regression`) compares *speedups* -- fast-vs-legacy ratios
+measured on the same machine in the same run -- against a checked-in
+baseline, which keeps the CI gate meaningful across differently-sized
+runners.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import time
+from typing import Any, Callable
+
+from repro.cfg.builder import build_cfg
+from repro.controldep.cycle_equiv import (
+    cycle_equivalence,
+    cycle_equivalence_reference,
+)
+from repro.dataflow.anticipatable import (
+    anticipatable_expressions_reference,
+    partially_anticipatable_expressions_reference,
+)
+from repro.dataflow.available import (
+    available_expressions_reference,
+    partially_available_expressions_reference,
+)
+from repro.dataflow.bitsets import (
+    anticipatable_bitsets,
+    available_bitsets,
+    expression_space,
+    liveness_bitsets,
+    reaching_bitsets,
+)
+from repro.dataflow.liveness import live_variables_reference
+from repro.dataflow.reaching import reaching_definitions_reference
+from repro.graphs.dfs import depth_first_search, depth_first_search_csr
+from repro.graphs.dominance import (
+    dominator_tree,
+    edge_dominators,
+    edge_dominators_reference,
+    edge_postdominators,
+    edge_postdominators_reference,
+)
+from repro.perf.csr import build_csr
+from repro.workloads.generators import random_program
+from repro.workloads.ladders import diamond_chain, wide_variable_program
+
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Workload sizes: (label-forming parameter tuples, largest last).
+C1_SIZES = (50, 100, 200, 400, 800)
+F4_SIZES = ((64, 1), (128, 2), (256, 4), (512, 6))
+C1_SIZES_SMOKE = (50, 100)
+F4_SIZES_SMOKE = ((48, 1), (96, 2))
+
+
+# -- batteries ---------------------------------------------------------------
+#
+# Each battery is the full analysis menu one PR-2 fast path replaced,
+# run end to end (the fast side pays for its own CSR build).  The legacy
+# and fast batteries return comparable {component: result} dicts.
+
+
+def _structure_legacy(graph) -> dict[str, Any]:
+    dfs = depth_first_search([graph.start], graph.succs)
+    dom = dominator_tree(graph.start, graph.succs, graph.preds)
+    pdom = dominator_tree(graph.end, graph.preds, graph.succs)
+    return {
+        "dfs": dfs,
+        "dom": dom,
+        "pdom": pdom,
+        "edom": edge_dominators_reference(graph),
+        "epdom": edge_postdominators_reference(graph),
+        "cycle-equiv": cycle_equivalence_reference(graph),
+    }
+
+
+def _structure_fast(graph) -> dict[str, Any]:
+    from repro.graphs.dominance import cfg_dominators, cfg_postdominators
+
+    csr = build_csr(graph)
+    return {
+        "dfs": depth_first_search_csr(csr),
+        "dom": cfg_dominators(graph, csr=csr),
+        "pdom": cfg_postdominators(graph, csr=csr),
+        "edom": edge_dominators(graph, csr=csr),
+        "epdom": edge_postdominators(graph, csr=csr),
+        "cycle-equiv": cycle_equivalence(graph, csr=csr),
+    }
+
+
+def _dataflow_legacy(graph) -> dict[str, Any]:
+    return {
+        "liveness": live_variables_reference(graph),
+        "reaching": reaching_definitions_reference(graph),
+        "available": available_expressions_reference(graph),
+        "pavailable": partially_available_expressions_reference(graph),
+        "anticipatable": anticipatable_expressions_reference(graph),
+        "panticipatable": partially_anticipatable_expressions_reference(graph),
+    }
+
+
+def _dataflow_fast(graph) -> dict[str, Any]:
+    csr = build_csr(graph)
+    space = expression_space(graph, csr)
+    return {
+        "liveness": liveness_bitsets(graph, csr=csr),
+        "reaching": reaching_bitsets(graph, csr=csr),
+        "available": available_bitsets(graph, csr=csr, space=space),
+        "pavailable": available_bitsets(
+            graph, csr=csr, space=space, must=False
+        ),
+        "anticipatable": anticipatable_bitsets(graph, csr=csr, space=space),
+        "panticipatable": anticipatable_bitsets(
+            graph, csr=csr, space=space, must=False
+        ),
+    }
+
+
+def _tree_eq(a, b) -> bool:
+    return a.root == b.root and a.idom == b.idom
+
+
+def _results_identical(legacy: dict, fast: dict) -> bool:
+    if legacy.keys() != fast.keys():
+        return False
+    for key, lhs in legacy.items():
+        rhs = fast[key]
+        if key in ("dom", "pdom", "edom", "epdom"):
+            if not _tree_eq(lhs, rhs):
+                return False
+        elif lhs != rhs:
+            return False
+    return True
+
+
+def _best_ms(fn: Callable[[], Any], repeat: int) -> tuple[float, Any]:
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1000.0, result
+
+
+def _bench_workload(
+    name: str,
+    family: str,
+    rows_spec: list[tuple[str, Any]],
+    legacy: Callable,
+    fast: Callable,
+    repeat: int,
+) -> dict[str, Any]:
+    rows = []
+    for label, graph in rows_spec:
+        legacy_ms, legacy_result = _best_ms(lambda: legacy(graph), repeat)
+        fast_ms, fast_result = _best_ms(lambda: fast(graph), repeat)
+        rows.append({
+            "size": label,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "legacy_ms": round(legacy_ms, 3),
+            "fast_ms": round(fast_ms, 3),
+            "speedup": round(legacy_ms / fast_ms, 2) if fast_ms else 0.0,
+            "identical": _results_identical(legacy_result, fast_result),
+        })
+    return {
+        "name": name,
+        "family": family,
+        "rows": rows,
+        "largest": rows[-1],
+    }
+
+
+def run_bench(
+    tag: str = "dev",
+    smoke: bool = False,
+    repeat: int | None = None,
+    batch_workers: int = 0,
+    batch_programs: int = 6,
+) -> dict[str, Any]:
+    """Run the comparative batteries and a small batch sweep; return the
+    ``repro.bench/1`` payload."""
+    if repeat is None:
+        repeat = 3 if smoke else 7
+    c1_sizes = C1_SIZES_SMOKE if smoke else C1_SIZES
+    f4_sizes = F4_SIZES_SMOKE if smoke else F4_SIZES
+
+    c1_rows = [
+        (str(n), build_cfg(diamond_chain(n))) for n in c1_sizes
+    ]
+    f4_rows = [
+        (f"V={v},U={u}", build_cfg(wide_variable_program(v, uses_per_var=u)))
+        for v, u in f4_sizes
+    ]
+    workloads = [
+        _bench_workload(
+            "c1-structure", "diamond_chain", c1_rows,
+            _structure_legacy, _structure_fast, repeat,
+        ),
+        _bench_workload(
+            "f4-dataflow", "wide_variable_program", f4_rows,
+            _dataflow_legacy, _dataflow_fast, repeat,
+        ),
+    ]
+    return {
+        "schema": BENCH_SCHEMA,
+        "tag": tag,
+        "mode": "smoke" if smoke else "full",
+        "python": sys.version.split()[0],
+        "repeat": repeat,
+        "workloads": workloads,
+        "batch": run_batch(
+            suite=default_suite(batch_programs), workers=batch_workers
+        ),
+    }
+
+
+def check_regression(
+    payload: dict, baseline: dict, tolerance: float = 0.75
+) -> list[str]:
+    """Failures of ``payload`` against ``baseline``.
+
+    A workload regresses when its largest-size speedup drops below
+    ``tolerance`` (default: more than 25% down) of the baseline's, or
+    when any row's results stopped being identical to legacy.
+    """
+    failures: list[str] = []
+    current = {w["name"]: w for w in payload.get("workloads", ())}
+    for base in baseline.get("workloads", ()):
+        name = base["name"]
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        workload = current[name]
+        for row in workload["rows"]:
+            if not row["identical"]:
+                failures.append(
+                    f"{name} size {row['size']}: fast/legacy results differ"
+                )
+        want = base["largest"]["speedup"] * tolerance
+        got = workload["largest"]["speedup"]
+        if got < want:
+            failures.append(
+                f"{name}: largest-size speedup {got:.2f}x is below "
+                f"{tolerance:.0%} of baseline "
+                f"{base['largest']['speedup']:.2f}x"
+            )
+    return failures
+
+
+# -- parallel batch driver ---------------------------------------------------
+
+#: family name -> program builder, resolvable inside spawn workers.
+_FAMILIES: dict[str, Callable] = {
+    "random": lambda seed, size, num_vars: random_program(
+        seed, size=size, num_vars=num_vars
+    ),
+    "diamond": diamond_chain,
+    "wide": wide_variable_program,
+}
+
+
+def default_suite(programs: int = 8, size: int = 80) -> list[dict]:
+    """A mixed workload suite: seeded random programs plus one ladder of
+    each structured family."""
+    suite = [
+        {"label": f"random-{seed}", "family": "random",
+         "args": [seed, size, 6]}
+        for seed in range(max(1, programs - 2))
+    ]
+    suite.append({"label": "diamond-120", "family": "diamond", "args": [120]})
+    suite.append({"label": "wide-96", "family": "wide", "args": [96, 2]})
+    return suite[:max(1, programs)]
+
+
+def _analyze_chunk(specs: list[dict]) -> list[dict]:
+    """Worker body: build, analyze and report each program of a chunk.
+
+    Imports stay inside the function where needed so a ``spawn`` worker
+    only unpickles plain dict specs and resolves everything else from
+    its own interpreter.
+    """
+    from repro.pipeline.manager import AnalysisManager
+    from repro.util.metrics import Metrics
+
+    rows = []
+    for spec in specs:
+        program = _FAMILIES[spec["family"]](*spec["args"])
+        graph = build_cfg(program)
+        manager = AnalysisManager(graph, metrics=Metrics())
+        t0 = time.perf_counter()
+        manager.run_all()
+        wall_ms = (time.perf_counter() - t0) * 1000.0
+        rows.append({
+            "label": spec["label"],
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "wall_ms": round(wall_ms, 3),
+            "passes": {
+                row["pass"]: {
+                    "work": row["work_total"],
+                    "wall_ms": row["wall_ms"],
+                }
+                for row in manager.report()
+            },
+        })
+    return rows
+
+
+def _chunked(suite: list[dict], chunk_size: int) -> list[list[dict]]:
+    return [
+        suite[i:i + chunk_size] for i in range(0, len(suite), chunk_size)
+    ]
+
+
+def run_batch(
+    suite: list[dict] | None = None,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> dict[str, Any]:
+    """Analyze ``suite`` across a process pool; aggregate per-pass metrics.
+
+    ``workers=0`` runs in-process (deterministic, no pool -- the CI and
+    test default); ``workers=None`` uses the CPU count.  Chunks keep
+    per-task pickling overhead amortized over several programs.
+    """
+    if suite is None:
+        suite = default_suite()
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if chunk_size is None:
+        chunk_size = max(1, (len(suite) + max(workers, 1) * 2 - 1)
+                         // (max(workers, 1) * 2))
+    chunks = _chunked(suite, chunk_size)
+
+    t0 = time.perf_counter()
+    if workers <= 0:
+        chunk_rows = [_analyze_chunk(chunk) for chunk in chunks]
+    else:
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=workers) as pool:
+            chunk_rows = pool.map(_analyze_chunk, chunks)
+    pool_wall_ms = (time.perf_counter() - t0) * 1000.0
+
+    rows = [row for chunk in chunk_rows for row in chunk]
+    passes: dict[str, dict[str, float]] = {}
+    for row in rows:
+        for name, stats in row["passes"].items():
+            agg = passes.setdefault(name, {"work": 0, "wall_ms": 0.0})
+            agg["work"] += stats["work"]
+            agg["wall_ms"] += stats["wall_ms"]
+    for agg in passes.values():
+        agg["wall_ms"] = round(agg["wall_ms"], 3)
+    return {
+        "programs": len(rows),
+        "workers": workers,
+        "chunks": len(chunks),
+        "pool_wall_ms": round(pool_wall_ms, 3),
+        "analysis_wall_ms": round(sum(r["wall_ms"] for r in rows), 3),
+        "rows": rows,
+        "passes": passes,
+    }
+
+
+def write_payload(payload: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,210 @@
+"""Iterative array-based graph kernels over CSR adjacency.
+
+Each kernel works on the raw ``(offsets, targets)`` pair so the same
+code runs on a :class:`~repro.perf.csr.CSRGraph`'s successor arrays, its
+predecessor arrays (for post-dominance), or the split graph of
+Definition 2.  All state lives in flat integer lists indexed by dense
+vertex number; there is no recursion, no dict probing and no per-visit
+allocation in any inner loop.
+
+The dominator kernel is the Cooper-Harvey-Kennedy iterative scheme over
+reverse-postorder numbers -- the same algorithm as the legacy
+:func:`repro.graphs.dominance.dominator_tree`, restated on arrays so the
+``intersect`` walk is two ``list[int]`` chases instead of dict lookups.
+"""
+
+from __future__ import annotations
+
+UNVISITED = -1
+
+
+def csr_postorder(
+    offsets: list[int], targets: list[int], root: int, total: int
+) -> list[int]:
+    """Postorder of the vertices reachable from ``root`` (iterative)."""
+    state = [UNVISITED] * total  # UNVISITED, or next adjacency cursor
+    order: list[int] = []
+    append = order.append
+    stack = [root]
+    state[root] = offsets[root]
+    while stack:
+        v = stack[-1]
+        cursor = state[v]
+        end = offsets[v + 1]
+        advanced = False
+        while cursor < end:
+            w = targets[cursor]
+            cursor += 1
+            if state[w] == UNVISITED:
+                state[v] = cursor
+                state[w] = offsets[w]
+                stack.append(w)
+                advanced = True
+                break
+        if not advanced:
+            state[v] = cursor
+            stack.pop()
+            append(v)
+    return order
+
+
+def csr_rpo(
+    offsets: list[int], targets: list[int], root: int, total: int
+) -> list[int]:
+    """Reverse postorder from ``root`` -- the canonical forward dataflow
+    iteration order."""
+    order = csr_postorder(offsets, targets, root, total)
+    order.reverse()
+    return order
+
+
+def csr_dfs_classify(
+    offsets: list[int],
+    targets: list[int],
+    edge_of: list[int],
+    root: int,
+    total: int,
+) -> "CSRDFS":
+    """Full DFS bookkeeping: pre/post clocks, parents, edge classes.
+
+    ``edge_of[i]`` names the dense edge travelled by adjacency slot
+    ``i``; the classification arrays are keyed by it.  Semantics match
+    :func:`repro.graphs.dfs.depth_first_search`: a sortie ``u -> w`` is a
+    tree edge when it discovers ``w``, a back edge when ``w`` is still
+    open, a forward edge when ``w`` finished with a later preorder
+    number, and a cross edge otherwise.
+    """
+    result = CSRDFS(total, len(edge_of))
+    pre, post = result.pre, result.post
+    parent, parent_edge = result.parent, result.parent_edge
+    edge_class = result.edge_class
+    preorder, postorder = result.preorder, result.postorder
+    # 0 unvisited, 1 open, 2 done -- packed alongside the cursor.
+    color = [0] * total
+    cursor = [0] * total
+    clock = 0
+
+    color[root] = 1
+    pre[root] = clock
+    clock += 1
+    preorder.append(root)
+    cursor[root] = offsets[root]
+    stack = [root]
+    while stack:
+        v = stack[-1]
+        at = cursor[v]
+        end = offsets[v + 1]
+        advanced = False
+        while at < end:
+            w = targets[at]
+            e = edge_of[at]
+            at += 1
+            c = color[w]
+            if c == 0:
+                color[w] = 1
+                pre[w] = clock
+                clock += 1
+                preorder.append(w)
+                parent[w] = v
+                parent_edge[w] = e
+                edge_class[e] = TREE
+                cursor[v] = at
+                cursor[w] = offsets[w]
+                stack.append(w)
+                advanced = True
+                break
+            if c == 1:
+                edge_class[e] = BACK
+                result.back.append(e)
+            elif pre[w] > pre[v]:
+                edge_class[e] = FORWARD
+                result.forward.append(e)
+            else:
+                edge_class[e] = CROSS
+                result.cross.append(e)
+        if not advanced:
+            cursor[v] = at
+            stack.pop()
+            color[v] = 2
+            post[v] = clock
+            clock += 1
+            postorder.append(v)
+    return result
+
+
+#: Edge classification codes (match DFSResult's four lists).
+TREE, BACK, FORWARD, CROSS = 0, 1, 2, 3
+UNREACHED = -2
+
+
+class CSRDFS:
+    """Arrays produced by :func:`csr_dfs_classify`."""
+
+    __slots__ = (
+        "pre", "post", "parent", "parent_edge", "edge_class",
+        "preorder", "postorder", "back", "forward", "cross",
+    )
+
+    def __init__(self, total: int, edges: int) -> None:
+        self.pre = [UNVISITED] * total
+        self.post = [UNVISITED] * total
+        self.parent = [UNVISITED] * total
+        self.parent_edge = [UNVISITED] * total
+        self.edge_class = [UNREACHED] * edges
+        self.preorder: list[int] = []
+        self.postorder: list[int] = []
+        #: Non-tree dense edges in encounter order (tree edges are
+        #: recoverable in discovery order from ``preorder``/``parent``).
+        self.back: list[int] = []
+        self.forward: list[int] = []
+        self.cross: list[int] = []
+
+
+def csr_dominators(
+    succ_off: list[int],
+    succ_tgt: list[int],
+    pred_off: list[int],
+    pred_tgt: list[int],
+    root: int,
+    total: int,
+) -> tuple[list[int], list[int]]:
+    """Cooper-Harvey-Kennedy immediate dominators on CSR arrays.
+
+    Returns ``(idom, rpo)``: ``idom[v]`` is the immediate dominator of
+    dense vertex ``v`` (``root`` maps to itself, unreachable vertices to
+    ``UNVISITED``), and ``rpo`` is the reverse postorder the fixpoint
+    iterated over.
+    """
+    rpo = csr_rpo(succ_off, succ_tgt, root, total)
+    position = [UNVISITED] * total
+    for i, v in enumerate(rpo):
+        position[v] = i
+    idom = [UNVISITED] * total
+    idom[root] = root
+
+    changed = True
+    while changed:
+        changed = False
+        for v in rpo:
+            if v == root:
+                continue
+            new_idom = UNVISITED
+            for i in range(pred_off[v], pred_off[v + 1]):
+                p = pred_tgt[i]
+                if position[p] == UNVISITED or idom[p] == UNVISITED:
+                    continue
+                if new_idom == UNVISITED:
+                    new_idom = p
+                else:
+                    # intersect(new_idom, p) by RPO position.
+                    a, b = new_idom, p
+                    while a != b:
+                        while position[a] > position[b]:
+                            a = idom[a]
+                        while position[b] > position[a]:
+                            b = idom[b]
+                    new_idom = a
+            if new_idom != UNVISITED and idom[v] != new_idom:
+                idom[v] = new_idom
+                changed = True
+    return idom, rpo

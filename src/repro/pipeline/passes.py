@@ -2,15 +2,19 @@
 
 ::
 
-    cfg ─┬─ dfs
-         ├─ dom ──────────┐
-         ├─ pdom ─┬─ cdg  │
-         ├─ cycle-equiv ──┴─ sese ── dfg ─┬─ ssa ── sccp
-         ├─ liveness                      ├─ constprop
-         ├─ reaching                      └─ (copyprop, EPR consume it too)
+    cfg ─┬─ csr ─┬─ dfs
+         │       ├─ dom ──────────┐
+         │       ├─ pdom ─┬─ cdg  │
+         │       └─ cycle-equiv ──┴─ sese ── dfg ─┬─ ssa ── sccp
+         ├─ liveness                              ├─ constprop
+         ├─ reaching                              └─ (copyprop, EPR too)
          ├─ available / pavailable
          ├─ defuse ── constprop-defuse
          └─ constprop-cfg
+
+The ``csr`` pass snapshots the CFG into flat arrays
+(:class:`repro.perf.csr.CSRGraph`); the graph-structure passes all run
+on it, so the snapshot is built once per CFG shape version and shared.
 
 Shape-only passes (``uses_exprs=False``) read the graph's nodes, edges
 and assignment targets but never an expression: dominance, cycle
@@ -39,9 +43,10 @@ from repro.dataflow.liveness import live_variables
 from repro.dataflow.reaching import reaching_definitions
 from repro.defuse.chains import build_def_use_chains
 from repro.defuse.constprop import defuse_constant_propagation
-from repro.graphs.dfs import depth_first_search
+from repro.graphs.dfs import depth_first_search_csr
 from repro.graphs.dominance import edge_dominators, edge_postdominators
 from repro.opt.cfg_constprop import cfg_constant_propagation
+from repro.perf.csr import build_csr
 from repro.pipeline.manager import PassRegistry
 from repro.ssa.from_dfg import build_ssa_from_dfg
 from repro.ssa.sccp import sparse_conditional_constant_propagation
@@ -63,41 +68,51 @@ def _cfg(graph, deps, counter):
 
 
 @_REGISTRY.register(
-    "dfs", deps=("cfg",), uses_exprs=False,
+    "csr", deps=("cfg",), uses_exprs=False,
+    description="flat-array (CSR) snapshot of the CFG shape",
+)
+def _csr(graph, deps, counter):
+    result = build_csr(graph)
+    counter.tick("csr_entries", result.n + result.m)
+    return result
+
+
+@_REGISTRY.register(
+    "dfs", deps=("cfg", "csr"), uses_exprs=False,
     description="depth-first numbering and edge classification",
 )
 def _dfs(graph, deps, counter):
-    result = depth_first_search([graph.start], graph.succs)
+    result = depth_first_search_csr(deps["csr"])
     counter.tick("dfs_nodes_numbered", len(result.pre_number))
     return result
 
 
 @_REGISTRY.register(
-    "dom", deps=("cfg",), uses_exprs=False,
+    "dom", deps=("cfg", "csr"), uses_exprs=False,
     description="edge dominator tree (split graph)",
 )
 def _dom(graph, deps, counter):
-    result = edge_dominators(graph)
+    result = edge_dominators(graph, csr=deps["csr"])
     counter.tick("dom_tree_entries", len(result.idom))
     return result
 
 
 @_REGISTRY.register(
-    "pdom", deps=("cfg",), uses_exprs=False,
+    "pdom", deps=("cfg", "csr"), uses_exprs=False,
     description="edge postdominator tree (split graph)",
 )
 def _pdom(graph, deps, counter):
-    result = edge_postdominators(graph)
+    result = edge_postdominators(graph, csr=deps["csr"])
     counter.tick("pdom_tree_entries", len(result.idom))
     return result
 
 
 @_REGISTRY.register(
-    "cycle-equiv", deps=("cfg",), uses_exprs=False,
+    "cycle-equiv", deps=("cfg", "csr"), uses_exprs=False,
     description="O(E) cycle-equivalence classes of CFG edges",
 )
 def _cycle_equiv(graph, deps, counter):
-    return cycle_equivalence(graph, counter)
+    return cycle_equivalence(graph, counter, csr=deps["csr"])
 
 
 @_REGISTRY.register(
@@ -139,33 +154,34 @@ def _defuse(graph, deps, counter):
 
 
 @_REGISTRY.register(
-    "liveness", deps=("cfg",), description="live variables per edge"
+    "liveness", deps=("cfg", "csr"), description="live variables per edge"
 )
 def _liveness(graph, deps, counter):
-    return live_variables(graph, counter=counter)
+    return live_variables(graph, counter=counter, csr=deps["csr"])
 
 
 @_REGISTRY.register(
-    "reaching", deps=("cfg",), description="reaching definitions per edge"
+    "reaching", deps=("cfg", "csr"),
+    description="reaching definitions per edge",
 )
 def _reaching(graph, deps, counter):
-    return reaching_definitions(graph, counter)
+    return reaching_definitions(graph, counter, csr=deps["csr"])
 
 
 @_REGISTRY.register(
-    "available", deps=("cfg",),
+    "available", deps=("cfg", "csr"),
     description="available expressions per edge (EPR safety substrate)",
 )
 def _available(graph, deps, counter):
-    return available_expressions(graph, counter)
+    return available_expressions(graph, counter, csr=deps["csr"])
 
 
 @_REGISTRY.register(
-    "pavailable", deps=("cfg",),
+    "pavailable", deps=("cfg", "csr"),
     description="partially available expressions per edge (EPR profitability)",
 )
 def _pavailable(graph, deps, counter):
-    return partially_available_expressions(graph, counter)
+    return partially_available_expressions(graph, counter, csr=deps["csr"])
 
 
 @_REGISTRY.register(

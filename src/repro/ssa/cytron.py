@@ -38,7 +38,7 @@ def build_ssa_cytron(
     for node in graph.assign_nodes():
         assert node.target is not None
         def_sites[node.target].add(node.id)
-    for var in graph.variables():
+    for var in sorted(graph.variables()):
         def_sites[var].add(graph.start)
 
     # -- phi placement ------------------------------------------------------
@@ -64,7 +64,7 @@ def build_ssa_cytron(
         version[var] += 1
         return name
 
-    for var in graph.variables():
+    for var in sorted(graph.variables()):
         name = fresh(var)
         ssa.entry_names[var] = name
         stacks[var].append(name)
@@ -75,15 +75,26 @@ def build_ssa_cytron(
         if parent is not None:
             dom_children[parent].append(nid)
 
-    def visit(nid: int) -> None:
+    # Explicit-stack walk of the dominator tree: a frame with
+    # ``pushed is None`` is a node entry, one with the list is its exit
+    # (pop the names its subtree no longer sees).  No recursion, so
+    # arbitrarily deep graphs rename without touching the interpreter's
+    # recursion limit.
+    stack: list[tuple[int, list[str] | None]] = [(graph.start, None)]
+    while stack:
+        nid, pushed = stack.pop()
+        if pushed is not None:
+            for var in reversed(pushed):
+                stacks[var].pop()
+            continue
         node = graph.node(nid)
-        pushed: list[str] = []
+        pushed = []
         if nid in ssa.phis:
             for var, phi in ssa.phis[nid].items():
                 phi.result = fresh(var)
                 stacks[var].append(phi.result)
                 pushed.append(var)
-        for var in node.uses():
+        for var in sorted(node.uses()):
             counter.tick("use_renames")
             ssa.use_names[(nid, var)] = stacks[var][-1]
         if node.kind is NodeKind.ASSIGN:
@@ -97,20 +108,9 @@ def build_ssa_cytron(
             if succ in ssa.phis:
                 for var, phi in ssa.phis[succ].items():
                     phi.args[edge.id] = stacks[var][-1]
-        for child in dom_children[nid]:
-            visit(child)
-        for var in reversed(pushed):
-            stacks[var].pop()
-
-    # Iterative driver to avoid Python recursion limits on deep graphs.
-    import sys
-
-    old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 4 * graph.num_nodes + 100))
-    try:
-        visit(graph.start)
-    finally:
-        sys.setrecursionlimit(old_limit)
+        stack.append((nid, pushed))
+        for child in reversed(dom_children[nid]):
+            stack.append((child, None))
 
     ssa.validate()
     return ssa

@@ -44,7 +44,7 @@ def build_ssa_from_dfg(
 
     # Producers: entry values, assignment definitions, merge operators.
     port_name: dict[Port, str] = {}
-    for var in graph.variables():
+    for var in sorted(graph.variables()):
         ssa.entry_names[var] = fresh(var)
 
     def producer_name(port: Port) -> str:
@@ -147,9 +147,9 @@ def _remove_redundant_phi_cycles(ssa: SSAForm) -> None:
         changed = False
         phis = {phi.result: phi for phi in ssa.all_phis()}
         graph = {
-            name: {
-                arg for arg in phi.args.values() if arg in phis
-            }
+            name: sorted(
+                {arg for arg in phi.args.values() if arg in phis}
+            )
             for name, phi in phis.items()
         }
         replacement: dict[str, str] = {}

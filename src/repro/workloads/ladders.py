@@ -12,6 +12,8 @@ the asymptotic separations the paper claims:
 * :func:`wide_variable_program` -- V grows with E fixed per statement:
   the CFG constant-propagation algorithm does O(EV^2) work, the DFG
   algorithm O(EV) (Section 4);
+* :func:`straight_line` -- one maximally deep chain: the recursion-audit
+  stress test (every traversal must be iterative);
 * :func:`sparse_use_program` -- many variables, each used in a tiny
   region: the "propagate only where needed" claim (Section 6).
 """
@@ -116,6 +118,28 @@ def wide_variable_program(num_vars: int, uses_per_var: int = 1) -> Program:
     for i in range(num_vars):
         for _ in range(uses_per_var):
             body.append(Print(BinOp("+", Var(f"w{i}"), IntLit(1))))
+    return Program(body)
+
+
+def straight_line(n: int, num_vars: int = 2) -> Program:
+    """``n`` sequential assignments with no branches at all.
+
+    The degenerate chain CFG: maximal graph *depth* per node.  Any
+    recursive traversal (DFS, bracket propagation, SSA renaming down the
+    dominator tree -- which is the chain itself here) recurses ``n`` deep,
+    so this family is the recursion-audit stress test: every analysis
+    must survive ``n`` in the thousands without touching
+    ``sys.setrecursionlimit``.
+    """
+    body: list[Stmt] = []
+    names = [f"x{i}" for i in range(num_vars)]
+    for name in names:
+        body.append(Assign(name, IntLit(0)))
+    for i in range(n):
+        name = names[i % num_vars]
+        body.append(Assign(name, BinOp("+", Var(name), IntLit(1))))
+    for name in names:
+        body.append(Print(Var(name)))
     return Program(body)
 
 

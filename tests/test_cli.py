@@ -152,3 +152,76 @@ def test_constant_program_analysis(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "y = 5" in out or "x = 2" in out
     assert "dead code" in out
+
+
+# -- bench / batch -------------------------------------------------------------
+
+
+def test_bench_smoke_payload(tmp_path, capsys):
+    from repro.perf.batch import check_regression
+
+    out = str(tmp_path / "bench.json")
+    assert main(
+        ["bench", "--smoke", "--repeat", "1", "--tag", "t", "--output", out]
+    ) == 0
+    assert "wrote" in capsys.readouterr().out
+    payload = json.load(open(out))
+    assert payload["schema"] == "repro.bench/1"
+    assert payload["tag"] == "t" and payload["mode"] == "smoke"
+    names = [w["name"] for w in payload["workloads"]]
+    assert names == ["c1-structure", "f4-dataflow"]
+    for workload in payload["workloads"]:
+        assert workload["rows"], workload["name"]
+        for row in workload["rows"]:
+            assert row["identical"] is True
+            assert row["legacy_ms"] > 0 and row["fast_ms"] > 0
+        assert workload["largest"] == workload["rows"][-1]
+    assert payload["batch"]["programs"] > 0
+    # A payload can never regress against itself.
+    assert check_regression(payload, payload) == []
+
+
+def test_bench_check_flags_regression(tmp_path, capsys):
+    from repro.perf.batch import check_regression
+
+    out = str(tmp_path / "bench.json")
+    assert main(
+        ["bench", "--smoke", "--repeat", "1", "--tag", "t", "--output", out]
+    ) == 0
+    capsys.readouterr()
+    payload = json.load(open(out))
+    inflated = json.loads(json.dumps(payload))
+    for workload in inflated["workloads"]:
+        workload["largest"]["speedup"] *= 100.0
+    assert check_regression(payload, inflated)
+
+
+def test_batch_in_process(tmp_path, capsys):
+    out = str(tmp_path / "batch.json")
+    assert main(
+        ["batch", "--workers", "0", "--programs", "2", "--size", "30",
+         "--output", out]
+    ) == 0
+    payload = json.load(open(out))
+    batch = payload["batch"]
+    assert batch["workers"] == 0
+    assert batch["programs"] == 2  # --programs caps the suite
+    assert batch["passes"] and all(
+        row["work"] >= 0 for row in batch["passes"].values()
+    )
+
+
+def test_batch_spawn_pool_matches_in_process(tmp_path, capsys):
+    """The multiprocessing path must aggregate the same per-pass work
+    totals as the in-process path (wall times differ, work is exact)."""
+    out0 = str(tmp_path / "b0.json")
+    out2 = str(tmp_path / "b2.json")
+    args = ["batch", "--programs", "2", "--size", "30"]
+    assert main(args + ["--workers", "0", "--output", out0]) == 0
+    assert main(args + ["--workers", "2", "--output", out2]) == 0
+    serial = json.load(open(out0))["batch"]
+    pooled = json.load(open(out2))["batch"]
+    assert pooled["workers"] == 2
+    assert {k: v["work"] for k, v in pooled["passes"].items()} == (
+        {k: v["work"] for k, v in serial["passes"].items()}
+    )

@@ -1,0 +1,71 @@
+"""Recursion audit: analyses must survive pathologically deep CFGs.
+
+A 5,000-block straight-line chain produces a dominator tree that *is*
+the chain, DFS paths 5,000 frames deep, and bracket lists propagated
+through 5,000 nodes.  CPython's default recursion limit is 1,000, so any
+analysis that recurses per node dies here.  Everything in the project is
+written with explicit stacks instead; raising ``sys.setrecursionlimit``
+is banned (it trades a clean failure for interpreter stack corruption on
+genuinely deep inputs).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.controldep.sese import ProgramStructure
+from repro.core.build import build_dfg
+from repro.graphs.dfs import depth_first_search
+from repro.graphs.dominance import cfg_dominators
+from repro.pipeline.manager import AnalysisManager
+from repro.ssa.cytron import build_ssa_cytron
+from repro.ssa.from_dfg import build_ssa_from_dfg
+from repro.workloads.ladders import straight_line
+
+DEPTH = 5_000
+
+
+@pytest.fixture(scope="module")
+def deep_graph():
+    limit = sys.getrecursionlimit()
+    graph = build_cfg(straight_line(DEPTH))
+    assert len(graph.nodes) > DEPTH
+    yield graph
+    # No analysis (nor the CFG builder) may have bumped the limit.
+    assert sys.getrecursionlimit() == limit
+
+
+def test_deep_traversals_and_dominators(deep_graph) -> None:
+    dfs = depth_first_search([deep_graph.start], deep_graph.succs)
+    assert len(dfs.preorder) == len(deep_graph.nodes)
+    dom = cfg_dominators(deep_graph)
+    # The chain is its own dominator tree: every node's idom is its
+    # unique predecessor.
+    for nid, parent in dom.idom.items():
+        if parent is not None:
+            assert [parent] == deep_graph.preds(nid)
+
+
+def test_deep_structure_and_dfg(deep_graph) -> None:
+    structure = ProgramStructure(deep_graph)
+    # Every consecutive pair of chain edges bounds a canonical region.
+    assert len(structure.regions) == len(deep_graph.edges) - 1
+    dfg = build_dfg(deep_graph, structure=structure)
+    assert dfg.use_sources
+
+
+def test_deep_ssa_both_constructions(deep_graph) -> None:
+    cytron = build_ssa_cytron(deep_graph)
+    from_dfg = build_ssa_from_dfg(deep_graph)
+    # Straight-line code has no merges, hence no phis, and each of the
+    # 5,000 assignments gets a fresh name in both constructions.
+    assert not cytron.phis and not from_dfg.phis
+    assert len(cytron.def_names) == len(from_dfg.def_names) == DEPTH + 2
+
+
+def test_deep_full_pipeline(deep_graph) -> None:
+    manager = AnalysisManager(deep_graph)
+    manager.run_all()

@@ -34,7 +34,9 @@ print z;
 """
 
 #: Shape-only passes: survive expression rewrites.
-SHAPE_PASSES = ("cfg", "dfs", "dom", "pdom", "cycle-equiv", "sese", "cdg")
+SHAPE_PASSES = (
+    "cfg", "csr", "dfs", "dom", "pdom", "cycle-equiv", "sese", "cdg"
+)
 #: Expression-reading passes: recompute after any rewrite.
 EXPR_PASSES = (
     "dfg", "defuse", "liveness", "reaching", "available", "pavailable",
