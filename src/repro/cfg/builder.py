@@ -24,6 +24,7 @@ from repro.lang.interp import (
     PrintInstr,
     flatten,
 )
+from repro.robust.validate import check_cfg
 
 
 def build_cfg(program: Program) -> CFG:
@@ -94,4 +95,5 @@ def build_cfg(program: Program) -> CFG:
         graph.add_edge(nop, resolve(target))
 
     normalize(graph, contract_nops=True)
+    check_cfg(graph, normalized=True, phase="build-cfg")
     return graph

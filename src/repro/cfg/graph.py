@@ -63,7 +63,8 @@ class Node:
     def defs(self) -> frozenset[str]:
         """Variables this node assigns."""
         if self.kind is NodeKind.ASSIGN:
-            assert self.target is not None
+            if self.target is None:
+                raise CFGError(f"ASSIGN node {self.id} has no target")
             return frozenset((self.target,))
         return frozenset()
 

@@ -30,10 +30,12 @@ from repro.cfg.builder import build_cfg
 from repro.cfg.dot import cfg_to_dot
 from repro.cfg.interp import run_cfg
 from repro.core.dfg import CTRL_VAR
+from repro.lang.errors import LangError
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_expr
 from repro.opt.pipeline import optimize
 from repro.pipeline.manager import AnalysisManager
+from repro.robust.errors import ReproError
 from repro.util.metrics import Metrics
 
 #: Schema identifiers pinned by the golden CLI tests; bump on any
@@ -232,11 +234,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    from repro.perf.batch import default_suite, run_batch, write_payload
+    from repro.perf.batch import (
+        default_suite,
+        equivalence_suite,
+        run_batch,
+        write_payload,
+    )
 
+    if args.suite == "equivalence":
+        suite = equivalence_suite(smoke=args.smoke)
+    else:
+        suite = default_suite(args.programs, size=args.size)
     result = run_batch(
-        suite=default_suite(args.programs, size=args.size),
+        suite=suite,
         workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        quarantine_dir=args.quarantine_dir,
     )
     payload = {"schema": BENCH_SCHEMA, "tag": args.tag, "batch": result}
     if args.output:
@@ -245,6 +259,39 @@ def cmd_batch(args: argparse.Namespace) -> int:
               f"{result['workers']} workers; wrote {args.output}")
     else:
         print(json.dumps(payload, indent=2, sort_keys=True))
+    if result.get("errors"):
+        print(f"{result['errors']} programs failed "
+              f"({result.get('quarantined', 0)} quarantined)",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.perf.batch import write_payload
+    from repro.robust.chaos import run_chaos
+
+    payload = run_chaos(
+        seed=args.seed,
+        smoke=args.smoke,
+        budget_s=args.budget,
+        quarantine_dir=args.quarantine_dir,
+    )
+    totals = payload["totals"]
+    if args.output:
+        write_payload(payload, args.output)
+        print(f"wrote {args.output}")
+    print(f"chaos seed={payload['seed']} mode={payload['mode']}: "
+          f"{totals['programs']} programs, "
+          f"{totals['faults_injected']} faults injected, "
+          f"{totals['recovered_identical']}/{totals['recovered']} recovered "
+          f"byte-identical, {totals['quarantined']} quarantined, "
+          f"{len(totals['passes_covered'])}/{totals['passes_registered']} "
+          f"passes covered")
+    if not payload["ok"]:
+        print("chaos contract violated: a fault was neither recovered "
+              "identically nor quarantined with a minimized repro",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -337,14 +384,64 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     batch_p.add_argument("--programs", type=int, default=8)
     batch_p.add_argument("--size", type=int, default=80)
+    batch_p.add_argument(
+        "--suite", choices=("default", "equivalence"), default="default",
+        help="'equivalence' runs the 204-program perf-equivalence population",
+    )
+    batch_p.add_argument(
+        "--smoke", action="store_true",
+        help="with --suite equivalence: the trimmed 24-program population",
+    )
+    batch_p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-program wall-clock budget (pooled runs only)",
+    )
+    batch_p.add_argument(
+        "--retries", type=int, default=1,
+        help="attempts after the first failure before quarantine",
+    )
+    batch_p.add_argument(
+        "--quarantine-dir", metavar="DIR",
+        help="write one repro.quarantine/1 JSON per poison program here",
+    )
     batch_p.add_argument("--output", help="write JSON here instead of stdout")
     batch_p.set_defaults(handler=cmd_batch)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection across every registered pass; "
+        "asserts recovered-or-quarantined",
+    )
+    chaos_p.add_argument("--seed", type=int, default=0)
+    chaos_p.add_argument(
+        "--smoke", action="store_true",
+        help="24-program sweep (the CI profile) instead of all 204",
+    )
+    chaos_p.add_argument(
+        "--budget", type=float, default=1.0, metavar="SECONDS",
+        help="virtual per-pass deadline (fake clock; no real sleeps)",
+    )
+    chaos_p.add_argument(
+        "--quarantine-dir", metavar="DIR",
+        help="write one repro.quarantine/1 JSON per unrecovered program",
+    )
+    chaos_p.add_argument("--output", help="write the repro.chaos/1 JSON here")
+    chaos_p.set_defaults(handler=cmd_chaos)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        # One structured diagnostic line, not a stack trace: the taxonomy
+        # already names the pass, phase and graph.
+        print(f"repro: {exc.kind} error: {exc}", file=sys.stderr)
+        return 2
+    except LangError as exc:
+        print(f"repro: language error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

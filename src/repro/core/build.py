@@ -133,7 +133,13 @@ class DependenceResolver:
                             in_edge.id, var
                         )
                 break
-            raise AssertionError(f"unhandled node kind {node.kind}")
+            from repro.robust.errors import InputError
+
+            raise InputError(
+                f"unhandled node kind {node.kind} while resolving "
+                f"dependence source for {var!r}",
+                phase="build-dfg",
+            )
         for key in chain:
             self.memo[key] = result
         self.memo[(eid, var)] = result

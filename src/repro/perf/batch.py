@@ -64,8 +64,17 @@ from repro.graphs.dominance import (
     edge_postdominators_reference,
 )
 from repro.perf.csr import build_csr
-from repro.workloads.generators import random_program
-from repro.workloads.ladders import diamond_chain, wide_variable_program
+from repro.workloads.generators import (
+    irreducible_program,
+    random_jump_program,
+    random_program,
+)
+from repro.workloads.ladders import (
+    diamond_chain,
+    loop_nest,
+    sparse_use_program,
+    wide_variable_program,
+)
 
 BENCH_SCHEMA = "repro.bench/1"
 
@@ -274,14 +283,55 @@ def check_regression(
 
 # -- parallel batch driver ---------------------------------------------------
 
+
+def _fault_raise(*args):
+    """Test family: building the program always raises (poison spec)."""
+    raise RuntimeError("injected family failure (test hook)")
+
+
+def _fault_hang(*args):
+    """Test family: building the program never returns (hung worker)."""
+    while True:
+        time.sleep(0.05)
+
+
+def _fault_crash(*args):
+    """Test family: the worker process dies without reporting."""
+    os._exit(3)
+
+
 #: family name -> program builder, resolvable inside spawn workers.
+#: The ``__*__`` families misbehave on purpose; they exist so the
+#: hardened driver's timeout / crash / quarantine paths are testable
+#: with real processes (monkeypatching does not survive ``spawn``).
 _FAMILIES: dict[str, Callable] = {
     "random": lambda seed, size, num_vars: random_program(
         seed, size=size, num_vars=num_vars
     ),
     "diamond": diamond_chain,
     "wide": wide_variable_program,
+    "irreducible": irreducible_program,
+    "jump": random_jump_program,
+    "loopnest": loop_nest,
+    "sparse": sparse_use_program,
+    "__raise__": _fault_raise,
+    "__hang__": _fault_hang,
+    "__crash__": _fault_crash,
 }
+
+
+def resolve_family(name: str) -> Callable:
+    """The program builder for family ``name`` (spawn-safe lookup)."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        from repro.robust.errors import InputError
+
+        known = ", ".join(sorted(k for k in _FAMILIES if not k.startswith("_")))
+        raise InputError(
+            f"unknown program family {name!r}; known: {known}",
+            phase="batch-spec",
+        ) from None
 
 
 def default_suite(programs: int = 8, size: int = 80) -> list[dict]:
@@ -297,25 +347,58 @@ def default_suite(programs: int = 8, size: int = 80) -> list[dict]:
     return suite[:max(1, programs)]
 
 
-def _analyze_chunk(specs: list[dict]) -> list[dict]:
-    """Worker body: build, analyze and report each program of a chunk.
+def equivalence_suite(smoke: bool = False) -> list[dict]:
+    """The 204-program population of ``tests/test_perf_equivalence.py``
+    as batch specs: structured random, irreducible, goto soup, plus one
+    of each ladder family.
 
-    Imports stay inside the function where needed so a ``spawn`` worker
-    only unpickles plain dict specs and resolves everything else from
-    its own interpreter.
+    ``smoke`` keeps the same family mix but trims the seed sweeps to 24
+    programs -- still more than the registered pass count, so a chaos
+    sweep over it exercises every pass.
+    """
+    randoms, irreducibles, jumps = (12, 4, 4) if smoke else (120, 40, 40)
+    suite = [
+        {"label": f"random-{seed}", "family": "random",
+         "args": [seed, 18, 4]}
+        for seed in range(randoms)
+    ]
+    suite += [
+        {"label": f"irreducible-{seed}", "family": "irreducible",
+         "args": [seed, 5]}
+        for seed in range(irreducibles)
+    ]
+    suite += [
+        {"label": f"jump-{seed}", "family": "jump", "args": [seed, 7]}
+        for seed in range(jumps)
+    ]
+    suite += [
+        {"label": "diamond-60", "family": "diamond", "args": [60]},
+        {"label": "loopnest-3x3", "family": "loopnest", "args": [3, 3]},
+        {"label": "wide-24", "family": "wide", "args": [24, 2]},
+        {"label": "sparse-8", "family": "sparse", "args": [8]},
+    ]
+    return suite
+
+
+def _analyze_one(spec: dict) -> dict:
+    """Build and analyze one program; never raises.
+
+    A failing spec produces a per-spec error row (``label`` + structured
+    ``error`` record) so one poison program can no longer take down its
+    whole chunk, let alone the run.
     """
     from repro.pipeline.manager import AnalysisManager
+    from repro.robust.errors import error_record
     from repro.util.metrics import Metrics
 
-    rows = []
-    for spec in specs:
-        program = _FAMILIES[spec["family"]](*spec["args"])
+    try:
+        program = resolve_family(spec["family"])(*spec["args"])
         graph = build_cfg(program)
         manager = AnalysisManager(graph, metrics=Metrics())
         t0 = time.perf_counter()
         manager.run_all()
         wall_ms = (time.perf_counter() - t0) * 1000.0
-        rows.append({
+        return {
             "label": spec["label"],
             "nodes": graph.num_nodes,
             "edges": graph.num_edges,
@@ -327,8 +410,19 @@ def _analyze_chunk(specs: list[dict]) -> list[dict]:
                 }
                 for row in manager.report()
             },
-        })
-    return rows
+        }
+    except Exception as exc:
+        return {"label": spec.get("label"), "error": error_record(exc)}
+
+
+def _analyze_chunk(specs: list[dict]) -> list[dict]:
+    """Worker body: one row per spec of the chunk, errors included.
+
+    Imports stay inside :func:`_analyze_one` so a ``spawn`` worker only
+    unpickles plain dict specs and resolves everything else from its own
+    interpreter.
+    """
+    return [_analyze_one(spec) for spec in specs]
 
 
 def _chunked(suite: list[dict], chunk_size: int) -> list[list[dict]]:
@@ -337,16 +431,63 @@ def _chunked(suite: list[dict], chunk_size: int) -> list[list[dict]]:
     ]
 
 
+def _batch_minimizer(spec: dict, error: dict) -> dict | None:
+    """Delta-debug a quarantined spec down to a minimal repro.
+
+    Only deterministic in-worker failures reach here; the predicate
+    accepts a candidate iff analyzing it raises the same exception type,
+    which keeps the minimizer from wandering onto a different bug.
+    """
+    from repro.lang.pretty import pretty_program
+    from repro.pipeline.manager import AnalysisManager
+    from repro.robust.minimize import minimize_program
+    from repro.util.metrics import Metrics
+
+    try:
+        program = resolve_family(spec["family"])(*spec["args"])
+        source = pretty_program(program)
+    except Exception:
+        return None  # the failure is in the family itself; nothing to shrink
+
+    def fails(candidate) -> bool:
+        try:
+            AnalysisManager(build_cfg(candidate), metrics=Metrics()).run_all()
+        except Exception as exc:
+            return type(exc).__name__ == error.get("type")
+        return False
+
+    minimized, evals = minimize_program(source, fails, budget=200)
+    return {
+        "schema": "repro.quarantine/1",
+        "label": spec.get("label"),
+        "family": spec["family"],
+        "args": list(spec["args"]),
+        "error": error,
+        "source": source,
+        "minimized_source": minimized,
+        "original_stmts": source.count("\n"),
+        "minimized_stmts": minimized.count("\n"),
+        "predicate_evals": evals,
+    }
+
+
 def run_batch(
     suite: list[dict] | None = None,
     workers: int | None = None,
     chunk_size: int | None = None,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    quarantine_dir: str | None = None,
 ) -> dict[str, Any]:
     """Analyze ``suite`` across a process pool; aggregate per-pass metrics.
 
     ``workers=0`` runs in-process (deterministic, no pool -- the CI and
-    test default); ``workers=None`` uses the CPU count.  Chunks keep
-    per-task pickling overhead amortized over several programs.
+    test default); ``workers=None`` uses the CPU count.  The pooled path
+    runs one supervised process per program
+    (:class:`repro.robust.pool.SupervisedPool`): a hung worker is
+    terminated at ``timeout_s``, a crashed or failing one is retried
+    ``retries`` times with backoff and then quarantined -- with a
+    delta-debugged minimized repro written to ``quarantine_dir``.
     """
     if suite is None:
         suite = default_suite()
@@ -355,35 +496,67 @@ def run_batch(
     if chunk_size is None:
         chunk_size = max(1, (len(suite) + max(workers, 1) * 2 - 1)
                          // (max(workers, 1) * 2))
-    chunks = _chunked(suite, chunk_size)
 
     t0 = time.perf_counter()
     if workers <= 0:
-        chunk_rows = [_analyze_chunk(chunk) for chunk in chunks]
+        chunks = _chunked(suite, chunk_size)
+        rows = [row for chunk in chunks for row in _analyze_chunk(chunk)]
+        incidents = None
     else:
-        ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=workers) as pool:
-            chunk_rows = pool.map(_analyze_chunk, chunks)
+        from repro.robust.incidents import IncidentLog
+        from repro.robust.pool import SupervisedPool
+
+        incidents = IncidentLog()
+        pool = SupervisedPool(
+            workers,
+            timeout_s=timeout_s,
+            retries=retries,
+            incidents=incidents,
+            minimizer=_batch_minimizer,
+        )
+        rows = pool.run(suite)
+        chunks = suite  # one supervised process per program
     pool_wall_ms = (time.perf_counter() - t0) * 1000.0
 
-    rows = [row for chunk in chunk_rows for row in chunk]
+    ok_rows = [row for row in rows if "error" not in row]
+    error_rows = [row for row in rows if "error" in row]
+    quarantined = [row for row in error_rows if row.get("quarantined")]
     passes: dict[str, dict[str, float]] = {}
-    for row in rows:
+    for row in ok_rows:
         for name, stats in row["passes"].items():
             agg = passes.setdefault(name, {"work": 0, "wall_ms": 0.0})
             agg["work"] += stats["work"]
             agg["wall_ms"] += stats["wall_ms"]
     for agg in passes.values():
         agg["wall_ms"] = round(agg["wall_ms"], 3)
-    return {
+
+    if quarantine_dir and quarantined:
+        os.makedirs(quarantine_dir, exist_ok=True)
+        for row in quarantined:
+            record = row.get("quarantine") or {
+                "schema": "repro.quarantine/1",
+                "label": row.get("label"),
+                "error": row.get("error"),
+                "failures": row.get("failures"),
+            }
+            path = os.path.join(quarantine_dir, f"{row['label']}.json")
+            write_payload(record, path)
+
+    payload = {
         "programs": len(rows),
         "workers": workers,
         "chunks": len(chunks),
         "pool_wall_ms": round(pool_wall_ms, 3),
-        "analysis_wall_ms": round(sum(r["wall_ms"] for r in rows), 3),
+        "analysis_wall_ms": round(sum(r["wall_ms"] for r in ok_rows), 3),
         "rows": rows,
         "passes": passes,
     }
+    if error_rows:
+        payload["errors"] = len(error_rows)
+        payload["quarantined"] = len(quarantined)
+    if incidents is not None and len(incidents):
+        payload["incidents"] = incidents.as_dicts()
+    return payload
 
 
 def write_payload(payload: dict, path: str) -> None:

@@ -81,7 +81,17 @@ def solve_bitset(
     Counters mirror the generic solver's: ``node_visits`` (worklist
     pops) and ``fact_updates`` (edge facts that changed).
     """
+    csr.check()  # a stale snapshot would silently index the wrong shape
     n = csr.n
+    if len(problem.gen) != n or len(problem.kill) != n:
+        from repro.robust.errors import AnalysisError
+
+        raise AnalysisError(
+            f"bitset problem arity mismatch: gen/kill cover "
+            f"{len(problem.gen)}/{len(problem.kill)} nodes, snapshot "
+            f"has {n}",
+            phase="solve-bitset",
+        )
     forward = problem.direction == "forward"
     if forward:
         in_off, in_edge = csr.pred_off, csr.pred_edge
@@ -93,6 +103,15 @@ def solve_bitset(
         out_off, out_edge = csr.pred_off, csr.pred_edge
         out_node = csr.pred_node
         root = csr.end
+    if root < 0:
+        from repro.robust.errors import AnalysisError
+
+        raise AnalysisError(
+            "bitset solve on a snapshot with no "
+            + ("start" if forward else "end")
+            + " node",
+            phase="solve-bitset",
+        )
 
     rpo = csr_rpo(out_off, out_node, root, n)
     position = [0] * n

@@ -26,6 +26,7 @@ direct callers that hold a snapshot across mutations.
 from __future__ import annotations
 
 from repro.cfg.graph import CFG
+from repro.robust.errors import StaleSnapshotError
 
 
 class CSRGraph:
@@ -127,10 +128,11 @@ class CSRGraph:
     def check(self) -> "CSRGraph":
         """Raise if the underlying CFG mutated since the snapshot."""
         if not self.fresh:
-            raise ValueError(
+            raise StaleSnapshotError(
                 f"stale CSR snapshot: built at shape_version "
                 f"{self.shape_version}, graph is now at "
-                f"{self.graph.shape_version}"
+                f"{self.graph.shape_version}",
+                phase="csr-check",
             )
         return self
 

@@ -164,6 +164,7 @@ class AnalysisManager:
         graph: CFG,
         registry: PassRegistry | None = None,
         metrics: Metrics | None = None,
+        policy: "object | None" = None,
     ) -> None:
         if registry is None:
             from repro.pipeline.passes import default_registry
@@ -172,6 +173,12 @@ class AnalysisManager:
         self.graph = graph
         self.registry = registry
         self.metrics = metrics if metrics is not None else Metrics()
+        #: Optional :class:`repro.robust.fallback.DegradationPolicy` (or
+        #: anything with its ``run_pass(manager, spec, deps)`` shape).
+        #: When set, every pass body runs through it, gaining oracle
+        #: fallback, cross-checks, deadlines and fault injection; when
+        #: None, passes run direct with zero overhead.
+        self.policy = policy
         self._cache: dict[str, object] = {}
         self.stats: dict[str, PassStats] = {}
         self._seen_shape = graph.shape_version
@@ -236,7 +243,10 @@ class AnalysisManager:
         # time are attributed to themselves, not to this pass.
         deps = {dep: self._resolve(dep) for dep in spec.deps}
         with self.metrics.span(f"pass:{name}", cached=False) as span:
-            result = spec.build(self.graph, deps, self.metrics.counter)
+            if self.policy is None:
+                result = spec.build(self.graph, deps, self.metrics.counter)
+            else:
+                result = self.policy.run_pass(self, spec, deps)
         for key, amount in span.work.items():
             stats.work[key] = stats.work.get(key, 0) + amount
         stats.wall += span.duration

@@ -63,7 +63,9 @@ def default_registry() -> PassRegistry:
     "cfg", uses_exprs=False, description="validated normalized CFG"
 )
 def _cfg(graph, deps, counter):
-    graph.validate(normalized=True)
+    from repro.robust.validate import check_cfg
+
+    check_cfg(graph, normalized=True)
     return graph
 
 

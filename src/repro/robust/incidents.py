@@ -1,0 +1,118 @@
+"""Structured incident records (schema ``repro.incident/1``).
+
+Every time the runtime degrades -- a fast kernel fell back to its
+oracle, a cross-check caught a corrupted result, a pass timed out, a
+batch worker was replaced, a program was quarantined -- an
+:class:`Incident` is appended to the run's :class:`IncidentLog` and a
+``incident:<kind>`` work counter is ticked on the shared
+:class:`~repro.util.metrics.Metrics`, so degradations show up both as
+auditable JSON and in every profile/trace payload's work totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.util.metrics import Metrics
+
+INCIDENT_SCHEMA = "repro.incident/1"
+
+#: The incident vocabulary.  ``oracle-fallback`` and ``timeout-fallback``
+#: are recoveries; ``cross-check-mismatch`` is a recovery that *caught a
+#: wrong answer*; the rest record failures the runtime contained.
+KINDS = (
+    "oracle-fallback",
+    "timeout-fallback",
+    "cross-check-mismatch",
+    "oracle-failed",
+    "unrecovered",
+    "validation",
+    "worker-timeout",
+    "worker-crash",
+    "retry",
+    "quarantine",
+)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One degradation event."""
+
+    seq: int
+    kind: str
+    pass_name: str | None = None
+    phase: str | None = None
+    fingerprint: str | None = None
+    recovered: bool = False
+    error: dict | None = None
+    detail: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": INCIDENT_SCHEMA,
+            "seq": self.seq,
+            "kind": self.kind,
+            "pass": self.pass_name,
+            "phase": self.phase,
+            "fingerprint": self.fingerprint,
+            "recovered": self.recovered,
+            "error": self.error,
+            "detail": dict(self.detail),
+        }
+
+
+class IncidentLog:
+    """An append-only log of incidents, optionally mirrored to metrics.
+
+    >>> log = IncidentLog()
+    >>> _ = log.record("oracle-fallback", pass_name="dom", recovered=True)
+    >>> log.count("oracle-fallback"), log.count("quarantine")
+    (1, 0)
+    """
+
+    def __init__(self, metrics: "Metrics | None" = None) -> None:
+        self.incidents: list[Incident] = []
+        self.metrics = metrics
+
+    def record(
+        self,
+        kind: str,
+        pass_name: str | None = None,
+        phase: str | None = None,
+        fingerprint: str | None = None,
+        recovered: bool = False,
+        error: dict | None = None,
+        **detail: object,
+    ) -> Incident:
+        if kind not in KINDS:
+            raise ValueError(f"unknown incident kind {kind!r}")
+        incident = Incident(
+            seq=len(self.incidents),
+            kind=kind,
+            pass_name=pass_name,
+            phase=phase,
+            fingerprint=fingerprint,
+            recovered=recovered,
+            error=error,
+            detail=detail,
+        )
+        self.incidents.append(incident)
+        if self.metrics is not None:
+            self.metrics.record_incident(incident.as_dict())
+        return incident
+
+    def count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self.incidents)
+        return sum(1 for i in self.incidents if i.kind == kind)
+
+    def as_dicts(self) -> list[dict]:
+        return [incident.as_dict() for incident in self.incidents]
+
+    def __iter__(self) -> Iterator[Incident]:
+        return iter(self.incidents)
+
+    def __len__(self) -> int:
+        return len(self.incidents)

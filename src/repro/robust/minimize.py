@@ -1,0 +1,132 @@
+"""A delta-debugging minimizer for failing programs.
+
+When the batch driver or the chaos harness quarantines a poison program,
+shipping the original 80-statement generated program as the repro is
+hostile to whoever debugs it.  :func:`minimize_program` shrinks the
+program with the classic ddmin loop of Zeller & Hildebrandt
+(*Simplifying and Isolating Failure-Inducing Input*): remove
+chunks of statements at doubling granularity while the caller's
+``fails`` predicate keeps holding, then additionally try replacing each
+compound statement (``if``/``while``/``repeat``) with its own body.
+
+The predicate receives a parsed :class:`~repro.lang.ast_nodes.Program`
+and must return True only when the candidate still fails *the same way*
+-- candidates that fail to parse, build, or that fail differently count
+as passing, which is what keeps the minimizer from wandering onto a
+different bug.  Work is bounded by ``budget`` predicate evaluations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.lang.ast_nodes import If, Program, Repeat, Stmt, While
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+
+Predicate = Callable[[Program], bool]
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+
+def _holds(stmts: list[Stmt], fails: Predicate, budget: _Budget) -> bool:
+    """Does the candidate still fail?  Non-reproducing candidates --
+    including ones that no longer parse/build -- count as False."""
+    if not budget.take():
+        return False
+    try:
+        # Round-trip through the pretty-printer so the minimized artifact
+        # is guaranteed to be re-parseable source, not just an AST.
+        candidate = parse_program(pretty_program(Program(list(stmts))))
+        return bool(fails(candidate))
+    except Exception:
+        return False
+
+
+def _ddmin(
+    stmts: list[Stmt], fails: Predicate, budget: _Budget
+) -> list[Stmt]:
+    """Classic ddmin over a statement list."""
+    granularity = 2
+    while len(stmts) >= 2:
+        chunk = max(1, len(stmts) // granularity)
+        reduced = False
+        start = 0
+        while start < len(stmts):
+            candidate = stmts[:start] + stmts[start + chunk:]
+            if candidate and _holds(candidate, fails, budget):
+                stmts = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Re-scan from the start of the shrunken list.
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(stmts):
+                break
+            granularity = min(len(stmts), granularity * 2)
+        if budget.spent >= budget.limit:
+            break
+    return stmts
+
+
+def _flatten_compounds(
+    stmts: list[Stmt], fails: Predicate, budget: _Budget
+) -> list[Stmt]:
+    """Try replacing each compound statement with its own body (or, for
+    ``if``, either arm) -- the structural shrink ddmin's chunk removal
+    cannot express."""
+    changed = True
+    while changed and budget.spent < budget.limit:
+        changed = False
+        for i, stmt in enumerate(stmts):
+            replacements: list[list[Stmt]] = []
+            if isinstance(stmt, If):
+                replacements = [stmt.then_body, stmt.else_body, []]
+            elif isinstance(stmt, While):
+                replacements = [stmt.body, []]
+            elif isinstance(stmt, Repeat):
+                replacements = [stmt.body, []]
+            for body in replacements:
+                candidate = stmts[:i] + list(body) + stmts[i + 1:]
+                if candidate and _holds(candidate, fails, budget):
+                    stmts = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return stmts
+
+
+def minimize_program(
+    source: str, fails: Predicate, budget: int = 400
+) -> tuple[str, int]:
+    """Shrink ``source`` to a smaller program that still satisfies
+    ``fails``; returns ``(minimized_source, predicate_evaluations)``.
+
+    If the original program does not satisfy ``fails`` (or does not
+    parse), it is returned unchanged -- the caller quarantines what it
+    has.
+    """
+    spent = _Budget(budget)
+    try:
+        program = parse_program(source)
+    except Exception:
+        return source, spent.spent
+    if not _holds(program.body, fails, spent):
+        return source, spent.spent
+    stmts = _ddmin(list(program.body), fails, spent)
+    stmts = _flatten_compounds(stmts, fails, spent)
+    stmts = _ddmin(stmts, fails, spent)
+    return pretty_program(Program(stmts)), spent.spent

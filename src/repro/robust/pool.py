@@ -1,0 +1,256 @@
+"""A hardened process supervisor for the batch driver.
+
+``multiprocessing.Pool.map`` has exactly the failure modes a batch
+analysis service cannot afford: one raising task used to poison its
+whole chunk, a hung worker stalls the pool forever, and a crashed worker
+(hard exit, OOM kill) deadlocks the join.  This supervisor runs **one
+program per worker process** and owns the full lifecycle:
+
+* a per-program wall-clock deadline -- an overrunning worker is
+  terminated (then killed) and the attempt is recorded as a
+  ``worker-timeout`` incident;
+* crash isolation -- a worker that dies without reporting becomes a
+  ``worker-crash`` incident, never a hang;
+* bounded retry with deterministic exponential backoff, scheduled so a
+  waiting retry never blocks other live workers;
+* quarantine -- a program that exhausts its retries gets a structured
+  record (and, for deterministic in-worker failures, a delta-debugged
+  minimized repro) instead of killing the run.
+
+Workers receive plain spec dicts and resolve everything inside their own
+interpreter (spawn-safe, same contract as PR 2's chunked pool).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.robust.errors import error_record
+from repro.robust.incidents import IncidentLog
+from repro.robust.watchdog import Backoff
+
+#: How long the supervisor dozes when every live worker is mid-flight.
+_POLL_S = 0.01
+
+
+def _pool_worker(spec: dict, conn) -> None:
+    """Worker entry point (top-level: spawn must import it by name)."""
+    from repro.perf.batch import _analyze_one
+
+    try:
+        row = _analyze_one(spec)
+    except BaseException as exc:  # _analyze_one already catches; belt+braces
+        row = {"label": spec.get("label"), "error": error_record(exc)}
+    try:
+        conn.send(row)
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    index: int
+    spec: dict
+    attempt: int = 0
+    ready_at: float = 0.0
+    failures: list[dict] = field(default_factory=list)
+
+
+class SupervisedPool:
+    """Run specs across supervised single-program worker processes."""
+
+    def __init__(
+        self,
+        workers: int,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        backoff: Backoff = Backoff(base_s=0.05, max_s=1.0),
+        incidents: IncidentLog | None = None,
+        minimizer: Callable[[dict, dict], dict | None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff = backoff
+        self.incidents = incidents if incidents is not None else IncidentLog()
+        #: ``minimizer(spec, failure_record) -> quarantine dict | None``;
+        #: invoked only for deterministic in-worker failures.
+        self.minimizer = minimizer
+        self._clock = clock
+        self._sleep = sleep
+        self.stats = {
+            "spawned": 0, "timeouts": 0, "crashes": 0,
+            "retries": 0, "quarantined": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self, specs: list[dict]) -> list[dict]:
+        """Analyze every spec; returns one row per spec, in spec order.
+
+        A row is either a worker-produced analysis row, a worker-produced
+        per-spec error row, or -- after retries are exhausted -- a
+        quarantine row.  The supervisor itself never raises on worker
+        misbehavior.
+        """
+        ctx = multiprocessing.get_context("spawn")
+        pending: deque[_Attempt] = deque(
+            _Attempt(i, spec) for i, spec in enumerate(specs)
+        )
+        live: dict[int, tuple] = {}
+        results: dict[int, dict] = {}
+
+        while pending or live:
+            self._spawn_ready(ctx, pending, live)
+            progressed = self._poll(live, pending, results)
+            if not progressed and (live or pending):
+                self._sleep(_POLL_S)
+        return [results[i] for i in range(len(specs))]
+
+    def _spawn_ready(self, ctx, pending, live) -> None:
+        now = self._clock()
+        for _ in range(len(pending)):
+            if len(live) >= self.workers:
+                break
+            task = pending.popleft()
+            if task.ready_at > now:
+                pending.append(task)  # not due yet; rotate
+                continue
+            recv, send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_pool_worker, args=(task.spec, send), daemon=True
+            )
+            proc.start()
+            send.close()  # parent keeps only the receiving end
+            self.stats["spawned"] += 1
+            deadline = (
+                now + self.timeout_s if self.timeout_s is not None else None
+            )
+            live[task.index] = (proc, recv, deadline, task)
+
+    def _poll(self, live, pending, results) -> bool:
+        progressed = False
+        now = self._clock()
+        for index in list(live):
+            proc, recv, deadline, task = live[index]
+            finished = failure = None
+            if recv.poll(0):
+                try:
+                    finished = recv.recv()
+                except EOFError:
+                    failure = self._crash_record(task, proc)
+            elif deadline is not None and now >= deadline:
+                self._terminate(proc)
+                failure = {
+                    "kind": "worker-timeout",
+                    "error": {
+                        "type": "PassTimeout",
+                        "message": (
+                            f"worker exceeded {self.timeout_s:.3f}s budget"
+                        ),
+                    },
+                }
+                self.stats["timeouts"] += 1
+                self.incidents.record(
+                    "worker-timeout",
+                    phase="batch-worker",
+                    label=task.spec.get("label"),
+                    attempt=task.attempt,
+                )
+            elif not proc.is_alive():
+                # Died without reporting: EOF may still be buffered.
+                if recv.poll(0.05):
+                    try:
+                        finished = recv.recv()
+                    except EOFError:
+                        failure = self._crash_record(task, proc)
+                else:
+                    failure = self._crash_record(task, proc)
+            else:
+                continue
+
+            progressed = True
+            del live[index]
+            recv.close()
+            if proc.is_alive():
+                proc.join(timeout=1.0)
+            if finished is not None and "error" in finished:
+                # The worker survived but the spec failed deterministically.
+                failure = {"kind": "spec-error", "error": finished["error"]}
+                finished = None
+            if finished is not None:
+                results[index] = finished
+            else:
+                task.failures.append(failure)
+                self._handle_failure(task, failure, pending, results)
+        return progressed
+
+    # -- failure handling --------------------------------------------------
+
+    def _crash_record(self, task: _Attempt, proc) -> dict:
+        self.stats["crashes"] += 1
+        self.incidents.record(
+            "worker-crash",
+            phase="batch-worker",
+            label=task.spec.get("label"),
+            exitcode=proc.exitcode,
+            attempt=task.attempt,
+        )
+        return {
+            "kind": "worker-crash",
+            "error": {
+                "type": "WorkerCrash",
+                "message": f"worker exited with code {proc.exitcode} "
+                           f"before reporting a result",
+            },
+        }
+
+    def _handle_failure(self, task, failure, pending, results) -> None:
+        if task.attempt < self.retries:
+            self.stats["retries"] += 1
+            self.incidents.record(
+                "retry",
+                phase="batch-worker",
+                label=task.spec.get("label"),
+                attempt=task.attempt,
+                failure=failure["kind"],
+            )
+            delay = self.backoff.delay(task.attempt)
+            task.attempt += 1
+            task.ready_at = self._clock() + delay
+            pending.append(task)
+            return
+        self.stats["quarantined"] += 1
+        quarantine = None
+        if self.minimizer is not None and failure["kind"] == "spec-error":
+            quarantine = self.minimizer(task.spec, failure["error"])
+        self.incidents.record(
+            "quarantine",
+            phase="batch-worker",
+            label=task.spec.get("label"),
+            attempts=task.attempt + 1,
+            failure=failure["kind"],
+        )
+        results[task.index] = {
+            "label": task.spec.get("label"),
+            "error": failure["error"],
+            "failure": failure["kind"],
+            "attempts": task.attempt + 1,
+            "quarantined": True,
+            "quarantine": quarantine,
+            "failures": task.failures,
+        }
+
+    @staticmethod
+    def _terminate(proc) -> None:
+        proc.terminate()
+        proc.join(timeout=1.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=1.0)

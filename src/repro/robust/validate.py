@@ -1,0 +1,166 @@
+"""CFG well-formedness validation with precise, collected diagnostics.
+
+:meth:`repro.cfg.graph.CFG.validate` raises on the *first* invariant it
+finds broken; this module's :func:`cfg_violations` instead sweeps the
+whole graph and returns every violation as one human-readable line, and
+:func:`check_cfg` packages them into a single :class:`InputError`
+carrying the graph fingerprint.  The sweep also covers internal
+consistency the structural check takes for granted -- dangling edge
+endpoints, adjacency lists that disagree with the edge table, duplicate
+START/END nodes -- so a hand-built (or corrupted) graph produces a
+diagnostic rather than a ``KeyError`` three analyses later.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.robust.errors import InputError, graph_fingerprint
+
+
+def cfg_violations(graph: CFG, normalized: bool = True) -> list[str]:
+    """Every well-formedness violation of ``graph``, as diagnostic lines.
+
+    An empty list means the graph is well-formed.  With
+    ``normalized=True`` (the default: every pipeline entry point takes
+    normalized graphs) the Section 2.1 node-arity and branch-label
+    invariants are checked too.
+    """
+    out: list[str] = []
+
+    # -- table consistency: edges and adjacency must agree ------------------
+    for eid, edge in graph.edges.items():
+        if edge.src not in graph.nodes:
+            out.append(f"edge {eid} has dangling source node {edge.src}")
+        elif eid not in graph._out.get(edge.src, ()):
+            out.append(f"edge {eid} missing from out-list of node {edge.src}")
+        if edge.dst not in graph.nodes:
+            out.append(f"edge {eid} has dangling target node {edge.dst}")
+        elif eid not in graph._in.get(edge.dst, ()):
+            out.append(f"edge {eid} missing from in-list of node {edge.dst}")
+    for nid in graph.nodes:
+        for eid in graph._out.get(nid, ()):
+            if eid not in graph.edges:
+                out.append(f"node {nid} out-list references dead edge {eid}")
+        for eid in graph._in.get(nid, ()):
+            if eid not in graph.edges:
+                out.append(f"node {nid} in-list references dead edge {eid}")
+    if out:
+        # The graph's tables are inconsistent; reachability and arity
+        # checks below would chase the same dangling references.
+        return out
+
+    # -- unique, correctly-typed start and end ------------------------------
+    starts = [n.id for n in graph.nodes.values() if n.kind is NodeKind.START]
+    ends = [n.id for n in graph.nodes.values() if n.kind is NodeKind.END]
+    if len(starts) != 1:
+        out.append(f"expected exactly one START node, found {starts}")
+    if len(ends) != 1:
+        out.append(f"expected exactly one END node, found {ends}")
+    if graph.start not in graph.nodes:
+        out.append(f"start designates missing node {graph.start}")
+    elif graph.nodes[graph.start].kind is not NodeKind.START:
+        out.append(
+            f"start node {graph.start} has kind "
+            f"{graph.nodes[graph.start].kind.value!r}, expected 'start'"
+        )
+    if graph.end not in graph.nodes:
+        out.append(f"end designates missing node {graph.end}")
+    elif graph.nodes[graph.end].kind is not NodeKind.END:
+        out.append(
+            f"end node {graph.end} has kind "
+            f"{graph.nodes[graph.end].kind.value!r}, expected 'end'"
+        )
+    if out:
+        return out
+    if graph._in[graph.start]:
+        out.append(f"start node {graph.start} must have no in-edges")
+    if graph._out[graph.end]:
+        out.append(f"end node {graph.end} must have no out-edges")
+
+    # -- reachability -------------------------------------------------------
+    unreachable = sorted(set(graph.nodes) - graph.reachable_from_start())
+    if unreachable:
+        out.append(f"nodes unreachable from start: {unreachable}")
+    stuck = sorted(set(graph.nodes) - graph.reaching_end())
+    if stuck:
+        out.append(f"nodes that cannot reach end: {stuck}")
+
+    if not normalized:
+        return out
+
+    # -- per-kind arity and branch-label consistency ------------------------
+    for node in graph.nodes.values():
+        n_in = len(graph._in[node.id])
+        n_out = len(graph._out[node.id])
+        kind = node.kind
+        if kind is NodeKind.START:
+            if n_out != 1:
+                out.append(
+                    f"start node {node.id} has {n_out} out-edges, expected 1"
+                )
+        elif kind is NodeKind.END:
+            if n_in > 1:
+                out.append(
+                    f"end node {node.id} has {n_in} in-edges, expected <=1"
+                )
+        elif kind is NodeKind.MERGE:
+            if n_in < 2 or n_out != 1:
+                out.append(
+                    f"merge node {node.id} has {n_in} in / {n_out} out, "
+                    f"expected >=2 in and exactly 1 out"
+                )
+        elif kind is NodeKind.SWITCH:
+            if n_in != 1 or n_out < 2:
+                out.append(
+                    f"switch node {node.id} has {n_in} in / {n_out} out, "
+                    f"expected exactly 1 in and >=2 out"
+                )
+            labels = [e.label for e in graph.out_edges(node.id)]
+            if None in labels:
+                out.append(f"switch node {node.id} has an unlabeled out-edge")
+            elif len(set(labels)) != len(labels):
+                out.append(
+                    f"switch node {node.id} has duplicate branch labels "
+                    f"{sorted(labels)}"
+                )
+            if node.expr is None:
+                out.append(f"switch node {node.id} has no branch predicate")
+        else:  # ASSIGN, PRINT, NOP
+            if n_in != 1 or n_out != 1:
+                out.append(
+                    f"{kind.value} node {node.id} has {n_in} in / {n_out} "
+                    f"out, expected exactly 1 of each"
+                )
+            if kind is NodeKind.ASSIGN and (
+                node.target is None or node.expr is None
+            ):
+                out.append(
+                    f"assign node {node.id} lacks a target or expression"
+                )
+    return out
+
+
+def check_cfg(
+    graph: CFG, normalized: bool = True, phase: str = "validate-cfg"
+) -> CFG:
+    """Raise one precise :class:`InputError` if ``graph`` is malformed.
+
+    The message leads with the first violation and counts the rest; the
+    full list rides on ``InputError.violations`` (and its
+    :meth:`~repro.robust.errors.ReproError.as_dict`).  Returns the graph
+    so call sites can chain.
+    """
+    violations = cfg_violations(graph, normalized=normalized)
+    if violations:
+        more = (
+            f" (+{len(violations) - 1} more violations)"
+            if len(violations) > 1
+            else ""
+        )
+        raise InputError(
+            f"malformed CFG: {violations[0]}{more}",
+            phase=phase,
+            fingerprint=graph_fingerprint(graph),
+            violations=violations,
+        )
+    return graph

@@ -1,0 +1,141 @@
+"""Deadlines, bounded retry with backoff, and injectable clocks.
+
+Everything here takes its notion of time as a parameter: a ``clock``
+(``() -> float`` seconds) and a ``sleep`` (``(float) -> None``).  Tier-1
+tests pass a :class:`FakeClock` whose ``sleep`` merely advances the
+clock, so the timeout/retry/backoff logic is exercised without a single
+real sleep; production callers use the defaults
+(``time.monotonic`` / ``time.sleep``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.robust.errors import PassTimeout
+
+T = TypeVar("T")
+
+
+class FakeClock:
+    """A deterministic clock: time only moves when told to.
+
+    >>> clock = FakeClock()
+    >>> clock.sleep(1.5); clock.now()
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Record the request and advance -- never blocks."""
+        self.sleeps.append(seconds)
+        self.advance(seconds)
+
+
+class Deadline:
+    """A wall-clock budget checked cooperatively between phases.
+
+    ``budget_s=None`` never expires, so call sites can thread one object
+    unconditionally.
+    """
+
+    def __init__(
+        self,
+        budget_s: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.budget_s = budget_s
+        self._clock = clock
+        self._started = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def reset(self) -> None:
+        """Restart the budget from now -- called after a timeout has been
+        *handled* (oracle fallback), so one slow pass doesn't condemn
+        every pass after it."""
+        self._started = self._clock()
+
+    def remaining(self) -> float:
+        if self.budget_s is None:
+            return float("inf")
+        return self.budget_s - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(
+        self,
+        phase: str | None = None,
+        pass_name: str | None = None,
+        fingerprint: str | None = None,
+    ) -> None:
+        """Raise :class:`PassTimeout` if the budget is spent."""
+        if self.expired():
+            raise PassTimeout(
+                f"budget of {self.budget_s:.3f}s exhausted after "
+                f"{self.elapsed():.3f}s",
+                phase=phase,
+                pass_name=pass_name,
+                fingerprint=fingerprint,
+                budget_s=self.budget_s,
+                elapsed_s=self.elapsed(),
+            )
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """Deterministic exponential backoff: ``base * factor**attempt``,
+    capped at ``max_s``.  No jitter -- reproducibility is worth more to
+    this system than thundering-herd protection.
+
+    >>> [Backoff(base_s=0.1, factor=2.0, max_s=0.5).delay(a) for a in range(4)]
+    [0.1, 0.2, 0.4, 0.5]
+    """
+
+    base_s: float = 0.05
+    factor: float = 2.0
+    max_s: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        return min(self.base_s * (self.factor ** attempt), self.max_s)
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    retries: int = 2,
+    backoff: Backoff = Backoff(),
+    sleep: Callable[[float], None] = time.sleep,
+    should_retry: Callable[[BaseException], bool] = lambda exc: True,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` with up to ``retries`` retries.
+
+    ``should_retry`` filters which exceptions are worth another attempt
+    (an :class:`~repro.robust.errors.InputError` never is -- the input
+    will not improve); ``on_retry(attempt, exc)`` lets callers record a
+    ``retry`` incident per attempt.  The final failure propagates.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except BaseException as exc:
+            if attempt >= retries or not should_retry(exc):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(backoff.delay(attempt))
+            attempt += 1

@@ -84,6 +84,15 @@ class Metrics:
         self.spans: list[Span] = []
         self._depth = 0
         self._wall: dict[str, float] = {}
+        #: Structured ``repro.incident/1`` records (dicts) mirrored here
+        #: by :class:`repro.robust.incidents.IncidentLog` so one trace
+        #: document carries both timings and degradations.
+        self.incidents: list[dict] = []
+
+    def record_incident(self, record: dict) -> None:
+        """Append a structured incident record and tick its kind counter."""
+        self.incidents.append(record)
+        self.counter.tick(f"incident:{record.get('kind', 'unknown')}")
 
     @contextmanager
     def span(self, name: str, cached: bool | None = None) -> Iterator[Span]:
@@ -111,8 +120,12 @@ class Metrics:
         return self._wall.get(name, 0.0)
 
     def as_dict(self) -> dict:
-        """The trace document: spans in start order plus work totals."""
-        return {
+        """The trace document: spans in start order plus work totals.
+
+        ``incidents`` appears only when degradations occurred, keeping
+        clean-run documents byte-identical to the pre-robustness schema.
+        """
+        doc = {
             "spans": [
                 s.as_dict()
                 for s in sorted(self.spans, key=lambda s: (s.start, s.depth))
@@ -120,6 +133,9 @@ class Metrics:
             "work": self.counter.as_dict(),
             "work_total": self.counter.total(),
         }
+        if self.incidents:
+            doc["incidents"] = list(self.incidents)
+        return doc
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,229 @@
+"""The hardened batch driver: per-spec errors, supervision, minimization.
+
+The ``__raise__`` / ``__hang__`` / ``__crash__`` program families are
+baked into the worker-resolvable family table precisely so these tests
+can misbehave inside *real* spawned processes -- monkeypatching does not
+survive ``spawn``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.batch import (
+    _analyze_chunk,
+    _analyze_one,
+    equivalence_suite,
+    resolve_family,
+    run_batch,
+)
+from repro.robust import Backoff, IncidentLog, InputError
+from repro.robust.minimize import minimize_program
+from repro.robust.pool import SupervisedPool
+
+GOOD = {"label": "good", "family": "random", "args": [0, 20, 4]}
+POISON = {"label": "poison", "family": "__raise__", "args": []}
+
+
+# -- per-spec error rows (the chunk no longer dies with its worst spec) ------
+
+
+def test_chunk_survives_poison_spec() -> None:
+    rows = _analyze_chunk([GOOD, POISON, dict(GOOD, label="good-2")])
+    assert [row["label"] for row in rows] == ["good", "poison", "good-2"]
+    assert "passes" in rows[0] and "passes" in rows[2]
+    assert rows[1]["error"]["type"] == "RuntimeError"
+    assert "injected family failure" in rows[1]["error"]["message"]
+
+
+def test_analyze_one_reports_unknown_family() -> None:
+    row = _analyze_one({"label": "x", "family": "nonesuch", "args": []})
+    assert row["error"]["type"] == "InputError"
+
+
+def test_resolve_family_raises_input_error() -> None:
+    with pytest.raises(InputError, match="unknown program family"):
+        resolve_family("nonesuch")
+
+
+def test_equivalence_suite_mirrors_test_population() -> None:
+    suite = equivalence_suite()
+    assert len(suite) == 204
+    labels = [spec["label"] for spec in suite]
+    assert len(set(labels)) == 204
+    smoke = equivalence_suite(smoke=True)
+    assert len(smoke) == 24
+    for spec in smoke:
+        resolve_family(spec["family"])  # every family resolves
+
+
+def test_run_batch_in_process_with_poison() -> None:
+    payload = run_batch(suite=[GOOD, POISON], workers=0)
+    assert payload["programs"] == 2
+    assert payload["errors"] == 1
+    # Aggregation skips the error row instead of crashing on it.
+    assert payload["passes"]
+    assert all(agg["work"] >= 0 for agg in payload["passes"].values())
+
+
+# -- the supervised pool (real spawned processes) ----------------------------
+
+
+def test_pool_retries_then_quarantines_deterministic_failure() -> None:
+    minimized: list[tuple[dict, dict]] = []
+
+    def minimizer(spec, error):
+        minimized.append((spec, error))
+        return {"marker": spec["label"]}
+
+    incidents = IncidentLog()
+    pool = SupervisedPool(
+        workers=2,
+        retries=1,
+        backoff=Backoff(base_s=0.01, max_s=0.05),
+        incidents=incidents,
+        minimizer=minimizer,
+    )
+    rows = pool.run([GOOD, POISON])
+    assert rows[0]["label"] == "good" and "passes" in rows[0]
+    poison_row = rows[1]
+    assert poison_row["quarantined"]
+    assert poison_row["failure"] == "spec-error"
+    assert poison_row["attempts"] == 2  # first try + one retry
+    assert poison_row["quarantine"] == {"marker": "poison"}
+    assert minimized and minimized[0][1]["type"] == "RuntimeError"
+    assert incidents.count("retry") == 1
+    assert incidents.count("quarantine") == 1
+    assert pool.stats["retries"] == 1
+    assert pool.stats["quarantined"] == 1
+
+
+def test_pool_terminates_hung_worker() -> None:
+    incidents = IncidentLog()
+    pool = SupervisedPool(
+        workers=1, timeout_s=2.0, retries=0, incidents=incidents
+    )
+    rows = pool.run([{"label": "hang", "family": "__hang__", "args": []}])
+    assert rows[0]["quarantined"]
+    assert rows[0]["failure"] == "worker-timeout"
+    assert rows[0]["error"]["type"] == "PassTimeout"
+    assert incidents.count("worker-timeout") == 1
+    assert pool.stats["timeouts"] == 1
+
+
+def test_pool_isolates_crashed_worker_and_retries() -> None:
+    incidents = IncidentLog()
+    pool = SupervisedPool(
+        workers=1, retries=1, backoff=Backoff(base_s=0.01, max_s=0.05),
+        incidents=incidents,
+    )
+    rows = pool.run([{"label": "boom", "family": "__crash__", "args": []}])
+    assert rows[0]["quarantined"]
+    assert rows[0]["failure"] == "worker-crash"
+    assert pool.stats["crashes"] == 2  # initial attempt + the retry
+    assert pool.stats["retries"] == 1
+    crash = incidents.incidents[0]
+    assert crash.kind == "worker-crash"
+    assert crash.detail["exitcode"] == 3
+
+
+def test_pool_preserves_spec_order_under_mixed_outcomes() -> None:
+    specs = [
+        dict(GOOD, label="a"),
+        POISON,
+        dict(GOOD, label="c", args=[1, 20, 4]),
+    ]
+    pool = SupervisedPool(
+        workers=2, retries=0, backoff=Backoff(base_s=0.01, max_s=0.05)
+    )
+    rows = pool.run(specs)
+    assert [row["label"] for row in rows] == ["a", "poison", "c"]
+
+
+# -- the minimizer -----------------------------------------------------------
+
+
+def _has_while(program) -> bool:
+    from repro.lang.ast_nodes import While
+
+    return any(isinstance(stmt, While) for stmt in program.body)
+
+
+def test_minimize_program_shrinks_to_failing_core() -> None:
+    source = "\n".join(
+        [
+            "a := 1;",
+            "b := a + 2;",
+            "print a;",
+            "while (a < 3) { a := a + 1; }",
+            "c := b * 2;",
+            "print c;",
+        ]
+    )
+    minimized, evals = minimize_program(source, _has_while)
+    assert "while" in minimized
+    assert "print" not in minimized  # everything irrelevant removed
+    assert evals > 0
+    # The artifact round-trips: it is source, not an AST dump.
+    from repro.lang.parser import parse_program
+
+    assert _has_while(parse_program(minimized))
+
+
+def test_minimize_program_flattens_compounds() -> None:
+    from repro.lang.ast_nodes import Assign
+
+    source = "if (1 < 2) { x := 42; } else { y := 0; }"
+
+    def has_x_assign(program) -> bool:
+        def walk(stmts):
+            for stmt in stmts:
+                if isinstance(stmt, Assign) and stmt.target == "x":
+                    return True
+                for attr in ("then_body", "else_body", "body"):
+                    if walk(getattr(stmt, attr, [])):
+                        return True
+            return False
+
+        return walk(program.body)
+
+    minimized, _ = minimize_program(source, has_x_assign)
+    assert "if" not in minimized  # the compound wrapper is gone
+    assert "x := 42" in minimized
+
+
+def test_minimize_program_returns_original_when_not_failing() -> None:
+    source = "x := 1;\nprint x;"
+    minimized, evals = minimize_program(source, lambda program: False)
+    assert minimized == source
+    assert evals == 1  # the initial probe only
+
+
+# -- CLI surface -------------------------------------------------------------
+
+
+def test_cli_batch_equivalence_smoke(tmp_path, capsys) -> None:
+    import json
+
+    from repro.cli import main
+
+    out = str(tmp_path / "batch.json")
+    assert main(
+        ["batch", "--workers", "0", "--suite", "equivalence", "--smoke",
+         "--output", out]
+    ) == 0
+    payload = json.load(open(out))["batch"]
+    assert payload["programs"] == 24
+    assert "errors" not in payload  # the suite is healthy
+    assert payload["passes"]
+
+
+def test_cli_reports_one_line_diagnostic_not_traceback(tmp_path, capsys) -> None:
+    from repro.cli import main
+
+    bad = tmp_path / "bad.dfg"
+    bad.write_text("x := ;")
+    assert main(["run", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: ")
+    assert "Traceback" not in err

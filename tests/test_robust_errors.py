@@ -1,0 +1,190 @@
+"""The error taxonomy, the CFG validator, and graph fingerprints.
+
+Everything here asserts via raised exceptions (``pytest.raises``), never
+bare ``assert``s on validation behavior, so the suite is also meaningful
+under ``python -O`` -- the CI runs a targeted sweep of these tests with
+optimizations on to prove input validation no longer relies on
+``assert`` statements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import CFG, CFGError, Node, NodeKind
+from repro.lang.parser import parse_program
+from repro.perf.bitset import BitsetProblem, solve_bitset
+from repro.perf.csr import build_csr
+from repro.robust import (
+    AnalysisError,
+    InputError,
+    PassTimeout,
+    ReproError,
+    StaleSnapshotError,
+    cfg_violations,
+    check_cfg,
+    error_record,
+    graph_fingerprint,
+)
+
+
+def _graph(source: str = "x := 1; print x;") -> CFG:
+    return build_cfg(parse_program(source))
+
+
+# -- taxonomy ----------------------------------------------------------------
+
+
+def test_input_error_is_cfg_error() -> None:
+    # Existing `except CFGError` handlers must keep catching validation
+    # failures raised through the new taxonomy.
+    exc = InputError("bad graph")
+    assert isinstance(exc, ReproError)
+    assert isinstance(exc, CFGError)
+
+
+def test_stale_snapshot_error_is_value_error() -> None:
+    exc = StaleSnapshotError("stale")
+    assert isinstance(exc, AnalysisError)
+    assert isinstance(exc, ValueError)
+
+
+def test_pass_timeout_is_analysis_error() -> None:
+    exc = PassTimeout("slow", budget_s=1.0, elapsed_s=2.5)
+    assert isinstance(exc, AnalysisError)
+    assert exc.as_dict()["budget_s"] == 1.0
+    assert exc.as_dict()["elapsed_s"] == 2.5
+
+
+def test_error_str_carries_context() -> None:
+    exc = AnalysisError(
+        "kernel exploded", phase="pass:dom", pass_name="dom",
+        fingerprint="abc123def456",
+    )
+    text = str(exc)
+    assert "kernel exploded" in text
+    assert "pass=dom" in text
+    assert "phase=pass:dom" in text
+    assert "graph=abc123def456" in text
+    assert str(AnalysisError("bare")) == "bare"
+
+
+def test_error_record_structured_and_foreign() -> None:
+    record = error_record(InputError("nope", violations=["a", "b"]))
+    assert record["schema"] == "repro.error/1"
+    assert record["kind"] == "input"
+    assert record["type"] == "InputError"
+    assert record["violations"] == ["a", "b"]
+    foreign = error_record(KeyError("x"))
+    assert foreign["kind"] == "unexpected"
+    assert foreign["type"] == "KeyError"
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+def test_fingerprint_stable_across_rebuilds() -> None:
+    a = graph_fingerprint(_graph("x := 1; while (x < 3) { x := x + 1; }"))
+    b = graph_fingerprint(_graph("x := 1; while (x < 3) { x := x + 1; }"))
+    assert a == b
+    assert len(a) == 12
+    assert int(a, 16) >= 0  # hex digest
+
+
+def test_fingerprint_distinguishes_programs() -> None:
+    assert graph_fingerprint(_graph("x := 1; print x;")) != graph_fingerprint(
+        _graph("x := 2; print x;")
+    )
+
+
+# -- validator ---------------------------------------------------------------
+
+
+def test_builder_output_is_clean() -> None:
+    graph = _graph("x := 0; while (x < 5) { x := x + 1; } print x;")
+    assert cfg_violations(graph) == []
+    assert check_cfg(graph) is graph
+
+
+def test_duplicate_start_detected() -> None:
+    graph = _graph()
+    graph.add_node(NodeKind.START)
+    violations = cfg_violations(graph)
+    assert any("exactly one START" in v for v in violations)
+
+
+def test_dangling_edge_detected_before_deeper_checks() -> None:
+    graph = _graph()
+    # Corrupt the edge table directly: point an edge at a removed node.
+    eid = next(iter(graph.edges))
+    graph.edges[eid].dst = 10_000
+    violations = cfg_violations(graph)
+    assert violations
+    assert all("edge" in v or "node" in v for v in violations)
+
+
+def test_unreachable_node_detected() -> None:
+    graph = _graph()
+    orphan_a = graph.add_node(NodeKind.NOP)
+    orphan_b = graph.add_node(NodeKind.NOP)
+    graph.add_edge(orphan_a, orphan_b)
+    graph.add_edge(orphan_b, orphan_a)
+    violations = cfg_violations(graph, normalized=False)
+    assert any("unreachable" in v for v in violations)
+    assert any("cannot reach end" in v for v in violations)
+
+
+def test_check_cfg_raises_one_precise_input_error() -> None:
+    graph = _graph()
+    graph.add_node(NodeKind.START)
+    graph.add_node(NodeKind.START)
+    with pytest.raises(InputError) as excinfo:
+        check_cfg(graph, phase="unit-test")
+    exc = excinfo.value
+    assert exc.message.startswith("malformed CFG: ")
+    assert exc.phase == "unit-test"
+    assert exc.fingerprint
+    assert len(exc.violations) >= 1
+    if len(exc.violations) > 1:
+        assert "more violation" in exc.message
+    # And it is catchable as the legacy type.
+    with pytest.raises(CFGError):
+        check_cfg(graph)
+
+
+def test_node_defs_raises_cfg_error_without_target() -> None:
+    node = Node(7, NodeKind.ASSIGN)  # bypasses add_node's guard
+    with pytest.raises(CFGError):
+        node.defs()
+
+
+# -- stale snapshots and kernel guards ---------------------------------------
+
+
+def test_stale_csr_raises_taxonomy_and_legacy_type() -> None:
+    graph = _graph()
+    csr = build_csr(graph)
+    graph.add_node(NodeKind.NOP)
+    with pytest.raises(StaleSnapshotError):
+        csr.check()
+    with pytest.raises(ValueError):  # legacy callers
+        csr.check()
+
+
+def test_solve_bitset_rejects_stale_snapshot() -> None:
+    graph = _graph()
+    csr = build_csr(graph)
+    graph.add_node(NodeKind.NOP)
+    problem = BitsetProblem(
+        "forward", True, True, [0] * csr.n, [0] * csr.n, 0, 0
+    )
+    with pytest.raises(StaleSnapshotError):
+        solve_bitset(csr, problem)
+
+
+def test_solve_bitset_rejects_arity_mismatch() -> None:
+    csr = build_csr(_graph())
+    problem = BitsetProblem("forward", True, True, [0], [0], 0, 0)
+    with pytest.raises(AnalysisError):
+        solve_bitset(csr, problem)

@@ -1,0 +1,116 @@
+"""Deadlines, retry and backoff -- all on an injectable fake clock.
+
+No test here (or anywhere in tier 1) performs a real sleep: the clock
+only moves when the test moves it, so timeout and backoff behavior is
+exercised deterministically and instantly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robust import Backoff, Deadline, FakeClock, PassTimeout, retry_with_backoff
+from repro.robust.errors import InputError
+
+
+def test_fake_clock_sleep_advances_and_records() -> None:
+    clock = FakeClock(start=10.0)
+    clock.sleep(1.5)
+    clock.sleep(0.5)
+    assert clock.now() == 12.0
+    assert clock.sleeps == [1.5, 0.5]
+
+
+def test_deadline_expires_exactly_on_fake_clock() -> None:
+    clock = FakeClock()
+    deadline = Deadline(2.0, clock=clock.now)
+    assert not deadline.expired()
+    assert deadline.remaining() == 2.0
+    clock.advance(1.9)
+    deadline.check()  # still inside budget
+    clock.advance(0.2)
+    assert deadline.expired()
+    with pytest.raises(PassTimeout) as excinfo:
+        deadline.check(phase="pass:dom", pass_name="dom", fingerprint="f00")
+    exc = excinfo.value
+    assert exc.budget_s == 2.0
+    assert exc.elapsed_s == pytest.approx(2.1)
+    assert exc.pass_name == "dom"
+
+
+def test_deadline_reset_restores_budget() -> None:
+    clock = FakeClock()
+    deadline = Deadline(1.0, clock=clock.now)
+    clock.advance(5.0)
+    assert deadline.expired()
+    deadline.reset()
+    assert not deadline.expired()
+    assert deadline.remaining() == 1.0
+
+
+def test_none_budget_never_expires() -> None:
+    clock = FakeClock()
+    deadline = Deadline(None, clock=clock.now)
+    clock.advance(1e9)
+    assert deadline.remaining() == float("inf")
+    deadline.check()  # never raises
+
+
+def test_backoff_sequence_caps() -> None:
+    backoff = Backoff(base_s=0.1, factor=2.0, max_s=0.5)
+    assert [backoff.delay(a) for a in range(5)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_retry_succeeds_after_transient_failures() -> None:
+    clock = FakeClock()
+    attempts: list[int] = []
+    retried: list[tuple[int, str]] = []
+
+    def flaky() -> str:
+        attempts.append(len(attempts))
+        if len(attempts) < 3:
+            raise RuntimeError(f"transient {len(attempts)}")
+        return "done"
+
+    result = retry_with_backoff(
+        flaky,
+        retries=3,
+        backoff=Backoff(base_s=0.05, factor=2.0, max_s=1.0),
+        sleep=clock.sleep,
+        on_retry=lambda attempt, exc: retried.append((attempt, str(exc))),
+    )
+    assert result == "done"
+    assert len(attempts) == 3
+    # Exponential backoff between attempts, via the fake clock only.
+    assert clock.sleeps == [0.05, 0.1]
+    assert retried == [(0, "transient 1"), (1, "transient 2")]
+
+
+def test_retry_exhaustion_propagates_last_error() -> None:
+    clock = FakeClock()
+
+    def hopeless() -> None:
+        raise RuntimeError("still broken")
+
+    with pytest.raises(RuntimeError, match="still broken"):
+        retry_with_backoff(hopeless, retries=2, sleep=clock.sleep)
+    assert len(clock.sleeps) == 2  # two retries scheduled, both failed
+
+
+def test_should_retry_filters_permanent_failures() -> None:
+    clock = FakeClock()
+    calls: list[int] = []
+
+    def rejects_input() -> None:
+        calls.append(1)
+        raise InputError("the input will not improve")
+
+    with pytest.raises(InputError):
+        retry_with_backoff(
+            rejects_input,
+            retries=5,
+            sleep=clock.sleep,
+            should_retry=lambda exc: not isinstance(exc, InputError),
+        )
+    assert len(calls) == 1  # no second attempt
+    assert clock.sleeps == []  # and no backoff sleep at all
