@@ -43,12 +43,19 @@ def build_cfg(program: Program) -> CFG:
     for i, instr in enumerate(instrs):
         if isinstance(instr, AssignInstr):
             node_of[i] = graph.add_node(
-                NodeKind.ASSIGN, target=instr.target, expr=instr.expr
+                NodeKind.ASSIGN,
+                target=instr.target,
+                expr=instr.expr,
+                span=instr.span,
             )
         elif isinstance(instr, PrintInstr):
-            node_of[i] = graph.add_node(NodeKind.PRINT, expr=instr.expr)
+            node_of[i] = graph.add_node(
+                NodeKind.PRINT, expr=instr.expr, span=instr.span
+            )
         elif isinstance(instr, BranchInstr):
-            node_of[i] = graph.add_node(NodeKind.SWITCH, expr=instr.cond)
+            node_of[i] = graph.add_node(
+                NodeKind.SWITCH, expr=instr.cond, span=instr.span
+            )
 
     memo: dict[int, int] = {}
     nop_targets: list[tuple[int, int]] = []

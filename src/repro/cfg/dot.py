@@ -40,12 +40,15 @@ def cfg_to_dot(
     name: str = "cfg",
     edge_notes: Mapping[int, str] | None = None,
     node_label: Callable[[CFG, int], str] | None = None,
+    node_attrs: Mapping[int, str] | None = None,
 ) -> str:
     """Render ``graph`` as Graphviz source.
 
     ``edge_notes`` maps edge ids to extra text shown on the edge -- handy
     for displaying dataflow facts, cycle-equivalence classes or dependence
-    sources next to the control flow.
+    sources next to the control flow.  ``node_attrs`` maps node ids to
+    extra attribute text appended inside the node's bracket list (e.g.
+    ``'style=filled, fillcolor="#f4cccc"'`` to highlight lint findings).
     """
     label_of = node_label or _default_label
     lines = [f"digraph {name} {{", "  node [fontname=monospace];"]
@@ -53,7 +56,10 @@ def cfg_to_dot(
         node = graph.node(nid)
         text = label_of(graph, nid).replace('"', '\\"')
         shape = _SHAPES[node.kind]
-        lines.append(f'  n{nid} [label="{text}", shape={shape}];')
+        extra = ""
+        if node_attrs and nid in node_attrs:
+            extra = f", {node_attrs[nid]}"
+        lines.append(f'  n{nid} [label="{text}", shape={shape}{extra}];')
     for eid in sorted(graph.edges):
         edge = graph.edge(eid)
         parts = []

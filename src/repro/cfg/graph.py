@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.lang.ast_nodes import Expr, expr_vars
+from repro.lang.ast_nodes import Expr, Span, expr_vars
 
 
 class CFGError(Exception):
@@ -59,6 +59,10 @@ class Node:
     kind: NodeKind
     target: str | None = None
     expr: Expr | None = None
+    #: Source region of the statement this node came from.  ``None`` for
+    #: START/END and the synthetic nodes normalization introduces
+    #: (MERGE/NOP/loop-exit switches) -- diagnostics skip those.
+    span: Span | None = None
 
     def defs(self) -> frozenset[str]:
         """Variables this node assigns."""
@@ -132,6 +136,7 @@ class CFG:
         kind: NodeKind,
         target: str | None = None,
         expr: Expr | None = None,
+        span: Span | None = None,
     ) -> int:
         """Create a node and return its id."""
         if kind is NodeKind.ASSIGN and (target is None or expr is None):
@@ -141,7 +146,7 @@ class CFG:
         nid = self._next_node
         self._next_node += 1
         self.shape_version += 1
-        self.nodes[nid] = Node(nid, kind, target, expr)
+        self.nodes[nid] = Node(nid, kind, target, expr, span)
         self._out[nid] = []
         self._in[nid] = []
         if kind is NodeKind.START and self.start < 0:
@@ -366,7 +371,9 @@ class CFG:
         dup.start = self.start
         dup.end = self.end
         for nid, node in self.nodes.items():
-            dup.nodes[nid] = Node(node.id, node.kind, node.target, node.expr)
+            dup.nodes[nid] = Node(
+                node.id, node.kind, node.target, node.expr, node.span
+            )
         dup._out = {nid: list(eids) for nid, eids in self._out.items()}
         dup._in = {nid: list(eids) for nid, eids in self._in.items()}
         for eid, edge in self.edges.items():

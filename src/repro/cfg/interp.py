@@ -27,8 +27,16 @@ def run_cfg(
     graph: CFG,
     env: Mapping[str, int] | None = None,
     max_steps: int = 100_000,
+    value_limit: int | None = None,
 ) -> ExecutionResult:
     """Execute ``graph`` from ``start`` to ``end``.
+
+    ``value_limit``, when set, aborts (with :class:`InterpError`) as soon
+    as an assigned scalar exceeds it in magnitude.  Generated programs
+    can square a variable inside a loop, and such bigint blowup makes a
+    bounded-step run arbitrarily slow; callers that execute untrusted
+    programs (the lint oracle's refutation probes) cap values so those
+    runs fail fast instead.
 
     >>> from repro.lang.parser import parse_program
     >>> from repro.cfg.builder import build_cfg
@@ -52,7 +60,16 @@ def run_cfg(
         node = graph.node(current)
         if node.kind is NodeKind.ASSIGN:
             assert node.target is not None and node.expr is not None
-            state[node.target] = eval_expr(node.expr, state, counts)
+            value = eval_expr(node.expr, state, counts)
+            if (
+                value_limit is not None
+                and not isinstance(value, dict)
+                and abs(value) > value_limit
+            ):
+                raise InterpError(
+                    f"value of {node.target!r} exceeds limit {value_limit}"
+                )
+            state[node.target] = value
             current = graph.out_edge(current).dst
         elif node.kind is NodeKind.PRINT:
             assert node.expr is not None

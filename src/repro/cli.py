@@ -7,6 +7,7 @@
     python -m repro optimize program.dfg --dot optimized.dot --env n=5
     python -m repro profile program.dfg
     python -m repro trace program.dfg --optimize
+    python -m repro lint program.dfg --format sarif
 
 The source language is the small imperative language of
 :mod:`repro.lang` (see README).  ``analyze`` prints the control
@@ -43,6 +44,7 @@ from repro.util.metrics import Metrics
 PROFILE_SCHEMA = "repro.profile/1"
 TRACE_SCHEMA = "repro.trace/1"
 BENCH_SCHEMA = "repro.bench/1"
+LINT_SCHEMA = "repro.lint/1"
 
 
 def _parse_env(pairs: list[str]) -> dict[str, int]:
@@ -150,7 +152,12 @@ def _profiled_manager(args: argparse.Namespace) -> tuple[AnalysisManager, dict]:
     """Build the program's CFG, sweep it through the pipeline manager
     (optionally via the full optimizer), and return (manager, program row)."""
     graph = build_cfg(_load(args.file))
-    manager = AnalysisManager(graph, metrics=Metrics())
+    registry = None
+    if getattr(args, "lint", False):
+        from repro.lint.rules import lint_registry
+
+        registry = lint_registry()
+    manager = AnalysisManager(graph, registry=registry, metrics=Metrics())
     program = _program_summary(args.file, graph)
     if getattr(args, "optimize", False):
         optimize(graph, manager=manager)
@@ -193,6 +200,132 @@ def cmd_trace(args: argparse.Namespace) -> int:
         **manager.metrics.as_dict(),
     }
     print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+#: Fill colors for ``repro lint --dot``: findings by severity.
+_LINT_COLORS = {
+    "definite": "#f4cccc",
+    "possible": "#fce5cd",
+    "info": "#d9ead3",
+}
+
+
+def _lint_dot(graph, diagnostics) -> str:
+    """The CFG with lint-flagged nodes filled by strongest severity."""
+    from repro.lint.model import SEVERITIES
+
+    strongest: dict[int, str] = {}
+    for diag in diagnostics:
+        if diag.node < 0:
+            continue
+        current = strongest.get(diag.node)
+        if current is None or (
+            SEVERITIES.index(diag.severity) < SEVERITIES.index(current)
+        ):
+            strongest[diag.node] = diag.severity
+    node_attrs = {
+        nid: f'style=filled, fillcolor="{_LINT_COLORS[severity]}"'
+        for nid, severity in strongest.items()
+    }
+    return cfg_to_dot(graph, name="lint", node_attrs=node_attrs)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.engine import LintEngine, LintResult
+    from repro.lint.model import SEVERITIES
+    from repro.lint.output import (
+        baseline_fingerprints,
+        baseline_payload,
+        filter_baseline,
+        lint_payload,
+        render_text,
+        sarif_payload,
+    )
+
+    graph = build_cfg(_load(args.file))
+    result = LintEngine(graph).run(
+        verify=not args.no_verify, max_steps=args.max_steps
+    )
+
+    if args.write_baseline:
+        payload = baseline_payload(result.diagnostics)
+        with open(args.write_baseline, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.write_baseline} "
+              f"({len(payload['suppressions'])} suppressions)")
+        return 0
+
+    diagnostics, suppressed = result.diagnostics, 0
+    if args.baseline:
+        with open(args.baseline) as fh:
+            suppressions = baseline_fingerprints(json.load(fh))
+        diagnostics, suppressed = filter_baseline(diagnostics, suppressions)
+    shown = LintResult(
+        diagnostics=diagnostics,
+        verified=result.verified,
+        manager=result.manager,
+    )
+
+    if args.format == "json":
+        text = json.dumps(
+            lint_payload(args.file, shown, suppressed),
+            indent=2, sort_keys=True,
+        ) + "\n"
+    elif args.format == "sarif":
+        text = json.dumps(
+            sarif_payload(args.file, diagnostics), indent=2, sort_keys=True
+        ) + "\n"
+    else:
+        counts = shown.by_severity()
+        text = render_text(args.file, diagnostics)
+        text += (f"{len(diagnostics)} findings "
+                 f"({counts['definite']} definite, "
+                 f"{counts['possible']} possible, {counts['info']} info)")
+        if suppressed:
+            text += f"; {suppressed} suppressed by baseline"
+        text += "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+
+    if args.dot:
+        with open(args.dot, "w") as fh:
+            fh.write(_lint_dot(graph, diagnostics))
+        print(f"wrote {args.dot}")
+
+    if args.fail_on != "never":
+        threshold = SEVERITIES.index(args.fail_on)
+        if any(
+            SEVERITIES.index(d.severity) <= threshold for d in diagnostics
+        ):
+            return 1
+    return 0
+
+
+def cmd_lintsweep(args: argparse.Namespace) -> int:
+    from repro.lint.sweep import run_lint_sweep
+    from repro.perf.batch import write_payload
+
+    payload = run_lint_sweep(tag=args.tag, smoke=args.smoke)
+    out = args.output or f"LINT_{args.tag}.json"
+    write_payload(payload, out)
+    corpus, planted = payload["corpus"], payload["planted"]
+    print(f"lint sweep ({payload['mode']}): {corpus['programs']} corpus "
+          f"programs, {corpus['findings']} findings, "
+          f"{corpus['unverified_definite']} unverified definite, "
+          f"{corpus['refuted']} refuted; planted recall "
+          f"{planted['recall']:.1%}, precision {planted['precision']:.1%}")
+    print(f"wrote {out}")
+    if not payload["ok"]:
+        print("lint sweep contract violated: an unverified definite "
+              "finding, a refuted finding, or recall below "
+              f"{payload['recall_floor']:.0%}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -243,6 +376,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
     if args.suite == "equivalence":
         suite = equivalence_suite(smoke=args.smoke)
+    elif args.suite == "lint":
+        from repro.perf.batch import lint_suite
+
+        suite = lint_suite(smoke=args.smoke)
     else:
         suite = default_suite(args.programs, size=args.size)
     result = run_batch(
@@ -259,6 +396,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
               f"{result['workers']} workers; wrote {args.output}")
     else:
         print(json.dumps(payload, indent=2, sort_keys=True))
+    if result.get("lint"):
+        lint = result["lint"]
+        print(f"lint: {lint['findings']} findings over "
+              f"{lint['programs']} programs, {lint['verified']} verified, "
+              f"{lint['unverified_definite']} unverified definite",
+              file=sys.stderr)
+        if lint["unverified_definite"]:
+            return 1
     if result.get("errors"):
         print(f"{result['errors']} programs failed "
               f"({result.get('quarantined', 0)} quarantined)",
@@ -336,6 +481,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--optimize", action="store_true",
         help="profile a full optimizer run instead of a cold+warm sweep",
     )
+    prof_p.add_argument(
+        "--lint", action="store_true",
+        help="profile the lint registry (rule passes included)",
+    )
     prof_p.set_defaults(handler=cmd_profile)
 
     trace_p = sub.add_parser(
@@ -347,6 +496,58 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="trace a full optimizer run instead of a cold+warm sweep",
     )
     trace_p.set_defaults(handler=cmd_trace)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="dependence-based diagnostics with oracle-verified findings",
+    )
+    lint_p.add_argument("file", help="source file")
+    lint_p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="text (default), repro.lint/1 JSON, or SARIF 2.1.0",
+    )
+    lint_p.add_argument("--output", help="write the report here, not stdout")
+    lint_p.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings fingerprinted in this repro.lintbaseline/1",
+    )
+    lint_p.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="accept all current findings into a new baseline and exit",
+    )
+    lint_p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the oracle (definite findings stay unverified)",
+    )
+    lint_p.add_argument(
+        "--dot", metavar="FILE",
+        help="write the CFG with findings colored by severity",
+    )
+    lint_p.add_argument(
+        "--fail-on", choices=("definite", "possible", "info", "never"),
+        default="definite",
+        help="exit 1 when an unsuppressed finding is at least this severe",
+    )
+    lint_p.add_argument(
+        "--max-steps", type=int, default=20_000,
+        help="step budget per oracle refutation probe",
+    )
+    lint_p.set_defaults(handler=cmd_lint)
+
+    sweep_p = sub.add_parser(
+        "lintsweep",
+        help="lint the generated corpus + planted defects; write "
+        "LINT_<tag>.json with the zero-false-positive measurement",
+    )
+    sweep_p.add_argument("--tag", default="dev")
+    sweep_p.add_argument(
+        "--smoke", action="store_true",
+        help="trimmed populations (the CI profile)",
+    )
+    sweep_p.add_argument(
+        "--output", help="payload path (default LINT_<tag>.json)"
+    )
+    sweep_p.set_defaults(handler=cmd_lintsweep)
 
     bench_p = sub.add_parser(
         "bench",
@@ -385,8 +586,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--programs", type=int, default=8)
     batch_p.add_argument("--size", type=int, default=80)
     batch_p.add_argument(
-        "--suite", choices=("default", "equivalence"), default="default",
-        help="'equivalence' runs the 204-program perf-equivalence population",
+        "--suite", choices=("default", "equivalence", "lint"),
+        default="default",
+        help="'equivalence' runs the 204-program perf-equivalence "
+        "population; 'lint' runs the diagnostics engine (verification "
+        "included) over planted-defect and corpus programs",
     )
     batch_p.add_argument(
         "--smoke", action="store_true",

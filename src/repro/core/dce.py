@@ -40,16 +40,16 @@ class ADCEStats:
     removed_assignments: list[int] = field(default_factory=list)
 
 
-def dfg_dead_code_elimination(
+def adce_mark(
     graph: CFG,
-    dfg: DFG | None = None,
+    dfg: DFG,
     counter: WorkCounter | None = None,
-) -> ADCEStats:
-    """Remove assignments whose values never reach an observation, in
-    place.  Returns the removed node ids."""
+) -> set[Port]:
+    """The mark phase of ADCE: every DFG port whose value can reach an
+    observation (a ``print`` or a branch decision).  Pure -- mutates
+    nothing -- so diagnostics can ask "which assignments are dead?"
+    without editing the graph."""
     counter = counter if counter is not None else WorkCounter()
-    dfg = dfg if dfg is not None else build_dfg(graph, counter=counter)
-
     marked: set[Port] = set()
     worklist: list[Port] = []
 
@@ -78,7 +78,35 @@ def dfg_dead_code_elimination(
         elif port.kind is PortKind.SWITCH:
             mark(dfg.switch_input(port))
         # ENTRY ports have no producers.
+    return marked
 
+
+def dead_assignments(
+    graph: CFG,
+    dfg: DFG,
+    counter: WorkCounter | None = None,
+) -> list[int]:
+    """Assignment node ids ADCE would remove, without removing them."""
+    marked = adce_mark(graph, dfg, counter)
+    live_assigns = {port.node for port in marked if port.kind is PortKind.DEF}
+    return sorted(
+        node.id
+        for node in graph.nodes.values()
+        if node.kind is NodeKind.ASSIGN and node.id not in live_assigns
+    )
+
+
+def dfg_dead_code_elimination(
+    graph: CFG,
+    dfg: DFG | None = None,
+    counter: WorkCounter | None = None,
+) -> ADCEStats:
+    """Remove assignments whose values never reach an observation, in
+    place.  Returns the removed node ids."""
+    counter = counter if counter is not None else WorkCounter()
+    dfg = dfg if dfg is not None else build_dfg(graph, counter=counter)
+
+    marked = adce_mark(graph, dfg, counter)
     live_assigns = {
         port.node for port in marked if port.kind is PortKind.DEF
     }

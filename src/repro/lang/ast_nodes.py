@@ -16,7 +16,59 @@ defined on general CFGs and our implementation must be too.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
+
+# --------------------------------------------------------------------------
+# Source spans
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open source region: (line, column) .. (end_line, end_column).
+
+    Lines and columns are 1-based, matching the lexer's token positions.
+    Spans ride along on every AST node (and from there on CFG nodes), so
+    analyses can report findings against real source locations.  They are
+    deliberately excluded from node equality and hashing: two occurrences
+    of ``a + b`` at different positions must still be *the same lexical
+    expression* for the redundancy analyses.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @staticmethod
+    def cover(*spans: "Span | None") -> "Span | None":
+        """The smallest span containing every given span (None-tolerant:
+        programmatically built subtrees without positions yield None)."""
+        present = [s for s in spans if s is not None]
+        if len(present) != len(spans) or not present:
+            return None
+        start = min((s.line, s.column) for s in present)
+        end = max((s.end_line, s.end_column) for s in present)
+        return Span(start[0], start[1], end[0], end[1])
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+#: The span field shared by every AST node: never part of equality,
+#: hashing or the repr, so positional metadata cannot perturb the value
+#: semantics the analyses rely on.
+def _span_field():
+    return field(default=None, compare=False, repr=False)
+
 
 # --------------------------------------------------------------------------
 # Expressions
@@ -34,6 +86,7 @@ class IntLit:
     """An integer literal."""
 
     value: int
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -41,6 +94,7 @@ class Var:
     """A variable reference."""
 
     name: str
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -50,6 +104,7 @@ class BinOp:
     op: str
     left: "Expr"
     right: "Expr"
+    span: Optional[Span] = _span_field()
 
     def __post_init__(self) -> None:
         if self.op not in BINARY_OPS:
@@ -62,6 +117,7 @@ class UnOp:
 
     op: str
     operand: "Expr"
+    span: Optional[Span] = _span_field()
 
     def __post_init__(self) -> None:
         if self.op not in UNARY_OPS:
@@ -81,6 +137,7 @@ class Index:
 
     array: str
     index: "Expr"
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -98,6 +155,7 @@ class Update:
     array: str
     index: "Expr"
     value: "Expr"
+    span: Optional[Span] = _span_field()
 
 
 Expr = Union[IntLit, Var, BinOp, UnOp, Index, Update]
@@ -166,6 +224,7 @@ class Assign:
 
     target: str
     expr: Expr
+    span: Optional[Span] = _span_field()
 
 
 @dataclass
@@ -179,6 +238,7 @@ class Store:
     array: str
     index: Expr
     expr: Expr
+    span: Optional[Span] = _span_field()
 
 
 @dataclass
@@ -186,11 +246,14 @@ class Print:
     """``print expr;`` -- the language's only observable output."""
 
     expr: Expr
+    span: Optional[Span] = _span_field()
 
 
 @dataclass
 class Skip:
     """``skip;`` -- no effect."""
+
+    span: Optional[Span] = _span_field()
 
 
 @dataclass
@@ -200,6 +263,7 @@ class If:
     cond: Expr
     then_body: list["Stmt"] = field(default_factory=list)
     else_body: list["Stmt"] = field(default_factory=list)
+    span: Optional[Span] = _span_field()
 
 
 @dataclass
@@ -208,6 +272,7 @@ class While:
 
     cond: Expr
     body: list["Stmt"] = field(default_factory=list)
+    span: Optional[Span] = _span_field()
 
 
 @dataclass
@@ -221,6 +286,7 @@ class Repeat:
 
     body: list["Stmt"] = field(default_factory=list)
     cond: Expr = IntLit(1)
+    span: Optional[Span] = _span_field()
 
 
 @dataclass
@@ -228,6 +294,7 @@ class Goto:
     """``goto L;``"""
 
     label: str
+    span: Optional[Span] = _span_field()
 
 
 @dataclass
@@ -235,6 +302,7 @@ class Label:
     """``label L:`` -- a jump target."""
 
     name: str
+    span: Optional[Span] = _span_field()
 
 
 Stmt = Union[Assign, Store, Print, Skip, If, While, Repeat, Goto, Label]
@@ -245,6 +313,7 @@ class Program:
     """A whole program: a statement list."""
 
     body: list[Stmt] = field(default_factory=list)
+    span: Optional[Span] = _span_field()
 
     def walk(self) -> Iterator[Stmt]:
         """Yield every statement in the program, pre-order."""

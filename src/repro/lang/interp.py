@@ -48,6 +48,7 @@ from repro.lang.ast_nodes import (
     Program,
     Repeat,
     Skip,
+    Span,
     Stmt,
     Store,
     UnOp,
@@ -175,11 +176,13 @@ def apply_binop(op: str, left: int, right: int) -> int:
 class AssignInstr:
     target: str
     expr: Expr
+    span: "Span | None" = None
 
 
 @dataclass
 class PrintInstr:
     expr: Expr
+    span: "Span | None" = None
 
 
 @dataclass
@@ -189,6 +192,7 @@ class BranchInstr:
 
     cond: Expr
     target: int = -1
+    span: "Span | None" = None
 
 
 @dataclass
@@ -208,17 +212,19 @@ def flatten(program: Program) -> list[Instruction]:
     def emit(stmts: list[Stmt]) -> None:
         for stmt in stmts:
             if isinstance(stmt, Assign):
-                instrs.append(AssignInstr(stmt.target, stmt.expr))
+                instrs.append(AssignInstr(stmt.target, stmt.expr, span=stmt.span))
             elif isinstance(stmt, Store):
                 # a[i] := v lowers to a := update(a, i, v): the store uses
                 # the old array and defines the new one ([BJP91]).
                 instrs.append(
                     AssignInstr(
-                        stmt.array, Update(stmt.array, stmt.index, stmt.expr)
+                        stmt.array,
+                        Update(stmt.array, stmt.index, stmt.expr, span=stmt.span),
+                        span=stmt.span,
                     )
                 )
             elif isinstance(stmt, Print):
-                instrs.append(PrintInstr(stmt.expr))
+                instrs.append(PrintInstr(stmt.expr, span=stmt.span))
             elif isinstance(stmt, Skip):
                 pass
             elif isinstance(stmt, Label):
@@ -230,7 +236,7 @@ def flatten(program: Program) -> list[Instruction]:
                 pending_gotos.append((jump, stmt.label))
                 instrs.append(jump)
             elif isinstance(stmt, If):
-                branch = BranchInstr(stmt.cond)
+                branch = BranchInstr(stmt.cond, span=stmt.cond.span or stmt.span)
                 instrs.append(branch)
                 emit(stmt.then_body)
                 if stmt.else_body:
@@ -243,7 +249,7 @@ def flatten(program: Program) -> list[Instruction]:
                     branch.target = len(instrs)
             elif isinstance(stmt, While):
                 top = len(instrs)
-                branch = BranchInstr(stmt.cond)
+                branch = BranchInstr(stmt.cond, span=stmt.cond.span or stmt.span)
                 instrs.append(branch)
                 emit(stmt.body)
                 instrs.append(JumpInstr(top))
@@ -253,7 +259,9 @@ def flatten(program: Program) -> list[Instruction]:
                 emit(stmt.body)
                 # Fall through (exit) when the until-condition holds;
                 # otherwise jump back to the top of the body.
-                instrs.append(BranchInstr(stmt.cond, top))
+                instrs.append(
+                    BranchInstr(stmt.cond, top, span=stmt.cond.span or stmt.span)
+                )
             else:
                 raise InterpError(f"not a statement: {stmt!r}")
 

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.lang.ast_nodes import Span
 from repro.lang.errors import LexError
 
 KEYWORDS = frozenset(
@@ -34,6 +35,11 @@ class Token:
 
     def __repr__(self) -> str:
         return f"Token({self.kind}, {self.text!r} @{self.line}:{self.column})"
+
+    def span(self) -> Span:
+        """The source region covered by this token (single line by
+        construction -- no token spans a newline)."""
+        return Span(self.line, self.column, self.line, self.column + len(self.text))
 
 
 def tokenize(source: str) -> list[Token]:

@@ -38,6 +38,7 @@ from repro.lang.ast_nodes import (
     Program,
     Repeat,
     Skip,
+    Span,
     Stmt,
     Store,
     UnOp,
@@ -79,11 +80,19 @@ class _Parser:
         tok = self.peek()
         return tok.kind == kind and (text is None or tok.text == text)
 
+    def span_from(self, start: Token) -> Span:
+        """The source region from ``start`` through the last consumed token."""
+        end = self.tokens[self.pos - 1] if self.pos > 0 else start
+        return Span.cover(start.span(), end.span())  # type: ignore[return-value]
+
     # -- statements --------------------------------------------------------
 
     def parse_program(self) -> Program:
         body = self.parse_stmts_until_eof()
-        return Program(body)
+        program = Program(body)
+        if body:
+            program.span = Span.cover(*(stmt.span for stmt in body))
+        return program
 
     def parse_stmts_until_eof(self) -> list[Stmt]:
         stmts: list[Stmt] = []
@@ -103,6 +112,12 @@ class _Parser:
         return stmts
 
     def parse_stmt(self) -> Stmt:
+        start = self.peek()
+        stmt = self._parse_stmt_body()
+        stmt.span = self.span_from(start)
+        return stmt
+
+    def _parse_stmt_body(self) -> Stmt:
         tok = self.peek()
         if tok.kind == "keyword":
             if tok.text == "if":
@@ -192,14 +207,16 @@ class _Parser:
         left = self.parse_and()
         while self.at("op", "||"):
             self.advance()
-            left = BinOp("||", left, self.parse_and())
+            right = self.parse_and()
+            left = BinOp("||", left, right, span=Span.cover(left.span, right.span))
         return left
 
     def parse_and(self) -> Expr:
         left = self.parse_cmp()
         while self.at("op", "&&"):
             self.advance()
-            left = BinOp("&&", left, self.parse_cmp())
+            right = self.parse_cmp()
+            left = BinOp("&&", left, right, span=Span.cover(left.span, right.span))
         return left
 
     def parse_cmp(self) -> Expr:
@@ -207,42 +224,50 @@ class _Parser:
         for op in ("==", "!=", "<=", ">=", "<", ">"):
             if self.at("op", op):
                 self.advance()
-                return BinOp(op, left, self.parse_add())
+                right = self.parse_add()
+                return BinOp(op, left, right, span=Span.cover(left.span, right.span))
         return left
 
     def parse_add(self) -> Expr:
         left = self.parse_mul()
         while self.at("op", "+") or self.at("op", "-"):
             op = self.advance().text
-            left = BinOp(op, left, self.parse_mul())
+            right = self.parse_mul()
+            left = BinOp(op, left, right, span=Span.cover(left.span, right.span))
         return left
 
     def parse_mul(self) -> Expr:
         left = self.parse_unary()
         while self.at("op", "*") or self.at("op", "/") or self.at("op", "%"):
             op = self.advance().text
-            left = BinOp(op, left, self.parse_unary())
+            right = self.parse_unary()
+            left = BinOp(op, left, right, span=Span.cover(left.span, right.span))
         return left
 
     def parse_unary(self) -> Expr:
         if self.at("op", "-") or self.at("op", "!"):
-            op = self.advance().text
-            return UnOp(op, self.parse_unary())
+            op_tok = self.advance()
+            operand = self.parse_unary()
+            return UnOp(
+                op_tok.text, operand, span=Span.cover(op_tok.span(), operand.span)
+            )
         return self.parse_atom()
 
     def parse_atom(self) -> Expr:
         tok = self.peek()
         if tok.kind == "int":
             self.advance()
-            return IntLit(int(tok.text))
+            return IntLit(int(tok.text), span=tok.span())
         if tok.kind == "ident":
             self.advance()
             if self.at("op", "["):
                 self.advance()
                 index = self.parse_expr()
-                self.expect("op", "]")
-                return Index(tok.text, index)
-            return Var(tok.text)
+                close = self.expect("op", "]")
+                return Index(
+                    tok.text, index, span=Span.cover(tok.span(), close.span())
+                )
+            return Var(tok.text, span=tok.span())
         if self.at("op", "("):
             self.advance()
             expr = self.parse_expr()

@@ -1,0 +1,304 @@
+"""The verifier behind the zero-false-positive guarantee.
+
+Every ``definite`` finding must be *confirmed* by an independent witness
+-- an analysis that shares no code with the rule that produced it -- and
+must survive *dynamic refutation probes*: concrete interpreter runs that
+would expose a wrong claim.  A finding that cannot be confirmed is
+demoted to ``possible``; a finding a probe actively contradicts is
+additionally marked ``refuted`` (a measured false positive, the quantity
+``repro lintsweep`` drives to zero over the corpus).
+
+Witness table (rules produced by DFG-side analyses are checked by
+CFG-side ones and vice versa):
+
+========  ==========================================  =====================
+rule      static confirmation                         dynamic probe
+========  ==========================================  =====================
+R001      reference reaching definitions               no probe trace assigns
+          (generic solver): only the entry             the variable before the
+          definition reaches the use                   use executes
+R003      reference liveness: target dead on the       splicing the assignment
+          out-edge                                     out preserves outputs
+R004      Kildall vector constant propagation          no probe trace visits
+          marks the node dead                          the node
+R005      Kildall constant propagation computes        every probe takes the
+          the same constant predicate                  predicted arm
+R006      def-use closure from prints/branches         splicing the assignment
+          never demands the definition                 out preserves outputs
+R009      right-hand side is exactly the target        splicing the assignment
+                                                       out preserves outputs
+========  ==========================================  =====================
+
+Probes run the program under several entry environments (empty, all-1s,
+all-2s, alternating).  A probe that raises -- step-limit blowout on a
+non-terminating program, division by zero -- is *inconclusive* and
+simply skipped: it neither confirms nor refutes.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.cfg.interp import run_cfg
+from repro.dataflow.liveness import live_variables_reference
+from repro.dataflow.reaching import reaching_definitions_reference
+from repro.defuse.chains import build_def_use_chains
+from repro.lang.ast_nodes import Var
+from repro.lang.errors import InterpError
+from repro.lang.interp import ExecutionResult
+from repro.lint.model import Diagnostic, confirm, demote, sorted_diagnostics
+from repro.opt.cfg_constprop import cfg_constant_propagation
+from repro.util.counters import WorkCounter
+
+#: Step budget per probe run; corpus programs are small, so a blowout
+#: means non-termination, which the probes treat as inconclusive.
+DEFAULT_PROBE_STEPS = 20_000
+
+#: Magnitude cap on probe values: a generated loop that squares a
+#: variable each iteration produces bigints whose arithmetic dwarfs the
+#: step budget, so probes abort (inconclusively) once a value passes
+#: this bound.
+PROBE_VALUE_LIMIT = 10**18
+
+
+def probe_environments(graph: CFG) -> list[dict[str, int]]:
+    """Deterministic entry environments for the refutation probes."""
+    names = sorted(graph.variables())
+    return [
+        {},
+        {name: 1 for name in names},
+        {name: 2 for name in names},
+        {name: (7 if i % 2 else 0) for i, name in enumerate(names)},
+    ]
+
+
+class _Oracle:
+    """Lazily-built witnesses shared across one verification batch."""
+
+    def __init__(self, graph: CFG, max_steps: int) -> None:
+        self.graph = graph
+        self.max_steps = max_steps
+        self._cache: dict[str, object] = {}
+        self._splices: dict[int, bool] = {}
+
+    def _memo(self, key: str, build):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    # -- static witnesses --------------------------------------------------
+
+    def reaching(self):
+        return self._memo(
+            "reaching",
+            lambda: reaching_definitions_reference(self.graph, WorkCounter()),
+        )
+
+    def liveness(self):
+        return self._memo(
+            "liveness",
+            lambda: live_variables_reference(self.graph, counter=WorkCounter()),
+        )
+
+    def kildall(self):
+        return self._memo(
+            "kildall",
+            lambda: cfg_constant_propagation(self.graph, WorkCounter()),
+        )
+
+    def observable_defs(self) -> set[int]:
+        """Assignment nodes whose values can reach a print or a branch,
+        by transitive closure over def-use chains -- an independent,
+        deliberately coarser twin of the DFG mark phase."""
+
+        def build() -> set[int]:
+            chains = build_def_use_chains(self.graph, WorkCounter())
+            live: set[int] = set()
+            stack: list[tuple[int, str]] = []
+            for node in self.graph.nodes.values():
+                if node.kind in (NodeKind.PRINT, NodeKind.SWITCH):
+                    stack.extend((node.id, var) for var in node.uses())
+            while stack:
+                nid, var = stack.pop()
+                for def_node in chains.defs_reaching_use(nid, var):
+                    if def_node == self.graph.start or def_node in live:
+                        continue
+                    live.add(def_node)
+                    producer = self.graph.node(def_node)
+                    stack.extend(
+                        (def_node, used) for used in producer.uses()
+                    )
+            return live
+
+        return self._memo("observable", build)
+
+    # -- dynamic witnesses -------------------------------------------------
+
+    def probes(self) -> list[tuple[dict[str, int], ExecutionResult]]:
+        """Conclusive probe runs of the *original* graph."""
+
+        def build():
+            runs = []
+            for env in probe_environments(self.graph):
+                try:
+                    runs.append(
+                        (
+                            env,
+                            run_cfg(
+                                self.graph,
+                                env,
+                                self.max_steps,
+                                value_limit=PROBE_VALUE_LIMIT,
+                            ),
+                        )
+                    )
+                except InterpError:
+                    continue  # non-terminating or faulting: inconclusive
+            return runs
+
+        return self._memo("probes", build)
+
+    def splice_preserves_outputs(self, nid: int) -> bool:
+        """Differential execution with assignment ``nid`` spliced out of a
+        copy: True when every conclusive probe produces identical output.
+        Splicing removes evaluations, so it can only *mask* faults -- a
+        probe where the original faults was already inconclusive."""
+        if nid not in self._splices:
+            spliced = self.graph.copy()
+            in_edge = spliced.in_edge(nid)
+            out_edge = spliced.out_edge(nid)
+            spliced.add_edge(in_edge.src, out_edge.dst, label=in_edge.label)
+            spliced.remove_node(nid)
+            ok = True
+            for env, baseline in self.probes():
+                try:
+                    alt = run_cfg(
+                        spliced,
+                        env,
+                        self.max_steps,
+                        value_limit=PROBE_VALUE_LIMIT,
+                    )
+                except InterpError:
+                    ok = False
+                    break
+                if alt.outputs != baseline.outputs:
+                    ok = False
+                    break
+            self._splices[nid] = ok
+        return self._splices[nid]
+
+
+def _defs_of_var_reaching(oracle: _Oracle, nid: int, var: str) -> set[int]:
+    reach = oracle.reaching()
+    found: set[int] = set()
+    for edge in oracle.graph.in_edges(nid):
+        for def_var, def_node in reach[edge.id]:
+            if def_var == var:
+                found.add(def_node)
+    return found
+
+
+def _check_use_before_def(oracle: _Oracle, diag: Diagnostic):
+    assert diag.var is not None
+    defs = _defs_of_var_reaching(oracle, diag.node, diag.var)
+    confirmed = defs == {oracle.graph.start}
+    refuted = False
+    for _env, result in oracle.probes():
+        if diag.node not in result.trace:
+            continue
+        first_use = result.trace.index(diag.node)
+        for visited in result.trace[:first_use]:
+            node = oracle.graph.node(visited)
+            if node.kind is NodeKind.ASSIGN and node.target == diag.var:
+                refuted = True
+                break
+    return confirmed, refuted
+
+
+def _check_dead_store(oracle: _Oracle, diag: Diagnostic):
+    node = oracle.graph.node(diag.node)
+    out_edge = oracle.graph.out_edge(diag.node)
+    confirmed = node.target not in oracle.liveness()[out_edge.id]
+    refuted = confirmed and not oracle.splice_preserves_outputs(diag.node)
+    return confirmed and not refuted, refuted
+
+
+def _check_unreachable(oracle: _Oracle, diag: Diagnostic):
+    confirmed = diag.node in oracle.kildall().dead_nodes
+    refuted = any(
+        diag.node in result.trace for _env, result in oracle.probes()
+    )
+    return confirmed, refuted
+
+
+def _check_constant_branch(oracle: _Oracle, diag: Diagnostic):
+    data = dict(diag.data)
+    value, arm = data.get("value"), data.get("arm")
+    confirmed = oracle.kildall().constant_rhs().get(diag.node) == value
+    refuted = False
+    if arm in ("T", "F"):
+        predicted = oracle.graph.switch_edge(diag.node, arm).dst
+        for _env, result in oracle.probes():
+            trace = result.trace
+            for i, visited in enumerate(trace[:-1]):
+                if visited == diag.node and trace[i + 1] != predicted:
+                    refuted = True
+    return confirmed, refuted
+
+
+def _check_dead_code(oracle: _Oracle, diag: Diagnostic):
+    confirmed = diag.node not in oracle.observable_defs()
+    refuted = confirmed and not oracle.splice_preserves_outputs(diag.node)
+    return confirmed and not refuted, refuted
+
+
+def _check_self_assign(oracle: _Oracle, diag: Diagnostic):
+    node = oracle.graph.node(diag.node)
+    confirmed = (
+        node.kind is NodeKind.ASSIGN
+        and diag.var is not None
+        and node.expr == Var(diag.var)
+        and node.target == diag.var
+    )
+    refuted = confirmed and not oracle.splice_preserves_outputs(diag.node)
+    return confirmed and not refuted, refuted
+
+
+_CHECKERS = {
+    "R001": _check_use_before_def,
+    "R003": _check_dead_store,
+    "R004": _check_unreachable,
+    "R005": _check_constant_branch,
+    "R006": _check_dead_code,
+    "R009": _check_self_assign,
+}
+
+
+def verify_diagnostics(
+    graph: CFG,
+    diagnostics,
+    max_steps: int = DEFAULT_PROBE_STEPS,
+) -> list[Diagnostic]:
+    """Confirm or demote every ``definite`` finding.
+
+    Returns a new sorted list: confirmed findings carry
+    ``verified=True``; unconfirmed ones are demoted to ``possible``
+    (``demoted=True``, plus ``refuted=True`` when a probe actively
+    contradicted the claim).  Non-definite findings pass through
+    untouched.
+    """
+    oracle = _Oracle(graph, max_steps)
+    out: list[Diagnostic] = []
+    for diag in diagnostics:
+        if diag.severity != "definite":
+            out.append(diag)
+            continue
+        checker = _CHECKERS.get(diag.rule)
+        if checker is None:
+            out.append(demote(diag))
+            continue
+        confirmed, refuted = checker(oracle, diag)
+        if confirmed and not refuted:
+            out.append(confirm(diag))
+        else:
+            out.append(demote(diag, refuted=refuted))
+    return sorted_diagnostics(out)

@@ -1,0 +1,188 @@
+"""Lint output formats: text, ``repro.lint/1`` JSON, SARIF 2.1.0, and
+the baseline suppression file.
+
+All payloads are deterministic: diagnostics arrive pre-sorted, every
+derived collection is sorted before emission, and no timing or
+environment-dependent field is included, so serialized output is
+byte-identical across runs and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.engine import LintResult
+from repro.lint.model import RULES, SARIF_LEVELS, Diagnostic
+
+#: Schema tags, alongside repro.bench/1, repro.incident/1, repro.profile/1.
+LINT_SCHEMA = "repro.lint/1"
+BASELINE_SCHEMA = "repro.lintbaseline/1"
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _position(diag: Diagnostic) -> str:
+    if diag.span is None:
+        return "?:?"
+    return f"{diag.span.line}:{diag.span.column}"
+
+
+def render_text(path: str, diagnostics: list[Diagnostic]) -> str:
+    """One line per finding, compiler-style, plus related spans and the
+    fix hint indented below."""
+    lines = []
+    for diag in diagnostics:
+        tags = []
+        if diag.verified:
+            tags.append("verified")
+        if diag.demoted:
+            tags.append("refuted" if diag.refuted else "unconfirmed")
+        suffix = f" ({', '.join(tags)})" if tags else ""
+        lines.append(
+            f"{path}:{_position(diag)}: {diag.severity} {diag.rule} "
+            f"[{diag.name}] {diag.message}{suffix}"
+        )
+        for note, span in diag.related:
+            where = f"{span.line}:{span.column}" if span else "?:?"
+            lines.append(f"  {path}:{where}: note: {note}")
+        if diag.fix_hint:
+            lines.append(f"  fix: {diag.fix_hint}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def lint_payload(
+    path: str, result: LintResult, suppressed: int = 0
+) -> dict:
+    """The ``repro.lint/1`` document."""
+    fired = sorted({d.rule for d in result.diagnostics})
+    return {
+        "schema": LINT_SCHEMA,
+        "file": path,
+        "verified": result.verified,
+        "summary": result.summary(),
+        "suppressed": suppressed,
+        "diagnostics": [d.as_dict() for d in result.diagnostics],
+        "rules": {
+            code: {
+                "name": RULES[code].name,
+                "severity": RULES[code].severity,
+                "summary": RULES[code].summary,
+            }
+            for code in fired
+        },
+    }
+
+
+def _sarif_region(span) -> dict:
+    return {
+        "startLine": span.line,
+        "startColumn": span.column,
+        "endLine": span.end_line,
+        "endColumn": span.end_column,
+    }
+
+
+def _sarif_location(path: str, span) -> dict:
+    physical: dict = {"artifactLocation": {"uri": path}}
+    if span is not None:
+        physical["region"] = _sarif_region(span)
+    return {"physicalLocation": physical}
+
+
+def sarif_payload(path: str, diagnostics: list[Diagnostic]) -> dict:
+    """A SARIF 2.1.0 log with the full rule catalog as tool metadata."""
+    codes = sorted(RULES)
+    rule_index = {code: i for i, code in enumerate(codes)}
+    results = []
+    for diag in diagnostics:
+        properties: dict = {"fingerprint": diag.fingerprint()}
+        if diag.verified is not None:
+            properties["verified"] = diag.verified
+        if diag.demoted:
+            properties["demoted"] = True
+        if diag.refuted:
+            properties["refuted"] = True
+        if diag.data:
+            properties["data"] = {key: value for key, value in diag.data}
+        result = {
+            "ruleId": diag.rule,
+            "ruleIndex": rule_index[diag.rule],
+            "level": SARIF_LEVELS[diag.severity],
+            "message": {"text": diag.message},
+            "locations": [_sarif_location(path, diag.span)],
+            "partialFingerprints": {"reproLint/v1": diag.fingerprint()},
+            "properties": properties,
+        }
+        if diag.related:
+            result["relatedLocations"] = [
+                {
+                    **_sarif_location(path, span),
+                    "message": {"text": note},
+                }
+                for note, span in diag.related
+            ]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": [
+                            {
+                                "id": code,
+                                "name": RULES[code].name,
+                                "shortDescription": {
+                                    "text": RULES[code].summary
+                                },
+                                "fullDescription": {
+                                    "text": RULES[code].analysis
+                                },
+                                "help": {"text": RULES[code].fix_hint},
+                                "defaultConfiguration": {
+                                    "level": SARIF_LEVELS[
+                                        RULES[code].severity
+                                    ]
+                                },
+                            }
+                            for code in codes
+                        ],
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+
+
+def baseline_payload(diagnostics: Iterable[Diagnostic]) -> dict:
+    """A suppression file accepting every current finding."""
+    return {
+        "schema": BASELINE_SCHEMA,
+        "suppressions": sorted({d.fingerprint() for d in diagnostics}),
+    }
+
+
+def baseline_fingerprints(payload: dict) -> frozenset[str]:
+    """The suppressed fingerprints of a loaded baseline document."""
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"not a {BASELINE_SCHEMA} document: "
+            f"schema={payload.get('schema')!r}"
+        )
+    return frozenset(payload.get("suppressions", ()))
+
+
+def filter_baseline(
+    diagnostics: list[Diagnostic], suppressions: frozenset[str]
+) -> tuple[list[Diagnostic], int]:
+    """Drop suppressed findings; returns (kept, suppressed_count)."""
+    kept = [d for d in diagnostics if d.fingerprint() not in suppressions]
+    return kept, len(diagnostics) - len(kept)

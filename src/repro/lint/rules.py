@@ -1,0 +1,469 @@
+"""The lint rules, each a pipeline pass over the shared analyses.
+
+Every rule body is a pure function of the graph and its declared
+dependencies, so the :class:`~repro.pipeline.manager.AnalysisManager`
+caches rule results exactly like any analysis: re-linting an unchanged
+graph is all cache hits, and a graph mutation invalidates precisely the
+rules whose inputs changed.
+
+Rules are registered on a *clone* of the default registry
+(:func:`lint_registry`): the default pass list is part of the profiling
+and chaos surface (pass counts appear in goldens and sweep payloads), so
+lint must extend it without mutating it.
+
+Determinism: every iteration below runs over sorted node ids, sorted
+variable names, or tree-ordered subexpressions -- never over bare
+set/dict iteration -- and spans are always taken from the node's own
+expression tree, so output is byte-identical across ``PYTHONHASHSEED``
+values.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import CFG, Node, NodeKind
+from repro.core.dce import dead_assignments
+from repro.core.dfg import CTRL_VAR, PortKind
+from repro.dataflow.anticipatable import anticipatable_expressions
+from repro.graphs.loops import natural_loops
+from repro.lang.ast_nodes import (
+    Expr,
+    Span,
+    Var,
+    expr_vars,
+    is_trivial,
+    subexpressions,
+)
+from repro.lang.pretty import pretty_expr
+from repro.lint.model import Diagnostic, make_diagnostic, sorted_diagnostics
+from repro.pipeline.manager import PassRegistry
+from repro.pipeline.passes import default_registry
+
+#: Pass name of each rule, in catalog order.
+RULE_PASSES = {
+    "R001": "lint-use-before-def",
+    "R002": "lint-maybe-uninit",
+    "R003": "lint-dead-store",
+    "R004": "lint-unreachable",
+    "R005": "lint-constant-branch",
+    "R006": "lint-dead-code",
+    "R007": "lint-redundant-expr",
+    "R008": "lint-loop-invariant",
+    "R009": "lint-self-assign",
+    "R010": "lint-copy-chain",
+}
+
+#: The aggregate pass: every rule's findings, in presentation order.
+LINT_PASS = "lint"
+
+
+def _var_span(node: Node, var: str) -> Span | None:
+    """The span of the first occurrence of ``var`` in the node's
+    expression (tree order), falling back to the statement span.  Always
+    reads the node's own tree -- never a set member -- so the chosen span
+    cannot depend on set iteration order."""
+    if node.expr is not None:
+        for sub in subexpressions(node.expr):
+            if isinstance(sub, Var) and sub.name == var and sub.span is not None:
+                return sub.span
+    return node.span
+
+
+def _statement_nodes(graph: CFG) -> list[Node]:
+    """Real statements in id order: ASSIGN/PRINT/SWITCH nodes.  Synthetic
+    nodes the normalizer introduced (MERGE, NOP, and the span-less
+    loop-exit switches) never host findings."""
+    return [
+        graph.node(nid)
+        for nid in sorted(graph.nodes)
+        if graph.node(nid).kind
+        in (NodeKind.ASSIGN, NodeKind.PRINT, NodeKind.SWITCH)
+    ]
+
+
+# -- rule bodies -------------------------------------------------------------
+
+
+def rule_use_before_def(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R001: every definition reaching the use is the entry value."""
+    chains = deps["defuse"]
+    unreachable = deps["constprop"].dead_nodes
+    found = []
+    for node in _statement_nodes(graph):
+        if node.id in unreachable:
+            continue  # R004's finding; a use that never runs is not a read
+        counter.tick("lint_nodes_scanned")
+        for var in sorted(node.uses()):
+            defs = chains.defs_reaching_use(node.id, var)
+            if defs and all(d == graph.start for d in defs):
+                found.append(
+                    make_diagnostic(
+                        "R001",
+                        _var_span(node, var),
+                        f"'{var}' is read but no assignment ever reaches "
+                        f"this use",
+                        node=node.id,
+                        var=var,
+                    )
+                )
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_maybe_uninit(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R002: the entry value is one of several definitions reaching the
+    use -- uninitialized on some path, assigned on others."""
+    chains = deps["defuse"]
+    unreachable = deps["constprop"].dead_nodes
+    found = []
+    for node in _statement_nodes(graph):
+        if node.id in unreachable:
+            continue
+        counter.tick("lint_nodes_scanned")
+        for var in sorted(node.uses()):
+            defs = chains.defs_reaching_use(node.id, var)
+            real = sorted(d for d in defs if d != graph.start)
+            if real and len(real) < len(defs):
+                related = tuple(
+                    ("assigned here", graph.node(d).span) for d in real
+                )
+                found.append(
+                    make_diagnostic(
+                        "R002",
+                        _var_span(node, var),
+                        f"'{var}' may be uninitialized: assigned on some "
+                        f"paths to this use, not all",
+                        node=node.id,
+                        var=var,
+                        related=related,
+                    )
+                )
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_dead_store(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R003: the assigned variable is dead on the assignment's out-edge."""
+    live = deps["liveness"]
+    unreachable = deps["constprop"].dead_nodes
+    found = []
+    for node in _statement_nodes(graph):
+        if node.kind is not NodeKind.ASSIGN or node.id in unreachable:
+            continue
+        counter.tick("lint_nodes_scanned")
+        assert node.target is not None
+        if node.target not in live[graph.out_edge(node.id).id]:
+            found.append(
+                make_diagnostic(
+                    "R003",
+                    node.span,
+                    f"value assigned to '{node.target}' is never read",
+                    node=node.id,
+                    var=node.target,
+                )
+            )
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_unreachable(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R004: DFG constant propagation left every input dependence BOTTOM
+    -- the statement executes on no possible path."""
+    found = []
+    for node in _statement_nodes(graph):
+        counter.tick("lint_nodes_scanned")
+        if node.id in deps["constprop"].dead_nodes and node.span is not None:
+            found.append(
+                make_diagnostic(
+                    "R004",
+                    node.span,
+                    "statement can never execute",
+                    node=node.id,
+                )
+            )
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_constant_branch(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R005: the branch predicate is a compile-time constant, so one arm
+    always runs.  Span-less switches are the normalizer's synthetic loop
+    exits, not source branches -- skipped."""
+    constants = deps["constprop"]
+    constant_rhs = constants.constant_rhs()
+    found = []
+    for node in _statement_nodes(graph):
+        if node.kind is not NodeKind.SWITCH or node.span is None:
+            continue
+        counter.tick("lint_nodes_scanned")
+        if node.id in constants.dead_nodes or node.id not in constant_rhs:
+            continue
+        value = constant_rhs[node.id]
+        arm = "true" if value else "false"
+        found.append(
+            make_diagnostic(
+                "R005",
+                node.span,
+                f"branch condition is always {value}: the {arm} arm "
+                f"always runs",
+                node=node.id,
+                data={"value": value, "arm": "T" if value else "F"},
+            )
+        )
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_dead_code(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R006: the assignment's value never reaches a print or a branch
+    (ADCE mark-sweep) even though its target is live -- the cyclic dead
+    chains liveness-based R003 cannot see."""
+    live = deps["liveness"]
+    unreachable = deps["constprop"].dead_nodes
+    found = []
+    for nid in dead_assignments(graph, deps["dfg"], counter):
+        node = graph.node(nid)
+        if nid in unreachable:
+            continue  # R004 already covers statements that never run
+        assert node.target is not None
+        if node.target not in live[graph.out_edge(nid).id]:
+            continue  # plain dead store; R003's finding
+        found.append(
+            make_diagnostic(
+                "R006",
+                node.span,
+                f"'{node.target}' is only ever used to compute itself; "
+                f"no output depends on it",
+                node=nid,
+                var=node.target,
+            )
+        )
+    return tuple(sorted_diagnostics(found))
+
+
+def _flag_redundant(node, eid, av, pav, ant, found, counter) -> None:
+    """Recurse outermost-first; a flagged expression's subexpressions are
+    covered by its fix, so recursion stops at a finding."""
+
+    def visit(sub: Expr) -> None:
+        if is_trivial(sub):
+            return
+        counter.tick("lint_exprs_scanned")
+        text = pretty_expr(sub)
+        span = sub.span or node.span
+        if sub in av[eid]:
+            found.append(
+                make_diagnostic(
+                    "R007",
+                    span,
+                    f"'{text}' was already computed on every path to this "
+                    f"statement",
+                    node=node.id,
+                    var=text,
+                    data={"kind": "full"},
+                )
+            )
+            return
+        if sub in pav[eid] and sub in ant[eid]:
+            found.append(
+                make_diagnostic(
+                    "R007",
+                    span,
+                    f"'{text}' was already computed on some path to this "
+                    f"statement (PRE candidate)",
+                    node=node.id,
+                    var=text,
+                    data={"kind": "partial"},
+                )
+            )
+            return
+        for child in _direct_children(sub):
+            visit(child)
+
+    visit(node.expr)
+
+
+def _direct_children(expr: Expr) -> list[Expr]:
+    from repro.lang.ast_nodes import BinOp, Index, UnOp, Update
+
+    if isinstance(expr, UnOp):
+        return [expr.operand]
+    if isinstance(expr, BinOp):
+        return [expr.left, expr.right]
+    if isinstance(expr, Index):
+        return [expr.index]
+    if isinstance(expr, Update):
+        return [expr.index, expr.value]
+    return []
+
+
+def rule_redundant_expr(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R007: fully redundant (available on the in-edge) or partially
+    redundant (partially available and anticipatable: the PRE pair)."""
+    av, pav, ant = deps["available"], deps["pavailable"], deps["anticipatable"]
+    found: list[Diagnostic] = []
+    for node in _statement_nodes(graph):
+        if node.expr is None or len(graph.in_edges(node.id)) != 1:
+            continue
+        eid = graph.in_edge(node.id).id
+        _flag_redundant(node, eid, av, pav, ant, found, counter)
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_loop_invariant(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R008: a maximal non-trivial expression inside a loop none of whose
+    operands is defined in the loop body -- a hoist candidate."""
+    loops = natural_loops(graph)
+    found: list[Diagnostic] = []
+    reported: set[tuple[int, Expr]] = set()
+    for header in sorted(loops):
+        body = loops[header]
+        defined = frozenset().union(
+            *(graph.node(b).defs() for b in body)
+        )
+
+        def visit(node: Node, sub: Expr) -> None:
+            if is_trivial(sub):
+                return
+            counter.tick("lint_exprs_scanned")
+            if not (expr_vars(sub) & defined):
+                if (node.id, sub) not in reported:
+                    reported.add((node.id, sub))
+                    text = pretty_expr(sub)
+                    found.append(
+                        make_diagnostic(
+                            "R008",
+                            sub.span or node.span,
+                            f"'{text}' is loop-invariant: no operand "
+                            f"changes inside the loop",
+                            node=node.id,
+                            var=text,
+                        )
+                    )
+                return
+            for child in _direct_children(sub):
+                visit(node, child)
+
+        for nid in sorted(body):
+            node = graph.node(nid)
+            if node.expr is not None and node.span is not None:
+                visit(node, node.expr)
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_self_assign(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R009: ``x := x`` -- the right-hand side is exactly the target."""
+    unreachable = deps["constprop"].dead_nodes
+    found = []
+    for node in _statement_nodes(graph):
+        if node.kind is not NodeKind.ASSIGN or node.id in unreachable:
+            continue
+        counter.tick("lint_nodes_scanned")
+        if node.expr == Var(node.target):
+            found.append(
+                make_diagnostic(
+                    "R009",
+                    node.span,
+                    f"'{node.target}' is assigned to itself",
+                    node=node.id,
+                    var=node.target,
+                )
+            )
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_copy_chain(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R010: the use reads a copy whose original still has the same
+    dependence source here as at the copy -- copy propagation's exact
+    justification, read-only."""
+    dfg = deps["dfg"]
+    unreachable = deps["constprop"].dead_nodes
+    resolver = dfg.resolver
+
+    def elide(port):
+        while port.kind is PortKind.SWITCH:
+            port = dfg.switch_input(port)
+        return port
+
+    found = []
+    for nid, var in sorted(dfg.use_sources):
+        if var == CTRL_VAR or nid in unreachable:
+            continue
+        counter.tick("lint_uses_scanned")
+        source = elide(dfg.use_sources[(nid, var)])
+        if source.kind is not PortKind.DEF:
+            continue
+        copy_node = graph.node(source.node)
+        if not isinstance(copy_node.expr, Var):
+            continue
+        original = copy_node.expr.name
+        if original == var:
+            continue  # x := x is R009's finding
+        at_copy = elide(resolver.source_at_node(source.node, original))
+        at_use = elide(resolver.source_at_node(nid, original))
+        if at_copy != at_use:
+            continue
+        node = graph.node(nid)
+        found.append(
+            make_diagnostic(
+                "R010",
+                _var_span(node, var),
+                f"'{var}' is a copy of '{original}', which is unchanged "
+                f"since the copy: read '{original}' directly",
+                node=nid,
+                var=var,
+                related=(("copied here", copy_node.span),),
+            )
+        )
+    return tuple(sorted_diagnostics(found))
+
+
+# -- registry ----------------------------------------------------------------
+
+_RULE_BODIES = {
+    "R001": (rule_use_before_def, ("defuse", "constprop")),
+    "R002": (rule_maybe_uninit, ("defuse", "constprop")),
+    "R003": (rule_dead_store, ("cfg", "liveness", "constprop")),
+    "R004": (rule_unreachable, ("constprop",)),
+    "R005": (rule_constant_branch, ("constprop",)),
+    "R006": (rule_dead_code, ("dfg", "liveness", "constprop")),
+    "R007": (rule_redundant_expr, ("available", "pavailable", "anticipatable")),
+    "R008": (rule_loop_invariant, ("cfg", "csr")),
+    "R009": (rule_self_assign, ("cfg", "constprop")),
+    "R010": (rule_copy_chain, ("dfg", "constprop")),
+}
+
+_LINT_REGISTRY: PassRegistry | None = None
+
+
+def lint_registry() -> PassRegistry:
+    """The default registry extended with the ANT pass and every lint
+    rule (built once, shared -- registries are immutable after build)."""
+    global _LINT_REGISTRY
+    if _LINT_REGISTRY is not None:
+        return _LINT_REGISTRY
+    registry = default_registry().clone()
+
+    @registry.register(
+        "anticipatable", deps=("cfg", "csr"),
+        description="totally anticipatable expressions per edge (ANT)",
+    )
+    def _anticipatable(graph, deps, counter):
+        return anticipatable_expressions(graph, counter, csr=deps["csr"])
+
+    for code in sorted(_RULE_BODIES):
+        body, rule_deps = _RULE_BODIES[code]
+        registry.register(
+            RULE_PASSES[code], deps=rule_deps,
+            description=f"lint rule {code}",
+        )(body)
+
+    rule_pass_names = tuple(RULE_PASSES[code] for code in sorted(RULE_PASSES))
+
+    @registry.register(
+        LINT_PASS, deps=rule_pass_names,
+        description="all lint findings, in presentation order",
+    )
+    def _lint(graph, deps, counter):
+        merged: list[Diagnostic] = []
+        for name in rule_pass_names:
+            merged.extend(deps[name])
+        counter.tick("lint_findings", len(merged))
+        return tuple(sorted_diagnostics(merged))
+
+    _LINT_REGISTRY = registry
+    return registry

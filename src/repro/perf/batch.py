@@ -69,6 +69,7 @@ from repro.workloads.generators import (
     random_jump_program,
     random_program,
 )
+from repro.workloads.lint_defects import lint_defect_program
 from repro.workloads.ladders import (
     diamond_chain,
     loop_nest,
@@ -314,6 +315,7 @@ _FAMILIES: dict[str, Callable] = {
     "jump": random_jump_program,
     "loopnest": loop_nest,
     "sparse": sparse_use_program,
+    "lintdefects": lint_defect_program,
     "__raise__": _fault_raise,
     "__hang__": _fault_hang,
     "__crash__": _fault_crash,
@@ -380,12 +382,41 @@ def equivalence_suite(smoke: bool = False) -> list[dict]:
     return suite
 
 
+def lint_suite(smoke: bool = False) -> list[dict]:
+    """The lint batch battery: planted-defect programs plus a slice of
+    the equivalence-corpus families, all run in lint mode (rules plus
+    oracle verification) under the same supervised-pool driver."""
+    planted, randoms = (4, 4) if smoke else (16, 12)
+    suite = [
+        {"label": f"lintdefects-{seed}", "family": "lintdefects",
+         "args": [seed], "lint": True}
+        for seed in range(planted)
+    ]
+    suite += [
+        {"label": f"lint-random-{seed}", "family": "random",
+         "args": [seed, 18, 4], "lint": True}
+        for seed in range(randoms)
+    ]
+    suite += [
+        {"label": "lint-diamond-24", "family": "diamond", "args": [24],
+         "lint": True},
+        {"label": "lint-loopnest-2x2", "family": "loopnest", "args": [2, 2],
+         "lint": True},
+    ]
+    return suite
+
+
 def _analyze_one(spec: dict) -> dict:
     """Build and analyze one program; never raises.
 
     A failing spec produces a per-spec error row (``label`` + structured
     ``error`` record) so one poison program can no longer take down its
     whole chunk, let alone the run.
+
+    Specs with ``"lint": True`` run the diagnostics engine (rule passes
+    plus oracle verification) instead of the plain analysis menu; the
+    program is round-tripped through the pretty-printer so diagnostics
+    carry genuine source spans.
     """
     from repro.pipeline.manager import AnalysisManager
     from repro.robust.errors import error_record
@@ -393,6 +424,42 @@ def _analyze_one(spec: dict) -> dict:
 
     try:
         program = resolve_family(spec["family"])(*spec["args"])
+        if spec.get("lint"):
+            from repro.lang.parser import parse_program
+            from repro.lang.pretty import pretty_program
+            from repro.lint.engine import LintEngine
+            from repro.lint.rules import lint_registry
+
+            program = parse_program(pretty_program(program))
+            graph = build_cfg(program)
+            manager = AnalysisManager(
+                graph, registry=lint_registry(), metrics=Metrics()
+            )
+            t0 = time.perf_counter()
+            result = LintEngine(graph, manager=manager).run(verify=True)
+            wall_ms = (time.perf_counter() - t0) * 1000.0
+            summary = result.summary()
+            return {
+                "label": spec["label"],
+                "nodes": graph.num_nodes,
+                "edges": graph.num_edges,
+                "wall_ms": round(wall_ms, 3),
+                "lint": {
+                    "total": summary["total"],
+                    "by_severity": summary["by_severity"],
+                    "verified": summary["verified"],
+                    "demoted": summary["demoted"],
+                    "refuted": summary["refuted"],
+                    "unverified_definite": result.unverified_definite(),
+                },
+                "passes": {
+                    row["pass"]: {
+                        "work": row["work_total"],
+                        "wall_ms": row["wall_ms"],
+                    }
+                    for row in manager.report()
+                },
+            }
         graph = build_cfg(program)
         manager = AnalysisManager(graph, metrics=Metrics())
         t0 = time.perf_counter()
@@ -542,6 +609,8 @@ def run_batch(
             path = os.path.join(quarantine_dir, f"{row['label']}.json")
             write_payload(record, path)
 
+    lint_rows = [row for row in ok_rows if "lint" in row]
+
     payload = {
         "programs": len(rows),
         "workers": workers,
@@ -551,6 +620,17 @@ def run_batch(
         "rows": rows,
         "passes": passes,
     }
+    if lint_rows:
+        payload["lint"] = {
+            "programs": len(lint_rows),
+            "findings": sum(r["lint"]["total"] for r in lint_rows),
+            "verified": sum(r["lint"]["verified"] for r in lint_rows),
+            "demoted": sum(r["lint"]["demoted"] for r in lint_rows),
+            "refuted": sum(r["lint"]["refuted"] for r in lint_rows),
+            "unverified_definite": sum(
+                r["lint"]["unverified_definite"] for r in lint_rows
+            ),
+        }
     if error_rows:
         payload["errors"] = len(error_rows)
         payload["quarantined"] = len(quarantined)

@@ -91,6 +91,14 @@ class PassRegistry:
 
         return decorate
 
+    def clone(self) -> "PassRegistry":
+        """An independent registry with the same specs, for callers that
+        want to register extra passes without mutating the shared default
+        registry (whose pass list is part of the profiling/chaos surface)."""
+        dup = PassRegistry()
+        dup._specs = dict(self._specs)
+        return dup
+
     def spec(self, name: str) -> PassSpec:
         try:
             return self._specs[name]

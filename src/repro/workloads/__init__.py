@@ -17,6 +17,12 @@ from repro.workloads.generators import (
     random_expr,
     random_program,
 )
+from repro.workloads.lint_defects import (
+    PLANTED_RULES,
+    PlantedDefect,
+    lint_defect_case,
+    lint_defect_program,
+)
 from repro.workloads.ladders import (
     defuse_worst_case,
     diamond_chain,
@@ -35,6 +41,8 @@ from repro.workloads.suites import (
 )
 
 __all__ = [
+    "PLANTED_RULES",
+    "PlantedDefect",
     "array_program",
     "defuse_worst_case",
     "diamond_chain",
@@ -46,6 +54,8 @@ __all__ = [
     "figure7",
     "inline_expansion_program",
     "irreducible_program",
+    "lint_defect_case",
+    "lint_defect_program",
     "loop_nest",
     "random_expr",
     "random_program",

@@ -1,0 +1,202 @@
+"""Seeded programs with planted, ground-truth-labelled defects.
+
+Each case is generated as *source text*, line by line, so every planted
+defect carries the exact 1-based line the linter must point at --
+``repro lintsweep`` parses the text back and scores precision and recall
+of the diagnostics against these labels.
+
+The planted patterns cover every definite rule plus the possible-paths
+one (R002); the info rules (R007/R008/R010) fire opportunistically on
+any program and are not scored.  Benign machinery is built to be
+analysis-opaque: a mixing loop makes the filler variables non-constant
+(so planted constant branches are the *only* constant branches), filler
+writes always read their own previous value (so planted dead stores are
+the only dead stores), and an epilogue prints every filler variable (so
+planted dead chains are the only unobservable code).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+
+#: The rule codes the generator plants (and the sweep scores).
+PLANTED_RULES = ("R001", "R002", "R003", "R004", "R005", "R006", "R009")
+
+
+@dataclass(frozen=True)
+class PlantedDefect:
+    """Ground truth for one planted finding: the rule that must fire and
+    the 1-based source line its primary span must sit on."""
+
+    rule: str
+    line: int
+    var: str | None = None
+
+
+class _Case:
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.lines: list[str] = []
+        self.labels: list[PlantedDefect] = []
+        self.fresh = 0
+
+    def emit(self, text: str) -> int:
+        """Append a source line; returns its 1-based line number."""
+        self.lines.append(text)
+        return len(self.lines)
+
+    def plant(self, rule: str, line: int, var: str | None = None) -> None:
+        self.labels.append(PlantedDefect(rule, line, var))
+
+    def name(self, prefix: str) -> str:
+        self.fresh += 1
+        return f"{prefix}{self.fresh}"
+
+    def mixed(self) -> str:
+        """A filler variable: initialized, non-constant, printed at the
+        end -- safe to read anywhere without tripping any rule."""
+        return self.rng.choice(("s0", "s1"))
+
+
+def _prologue(case: _Case) -> None:
+    # The mixing loop launders the constants out of s0/s1: at the loop
+    # exit both are merges of several values, so no downstream guard on
+    # them is a constant branch.
+    rng = case.rng
+    case.emit(f"n0 := {rng.randint(5, 9)};")
+    case.emit(f"s0 := {rng.randint(1, 9)};")
+    case.emit(f"s1 := {rng.randint(1, 9)};")
+    case.emit("while (n0 > 0) {")
+    case.emit("    s0 := s0 + n0;")
+    case.emit("    s1 := s1 + s0;")
+    case.emit("    n0 := n0 - 1;")
+    case.emit("}")
+
+
+def _filler(case: _Case) -> None:
+    # Self-reading updates: the previous value is always consumed, so
+    # filler never creates a dead store; the epilogue print keeps the
+    # last write live.
+    var = case.mixed()
+    op = case.rng.choice(("+", "-", "*"))
+    case.emit(f"{var} := {var} {op} {case.rng.randint(1, 5)};")
+
+
+def _epilogue(case: _Case) -> None:
+    case.emit("print s0;")
+    case.emit("print s1;")
+
+
+def _plant_use_before_def(case: _Case) -> None:
+    var = case.name("u")
+    line = case.emit(f"print {var} + {case.rng.randint(1, 5)};")
+    case.plant("R001", line, var)
+
+
+def _plant_maybe_uninit(case: _Case) -> None:
+    var = case.name("c")
+    case.emit(f"if ({case.mixed()} > {case.rng.randint(10, 30)}) {{")
+    case.emit(f"    {var} := {case.mixed()} + {case.rng.randint(1, 5)};")
+    case.emit("}")
+    line = case.emit(f"print {var};")
+    case.plant("R002", line, var)
+
+
+def _plant_dead_store(case: _Case) -> None:
+    var = case.name("d")
+    line = case.emit(
+        f"{var} := {case.mixed()} * {case.rng.randint(2, 5)};"
+    )
+    case.emit(f"{var} := {case.mixed()} + {case.rng.randint(1, 5)};")
+    case.emit(f"print {var};")
+    case.plant("R003", line, var)
+
+
+def _plant_never_branch(case: _Case) -> None:
+    var = case.name("e")
+    branch = case.emit("if (0) {")
+    body = case.emit(f"    {var} := {case.mixed()} + 1;")
+    case.emit("}")
+    case.plant("R005", branch)
+    case.plant("R004", body)
+
+
+def _plant_always_branch(case: _Case) -> None:
+    var = case.name("f")
+    branch = case.emit("if (1) {")
+    case.emit(f"    {var} := {case.mixed()} + {case.rng.randint(1, 5)};")
+    case.emit("} else {")
+    dead = case.emit(f"    {var} := {case.mixed()} - 1;")
+    case.emit("}")
+    case.emit(f"print {var};")
+    case.plant("R005", branch)
+    case.plant("R004", dead)
+
+
+def _plant_dead_chain(case: _Case) -> None:
+    # A cyclic dead chain: the counter feeds only itself, so liveness
+    # keeps it live around the loop but ADCE sees no observation.
+    var = case.name("k")
+    bound = case.name("t")
+    init = case.emit(f"{var} := 0;")
+    case.emit(f"{bound} := {case.rng.randint(2, 4)};")
+    case.emit(f"while ({bound} > 0) {{")
+    step = case.emit(f"    {var} := {var} + 1;")
+    case.emit(f"    {bound} := {bound} - 1;")
+    case.emit("}")
+    case.plant("R006", init, var)
+    case.plant("R006", step, var)
+
+
+def _plant_self_assign(case: _Case) -> None:
+    var = case.name("g")
+    case.emit(f"{var} := {case.mixed()} + {case.rng.randint(1, 5)};")
+    line = case.emit(f"{var} := {var};")
+    case.emit(f"print {var};")
+    case.plant("R009", line, var)
+
+
+_TEMPLATES = (
+    _plant_use_before_def,
+    _plant_maybe_uninit,
+    _plant_dead_store,
+    _plant_never_branch,
+    _plant_always_branch,
+    _plant_dead_chain,
+    _plant_self_assign,
+)
+
+
+def lint_defect_case(
+    seed: int, copies: int = 1
+) -> tuple[str, tuple[PlantedDefect, ...]]:
+    """One planted-defect program: ``(source_text, labels)``.
+
+    ``copies`` repeats the whole template set that many times (fresh
+    variables each round), scaling the program without changing the
+    defect mix.
+    """
+    case = _Case(seed)
+    _prologue(case)
+    for _ in range(max(1, copies)):
+        templates = list(_TEMPLATES)
+        case.rng.shuffle(templates)
+        for template in templates:
+            for _ in range(case.rng.randint(0, 2)):
+                _filler(case)
+            template(case)
+    _epilogue(case)
+    source = "\n".join(case.lines) + "\n"
+    return source, tuple(case.labels)
+
+
+def lint_defect_program(seed: int, copies: int = 1) -> Program:
+    """The parsed AST of :func:`lint_defect_case` -- the batch-family
+    entry point (spans come from the real parse, so diagnostics carry
+    genuine source positions)."""
+    source, _labels = lint_defect_case(seed, copies)
+    return parse_program(source)

@@ -1,0 +1,102 @@
+"""Satellite S3: coverage for the Graphviz renderer -- golden DOT
+output, custom labels/edge notes, and the ``node_attrs`` hook the lint
+``--dot`` annotation mode is built on.
+
+Regenerate the golden after an intentional rendering change::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_cfg_dot.py
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.dot import cfg_to_dot
+from repro.cfg.graph import NodeKind
+from repro.lang.parser import parse_program
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SOURCE = 'x := 1;\nif (x > 0) { y := x + 2; } else { y := 3; }\nprint y;\n'
+
+
+def graph():
+    return build_cfg(parse_program(SOURCE))
+
+
+def test_dot_matches_golden():
+    text = cfg_to_dot(graph())
+    path = GOLDEN_DIR / "cfg_sample.dot"
+    if os.environ.get("REGEN_GOLDEN"):
+        path.write_text(text)
+    assert text == path.read_text(), "cfg_sample.dot drifted"
+
+
+def test_dot_basic_shape():
+    g = graph()
+    text = cfg_to_dot(g)
+    assert text.startswith("digraph cfg {")
+    assert text.rstrip().endswith("}")
+    # One node line per CFG node, one edge line per CFG edge.
+    assert text.count("[label=") - text.count("->") == len(g.nodes) - sum(
+        1 for eid in g.edges
+        if not g.edge(eid).label  # unlabeled edges render bare
+    )
+    for nid in g.nodes:
+        assert f"n{nid} [" in text
+    # Statement labels come from the pretty-printer.
+    assert '"x := 1"' in text and '"print y"' in text
+    # Branch edges carry their T/F labels.
+    assert '[label="T"]' in text and '[label="F"]' in text
+
+
+def test_dot_shapes_by_kind():
+    g = graph()
+    text = cfg_to_dot(g)
+    switches = [n for n in g.nodes if g.node(n).kind is NodeKind.SWITCH]
+    assert switches
+    for nid in switches:
+        line = next(
+            ln for ln in text.splitlines() if ln.strip().startswith(f"n{nid} ")
+        )
+        assert "shape=diamond" in line
+
+
+def test_dot_custom_name_and_labels():
+    text = cfg_to_dot(
+        graph(), name="mygraph", node_label=lambda g, nid: f"<{nid}>"
+    )
+    assert text.startswith("digraph mygraph {")
+    assert '[label="<0>"' in text
+
+
+def test_dot_edge_notes():
+    g = graph()
+    eid = sorted(g.edges)[0]
+    text = cfg_to_dot(g, edge_notes={eid: "live: x, y"})
+    assert "live: x, y" in text
+
+
+def test_dot_node_attrs_append_inside_brackets():
+    g = graph()
+    nid = sorted(g.nodes)[2]
+    attr = 'style=filled, fillcolor="#f4cccc"'
+    text = cfg_to_dot(g, node_attrs={nid: attr})
+    line = next(
+        ln for ln in text.splitlines() if ln.strip().startswith(f"n{nid} ")
+    )
+    assert line.rstrip().endswith(f"{attr}];")
+    # Only the requested node is decorated.
+    assert text.count("fillcolor") == 1
+
+
+def test_dot_escapes_quotes_in_labels():
+    g = graph()
+    text = cfg_to_dot(g, node_label=lambda g, nid: 'say "hi"')
+    assert '\\"hi\\"' in text
+
+
+def test_dot_is_deterministic():
+    assert cfg_to_dot(graph()) == cfg_to_dot(graph())

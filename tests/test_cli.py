@@ -211,6 +211,44 @@ def test_batch_in_process(tmp_path, capsys):
     )
 
 
+def test_batch_lint_suite_smoke(tmp_path, capsys):
+    out = str(tmp_path / "lint_batch.json")
+    assert main(
+        ["batch", "--suite", "lint", "--smoke", "--workers", "0",
+         "--output", out]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "unverified definite" in err
+    batch = json.load(open(out))["batch"]
+    lint = batch["lint"]
+    assert lint["programs"] == batch["programs"] > 0
+    assert lint["findings"] > 0 and lint["verified"] > 0
+    # The gate the CI job relies on: nothing definite ships unverified.
+    assert lint["unverified_definite"] == 0
+    # Per-program rows carry their own lint summaries and pass metrics.
+    assert batch.get("errors", 0) == 0 and batch.get("quarantined", 0) == 0
+
+
+def test_batch_lint_suite_pool_matches_in_process(tmp_path, capsys):
+    """SupervisedPool must aggregate identical lint findings (and per-pass
+    work) to the in-process path; only wall times may differ."""
+    out0 = str(tmp_path / "l0.json")
+    out2 = str(tmp_path / "l2.json")
+    args = ["batch", "--suite", "lint", "--smoke"]
+    assert main(args + ["--workers", "0", "--output", out0]) == 0
+    assert main(args + ["--workers", "2", "--output", out2]) == 0
+    capsys.readouterr()
+    serial = json.load(open(out0))["batch"]
+    pooled = json.load(open(out2))["batch"]
+    assert pooled["workers"] == 2
+    assert pooled["lint"] == serial["lint"]
+    assert {k: v["work"] for k, v in pooled["passes"].items()} == (
+        {k: v["work"] for k, v in serial["passes"].items()}
+    )
+    # The lint registry's rule passes show up in the aggregated metrics.
+    assert "lint-dead-store" in pooled["passes"]
+
+
 def test_batch_spawn_pool_matches_in_process(tmp_path, capsys):
     """The multiprocessing path must aggregate the same per-pass work
     totals as the in-process path (wall times differ, work is exact)."""

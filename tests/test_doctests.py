@@ -12,6 +12,7 @@ import repro.lang.interp
 import repro.lang.lexer
 import repro.lang.parser
 import repro.lang.pretty
+import repro.lint.engine
 import repro.pipeline.manager
 import repro.ssa.destruct
 import repro.util.counters
@@ -25,6 +26,7 @@ MODULES = [
     repro.lang.lexer,
     repro.lang.parser,
     repro.lang.pretty,
+    repro.lint.engine,
     repro.pipeline.manager,
     repro.ssa.destruct,
     repro.util.counters,

@@ -71,3 +71,51 @@ def test_profile_json_identical_across_hash_seeds(tmp_path, subcommand) -> None:
     baseline = _profile_json(path, subcommand, "1")
     for seed in ("2", "42", "12345"):
         assert _profile_json(path, subcommand, seed) == baseline, seed
+
+
+# A program that fires many rules at once: spans, related spans, data
+# payloads and fingerprints all appear in the output, so any ordering
+# leak through a bare set/dict would show up as byte drift.
+LINT_PROGRAM = """\
+x := 1;
+x := 2;
+y := x;
+t := y + 1;
+y := y;
+zig := x + t;
+zag := x + t;
+if (0) {
+    dead := zig;
+}
+while (zag > 0) {
+  hoist := x * 2;
+  zag := zag - 1;
+}
+print t + y + zig + hoist + boom;
+"""
+
+
+def _lint_bytes(path: str, fmt: str, seed: str) -> bytes:
+    """Raw stdout of ``repro lint`` -- no scrubbing: lint payloads carry
+    no timing fields, so the bytes themselves must be identical."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", path, "--format", fmt],
+        capture_output=True,
+        env=env,
+        check=False,  # findings exist, so lint exits 1 by design
+    )
+    assert proc.returncode == 1, proc.stderr.decode()
+    assert proc.stdout
+    return proc.stdout
+
+
+@pytest.mark.parametrize("fmt", ["text", "json", "sarif"])
+def test_lint_output_bytes_identical_across_hash_seeds(tmp_path, fmt) -> None:
+    path = str(tmp_path / "prog.dfg")
+    Path(path).write_text(LINT_PROGRAM)
+    baseline = _lint_bytes(path, fmt, "1")
+    for seed in ("2", "42", "12345"):
+        assert _lint_bytes(path, fmt, seed) == baseline, seed

@@ -1,0 +1,96 @@
+"""The lint engine as a pipeline citizen: rule results are cached by the
+AnalysisManager, invalidation drops exactly the affected rules, and the
+lint registry never leaks into the shared default registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.lang.parser import parse_program
+from repro.lint.engine import LintEngine
+from repro.lint.rules import LINT_PASS, RULE_PASSES, lint_registry
+from repro.pipeline.manager import AnalysisManager
+from repro.pipeline.passes import default_registry
+
+SOURCE = "x := 1;\nx := 2;\ny := x;\nprint y;\n"
+
+
+@pytest.fixture
+def engine():
+    graph = build_cfg(parse_program(SOURCE))
+    return LintEngine(graph)
+
+
+def test_second_run_is_all_cache_hits(engine):
+    engine.run(verify=False)
+    stats = engine.manager.stats
+    assert stats[LINT_PASS].misses == 1 and stats[LINT_PASS].hits == 0
+    engine.run(verify=False)
+    assert stats[LINT_PASS].misses == 1 and stats[LINT_PASS].hits == 1
+    for name in RULE_PASSES.values():
+        assert stats[name].misses == 1, name
+
+
+def test_runs_on_shared_manager_reuse_analyses(engine):
+    # A caller that already analyzed the graph hands its manager in; the
+    # rule passes then hit the existing liveness/constprop/dfg entries.
+    manager = AnalysisManager(engine.graph, registry=lint_registry())
+    manager.get("liveness")
+    manager.get("constprop")
+    LintEngine(engine.graph, manager=manager).run(verify=False)
+    assert manager.stats["liveness"].hits >= 1
+    assert manager.stats["constprop"].hits >= 1
+
+
+def test_explicit_invalidation_drops_dependent_rules(engine):
+    engine.run(verify=False)
+    dropped = engine.manager.invalidate("liveness")
+    # Exactly the liveness-dependent rules (and the aggregate) fall out.
+    assert {"liveness", RULE_PASSES["R003"], RULE_PASSES["R006"],
+            LINT_PASS} <= dropped
+    assert RULE_PASSES["R009"] not in dropped
+    engine.run(verify=False)
+    stats = engine.manager.stats
+    assert stats[RULE_PASSES["R003"]].misses == 2
+    assert stats[RULE_PASSES["R009"]].misses == 1  # untouched, still cached
+
+
+def test_graph_mutation_invalidates_findings(engine):
+    first = engine.run(verify=False).diagnostics
+    assert any(d.rule == "R003" for d in first)  # x := 1 is a dead store
+    # Splice the dead store out; the manager notices the shape change.
+    graph = engine.graph
+    (nid,) = [d.node for d in first if d.rule == "R003"]
+    in_edge, out_edge = graph.in_edge(nid), graph.out_edge(nid)
+    graph.add_edge(in_edge.src, out_edge.dst, label=in_edge.label)
+    graph.remove_node(nid)
+    second = engine.run(verify=False).diagnostics
+    assert all(d.rule != "R003" for d in second)
+    assert engine.manager.stats[LINT_PASS].misses == 2
+
+
+def test_lint_registry_is_memoized_and_isolated():
+    assert lint_registry() is lint_registry()
+    base = default_registry()
+    assert LINT_PASS not in base
+    assert all(name not in base for name in RULE_PASSES.values())
+    assert "anticipatable" not in base
+    # The clone extends, never shrinks: every default pass is available.
+    assert set(base.names()) <= set(lint_registry().names())
+
+
+def test_result_summary_shape(engine):
+    result = engine.run(verify=True)
+    summary = result.summary()
+    assert summary["total"] == len(result.diagnostics)
+    assert sum(summary["by_severity"].values()) == summary["total"]
+    assert sum(summary["by_rule"].values()) == summary["total"]
+    assert result.unverified_definite() == 0
+
+
+def test_unverified_definite_counts_skipped_verification(engine):
+    result = engine.run(verify=False)
+    assert result.unverified_definite() == sum(
+        1 for d in result.diagnostics if d.severity == "definite"
+    ) > 0

@@ -1,0 +1,141 @@
+"""The oracle verifier: genuine definite findings earn independent
+confirmation; fabricated ones are demoted, and ones a probe actively
+contradicts are marked refuted (the measured-false-positive channel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.cfg.interp import run_cfg
+from repro.lang.errors import InterpError
+from repro.lang.parser import parse_program
+from repro.lint.engine import LintEngine
+from repro.lint.model import make_diagnostic
+from repro.lint.oracle import (
+    PROBE_VALUE_LIMIT,
+    probe_environments,
+    verify_diagnostics,
+)
+
+
+def graph_of(source: str):
+    return build_cfg(parse_program(source))
+
+
+def node_of_kind(graph, kind, index=0):
+    return [
+        nid for nid in sorted(graph.nodes) if graph.node(nid).kind is kind
+    ][index]
+
+
+def test_probe_environments_are_deterministic():
+    graph = graph_of("x := a + b;\nprint x;\n")
+    envs = probe_environments(graph)
+    assert envs == probe_environments(graph)
+    assert envs[0] == {}
+    assert all(set(env) <= graph.variables() for env in envs[1:])
+
+
+def test_genuine_findings_are_confirmed():
+    source = "x := 1;\nx := 2;\nif (0) {\n    y := x;\n}\nprint x;\n"
+    result = LintEngine(graph_of(source)).run(verify=True)
+    definite = [d for d in result.diagnostics if d.severity == "definite"]
+    assert {d.rule for d in definite} == {"R003", "R004", "R005"}
+    assert all(d.verified is True for d in definite)
+    assert result.unverified_definite() == 0
+
+
+def test_bogus_dead_store_is_demoted_not_shipped():
+    # Claim 'x := 1' is a dead store in a program that prints x: the
+    # liveness witness fails, so the finding is demoted to possible.
+    graph = graph_of("x := 1;\nprint x;\n")
+    nid = node_of_kind(graph, NodeKind.ASSIGN)
+    bogus = make_diagnostic(
+        "R003", graph.node(nid).span, "fabricated", node=nid, var="x"
+    )
+    (out,) = verify_diagnostics(graph, [bogus])
+    assert out.severity == "possible"
+    assert out.verified is False and out.demoted is True
+    # The splice would change output, but the static witness already
+    # failed, so this is an unconfirmed claim -- not a measured FP.
+    assert out.refuted is False
+
+
+def test_bogus_unreachable_claim_is_refuted_by_probe_trace():
+    graph = graph_of("print 7;\n")
+    nid = node_of_kind(graph, NodeKind.PRINT)
+    bogus = make_diagnostic(
+        "R004", graph.node(nid).span, "fabricated", node=nid
+    )
+    (out,) = verify_diagnostics(graph, [bogus])
+    assert out.demoted is True and out.refuted is True
+
+
+def test_bogus_use_before_def_is_refuted_by_trace_replay():
+    graph = graph_of("x := 1;\nprint x;\n")
+    nid = node_of_kind(graph, NodeKind.PRINT)
+    bogus = make_diagnostic(
+        "R001", graph.node(nid).span, "fabricated", node=nid, var="x"
+    )
+    (out,) = verify_diagnostics(graph, [bogus])
+    assert out.demoted is True and out.refuted is True
+
+
+def test_bogus_constant_branch_is_refuted_when_probes_disagree():
+    # p is an entry variable, so probes drive both arms.
+    graph = graph_of("if (p > 1) { print 1; } else { print 2; }\n")
+    nid = node_of_kind(graph, NodeKind.SWITCH)
+    bogus = make_diagnostic(
+        "R005", graph.node(nid).span, "fabricated", node=nid,
+        data={"value": 1, "arm": "T"},
+    )
+    (out,) = verify_diagnostics(graph, [bogus])
+    assert out.demoted is True and out.refuted is True
+
+
+def test_non_definite_findings_pass_through_untouched():
+    diag = make_diagnostic("R010", None, "copy chain", node=3, var="y")
+    graph = graph_of("x := 1;\ny := x;\nprint y;\n")
+    (out,) = verify_diagnostics(graph, [diag])
+    assert out is diag  # not even copied: nothing to verify
+
+
+def test_verification_never_mutates_inputs():
+    graph = graph_of("x := 1;\nx := 2;\nprint x;\n")
+    engine = LintEngine(graph)
+    unverified = engine.run(verify=False).diagnostics
+    snapshot = list(unverified)
+    verify_diagnostics(graph, unverified)
+    # The cached diagnostics are frozen; the oracle returned new objects.
+    assert unverified == snapshot
+    assert all(d.verified is None for d in unverified)
+
+
+def test_value_limit_aborts_bigint_blowup():
+    # Squaring doubles the digit count per iteration: within a tiny step
+    # budget the values dwarf any bound, so the capped run must abort
+    # (and the oracle treats that probe as inconclusive).
+    source = (
+        "x := 10;\nn := 5;\n"
+        "while (n > 0) {\n    x := x * x;\n    n := n - 1;\n}\n"
+        "print x;\n"
+    )
+    graph = graph_of(source)
+    with pytest.raises(InterpError):
+        run_cfg(graph, {}, max_steps=1000, value_limit=PROBE_VALUE_LIMIT)
+    # Without the cap the same run is legal (just huge): 10 ** (2 ** 5).
+    assert run_cfg(graph, {}, max_steps=1000).outputs[0] == 10 ** 32
+
+
+def test_inconclusive_probes_still_allow_static_confirmation():
+    # The loop never terminates under the empty env's step budget -- all
+    # probes may be inconclusive -- yet static witnesses still confirm.
+    source = (
+        "x := 1;\nx := 2;\n"
+        "while (1) {\n    print x;\n}\n"
+    )
+    result = LintEngine(graph_of(source)).run(verify=True, max_steps=100)
+    r003 = [d for d in result.diagnostics if d.rule == "R003"]
+    assert r003 and all(d.verified is True for d in r003)

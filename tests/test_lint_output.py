@@ -1,0 +1,192 @@
+"""Lint output formats: golden-tested ``repro.lint/1`` JSON and SARIF
+2.1.0 documents, the text renderer, and the baseline suppression cycle.
+
+The CLI is driven through ``main`` from a temporary working directory so
+the file path embedded in the payloads is the stable relative name
+``demo.dfg``.  Regenerate goldens after an intentional schema change::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_lint_output.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cli import main
+from repro.lang.parser import parse_program
+from repro.lint.engine import LintEngine
+from repro.lint.model import RULES, SARIF_LEVELS
+from repro.lint.output import (
+    BASELINE_SCHEMA,
+    LINT_SCHEMA,
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    baseline_fingerprints,
+    baseline_payload,
+    filter_baseline,
+    render_text,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Small but rule-dense: R001, R003, R004, R005, R009, R010 all fire,
+#: and line 4 hosts an info-only finding (for the --dot color test).
+DEMO = """\
+x := 1;
+x := 2;
+y := x;
+t := y + 1;
+y := y;
+if (0) {
+    dead := x;
+}
+print t + y + boom;
+"""
+
+
+@pytest.fixture
+def demo(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    Path("demo.dfg").write_text(DEMO)
+    return "demo.dfg"
+
+
+def _check_golden(name: str, payload: dict) -> None:
+    path = GOLDEN_DIR / name
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if os.environ.get("REGEN_GOLDEN"):
+        path.write_text(text)
+    assert text == path.read_text(), f"{name} drifted; see module docstring"
+
+
+def test_lint_json_matches_golden(demo, capsys):
+    assert main(["lint", demo, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == LINT_SCHEMA
+    assert payload["file"] == "demo.dfg"
+    _check_golden("lint_demo.json", payload)
+
+
+def test_lint_sarif_matches_golden(demo, capsys):
+    assert main(["lint", demo, "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == SARIF_VERSION
+    assert payload["$schema"] == SARIF_SCHEMA_URI
+    _check_golden("lint_demo.sarif", payload)
+
+
+def test_sarif_structure_is_well_formed(demo, capsys):
+    main(["lint", demo, "--format", "sarif"])
+    payload = json.loads(capsys.readouterr().out)
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    codes = [rule["id"] for rule in driver["rules"]]
+    assert codes == sorted(RULES)  # the full catalog, always
+    assert run["columnKind"] == "unicodeCodePoints"
+    assert run["results"]
+    for result in run["results"]:
+        # ruleIndex must point at the matching catalog entry.
+        assert codes[result["ruleIndex"]] == result["ruleId"]
+        assert result["level"] == SARIF_LEVELS[RULES[result["ruleId"]].severity]
+        assert result["partialFingerprints"]["reproLint/v1"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+    # Verified definite findings carry the property the CI gate reads.
+    errors = [r for r in run["results"] if r["level"] == "error"]
+    assert errors and all(r["properties"]["verified"] for r in errors)
+
+
+def test_lint_text_format(demo, capsys):
+    assert main(["lint", demo]) == 1
+    out = capsys.readouterr().out
+    assert "demo.dfg:1:1: definite R003 [dead-store]" in out
+    assert "(verified)" in out
+    assert "fix: remove the assignment" in out
+    # The R010 related note points back at the copy site.
+    assert "note: copied here" in out
+    assert out.rstrip().splitlines()[-1] == (
+        "7 findings (5 definite, 0 possible, 2 info)"
+    )
+
+
+def test_lint_output_file_and_fail_on(demo, tmp_path, capsys):
+    out = str(tmp_path / "report.json")
+    assert main(["lint", demo, "--format", "json", "--output", out,
+                 "--fail-on", "never"]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert json.load(open(out))["schema"] == LINT_SCHEMA
+    # 'info' is the strictest threshold: any finding at all fails.
+    assert main(["lint", demo, "--fail-on", "info"]) == 1
+
+
+def test_baseline_roundtrip_suppresses_everything(demo, capsys):
+    assert main(["lint", demo, "--write-baseline", "base.json"]) == 0
+    assert "suppressions" in capsys.readouterr().out
+    assert main(["lint", demo, "--baseline", "base.json"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("0 findings")
+    assert "suppressed by baseline" in out
+    # New findings are NOT suppressed: a fresh defect still fails.
+    Path("demo.dfg").write_text(DEMO + "w := w;\nprint w;\n")
+    assert main(["lint", demo, "--baseline", "base.json"]) == 1
+    out = capsys.readouterr().out
+    assert "R009" in out and "'w'" in out
+
+
+def test_baseline_schema_is_validated(tmp_path):
+    with pytest.raises(ValueError, match=BASELINE_SCHEMA):
+        baseline_fingerprints({"schema": "something/else"})
+
+
+def test_filter_baseline_counts():
+    graph = build_cfg(parse_program(DEMO))
+    diags = LintEngine(graph).run(verify=False).diagnostics
+    payload = baseline_payload(diags)
+    assert payload["schema"] == BASELINE_SCHEMA
+    prints = baseline_fingerprints(payload)
+    kept, suppressed = filter_baseline(diags, prints)
+    assert kept == [] and suppressed == len(diags)
+    kept, suppressed = filter_baseline(diags, frozenset())
+    assert kept == diags and suppressed == 0
+
+
+def test_render_text_handles_spanless_findings():
+    graph = build_cfg(parse_program("x := 1; print x;"))
+    result = LintEngine(graph).run(verify=False)
+    from repro.lint.model import make_diagnostic
+
+    diag = make_diagnostic("R004", None, "no position", node=1)
+    text = render_text("f.dfg", [diag])
+    assert text.startswith("f.dfg:?:?: definite R004")
+    assert result.diagnostics == []  # clean program stays clean
+
+
+def test_example_demo_fires_every_rule():
+    source = (
+        Path(__file__).parents[1] / "examples" / "lint_demo.dfg"
+    ).read_text()
+    graph = build_cfg(parse_program(source))
+    result = LintEngine(graph).run(verify=True)
+    assert {d.rule for d in result.diagnostics} == set(RULES)
+    assert result.unverified_definite() == 0
+
+
+def test_lint_dot_colors_flagged_nodes(demo, tmp_path, capsys):
+    dot = str(tmp_path / "lint.dot")
+    assert main(["lint", demo, "--dot", dot, "--fail-on", "never"]) == 0
+    text = open(dot).read()
+    assert text.startswith("digraph lint")
+    assert 'style=filled, fillcolor="#f4cccc"' in text  # definite
+    assert 'fillcolor="#d9ead3"' in text  # info (the R010 copy read)
+
+
+def test_lint_no_verify_leaves_findings_unconfirmed(demo, capsys):
+    assert main(["lint", demo, "--no-verify"]) == 1
+    out = capsys.readouterr().out
+    assert "(verified)" not in out

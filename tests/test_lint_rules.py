@@ -1,0 +1,275 @@
+"""Positive and negative unit tests for every lint rule R001-R010.
+
+Each rule gets at least one program that must trigger it (with the span
+pointing at the right line) and one near-miss that must not.  Rules run
+unverified here -- the oracle has its own suite -- except for a final
+sanity check that the definite positives survive verification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.lang.parser import parse_program
+from repro.lint.engine import LintEngine
+from repro.lint.model import RULES
+from repro.lint.rules import RULE_PASSES
+
+
+def lint(source: str, verify: bool = False):
+    graph = build_cfg(parse_program(source))
+    return LintEngine(graph).run(verify=verify).diagnostics
+
+
+def fired(source: str) -> set[str]:
+    return {d.rule for d in lint(source)}
+
+
+def only(source: str, rule: str):
+    matches = [d for d in lint(source) if d.rule == rule]
+    assert matches, f"{rule} did not fire"
+    return matches
+
+
+# -- R001 use-before-def -------------------------------------------------------
+
+
+def test_r001_positive():
+    (diag,) = only("x := y;\nprint x;\n", "R001")
+    assert diag.var == "y"
+    assert diag.severity == "definite"
+    assert (diag.span.line, diag.span.column) == (1, 6)
+
+
+def test_r001_negative():
+    assert "R001" not in fired("y := 1;\nx := y;\nprint x;\n")
+
+
+def test_r001_not_raised_for_partial_init():
+    # Assigned on one path: that is R002's finding, never R001's.
+    source = "if (p > 0) { x := 1; }\nprint x;\n"
+    assert all(d.var != "x" for d in lint(source) if d.rule == "R001")
+
+
+# -- R002 maybe-uninitialized --------------------------------------------------
+
+
+def test_r002_positive():
+    source = "if (p > 0) {\n    x := 1;\n}\nprint x;\n"
+    matches = [d for d in only(source, "R002") if d.var == "x"]
+    (diag,) = matches
+    assert diag.severity == "possible"
+    assert diag.span.line == 4
+    # The related span points at the partial assignment.
+    assert [(note, span.line) for note, span in diag.related] == [
+        ("assigned here", 2)
+    ]
+
+
+def test_r002_negative_both_arms_assign():
+    source = "if (p > 0) { x := 1; } else { x := 2; }\nprint x;\n"
+    assert all(d.var != "x" for d in lint(source) if d.rule == "R002")
+
+
+# -- R003 dead-store -----------------------------------------------------------
+
+
+def test_r003_positive():
+    source = "x := 1;\nx := 2;\nprint x;\n"
+    (diag,) = only(source, "R003")
+    assert diag.var == "x" and diag.span.line == 1
+    assert diag.severity == "definite"
+
+
+def test_r003_negative():
+    assert "R003" not in fired("x := 1;\nprint x;\nx := 2;\nprint x;\n")
+
+
+# -- R004 unreachable-statement ------------------------------------------------
+
+
+def test_r004_positive():
+    source = "if (0) {\n    x := 1;\n}\nprint 5;\n"
+    (diag,) = only(source, "R004")
+    assert diag.span.line == 2
+
+
+def test_r004_negative():
+    assert "R004" not in fired("if (p > 0) { x := 1; }\nprint 0;\n")
+
+
+# -- R005 constant-branch ------------------------------------------------------
+
+
+def test_r005_positive():
+    source = "n := 1;\nif (n > 0) { print 1; } else { print 2; }\n"
+    (diag,) = only(source, "R005")
+    assert diag.span.line == 2
+    assert dict(diag.data) == {"value": 1, "arm": "T"}
+    assert "always 1" in diag.message
+
+
+def test_r005_positive_false_branch():
+    (diag,) = only("if (0) { print 1; }\nprint 2;\n", "R005")
+    assert dict(diag.data) == {"value": 0, "arm": "F"}
+
+
+def test_r005_negative():
+    assert "R005" not in fired(
+        "if (p > 0) { print 1; } else { print 2; }\n"
+    )
+
+
+def test_r005_skips_synthetic_loop_switches():
+    # A while loop's exit test is a source branch only once; the
+    # normalizer's span-less duplicates must not produce findings.
+    source = "n := 3;\nwhile (n > 0) { n := n - 1; }\nprint n;\n"
+    assert all(d.span is not None for d in lint(source))
+
+
+# -- R006 dead-code (cyclic chains) -------------------------------------------
+
+
+CYCLIC_DEAD = (
+    "k := 0;\n"
+    "t := 3;\n"
+    "while (t > 0) {\n"
+    "    k := k + 1;\n"
+    "    t := t - 1;\n"
+    "}\n"
+    "print t;\n"
+)
+
+
+def test_r006_positive():
+    matches = only(CYCLIC_DEAD, "R006")
+    assert {d.span.line for d in matches} == {1, 4}
+    assert all(d.var == "k" for d in matches)
+    # Liveness keeps k live around the loop, so R003 stays silent:
+    # this chain is exactly what the DFG mark phase exists to catch.
+    assert "R003" not in {d.rule for d in lint(CYCLIC_DEAD)}
+
+
+def test_r006_negative_when_observed():
+    assert "R006" not in fired(CYCLIC_DEAD.replace(
+        "print t;", "print t;\nprint k;"
+    ))
+
+
+# -- R007 redundant-expression -------------------------------------------------
+
+
+def test_r007_positive_full():
+    source = "p := 1;\nq := 2;\na := p + q;\nb := p + q;\nprint a + b;\n"
+    matches = only(source, "R007")
+    full = [d for d in matches if dict(d.data)["kind"] == "full"]
+    assert any(d.var == "p + q" and d.span.line == 4 for d in full)
+
+
+def test_r007_positive_partial():
+    source = (
+        "p := 1;\nq := 2;\n"
+        "if (g > 0) { a := p + q; print a; }\n"
+        "print p + q;\n"
+    )
+    partial = [
+        d for d in only(source, "R007") if dict(d.data)["kind"] == "partial"
+    ]
+    assert any(d.var == "p + q" and d.span.line == 4 for d in partial)
+
+
+def test_r007_negative_killed_by_redefinition():
+    source = "p := 1;\nq := 2;\na := p + q;\nq := 3;\nb := p + q;\nprint a + b;\n"
+    assert all(d.var != "p + q" for d in lint(source) if d.rule == "R007")
+
+
+# -- R008 loop-invariant -------------------------------------------------------
+
+
+def test_r008_positive():
+    source = (
+        "i := 3;\nb := 4;\n"
+        "while (i > 0) {\n    x := b * 2;\n    i := i - 1;\n}\n"
+        "print x;\n"
+    )
+    (diag,) = only(source, "R008")
+    assert diag.var == "b * 2" and diag.span.line == 4
+    assert diag.severity == "info"
+
+
+def test_r008_negative_operand_defined_in_loop():
+    source = (
+        "i := 3;\n"
+        "while (i > 0) {\n    x := i * 2;\n    i := i - 1;\n}\n"
+        "print x;\n"
+    )
+    assert "R008" not in fired(source)
+
+
+# -- R009 self-assignment ------------------------------------------------------
+
+
+def test_r009_positive():
+    source = "x := 1;\nx := x;\nprint x;\n"
+    (diag,) = only(source, "R009")
+    assert diag.var == "x" and diag.span.line == 2
+
+
+def test_r009_negative():
+    assert "R009" not in fired("x := 1;\ny := x;\nprint y;\n")
+
+
+# -- R010 copy-chain -----------------------------------------------------------
+
+
+def test_r010_positive():
+    source = "x := 1;\ny := x;\nprint y;\n"
+    (diag,) = only(source, "R010")
+    assert diag.var == "y" and diag.span.line == 3
+    assert "'x'" in diag.message
+    assert [(note, span.line) for note, span in diag.related] == [
+        ("copied here", 2)
+    ]
+
+
+def test_r010_negative_original_redefined():
+    assert "R010" not in fired("x := 1;\ny := x;\nx := 2;\nprint y;\nprint x;\n")
+
+
+# -- cross-cutting -------------------------------------------------------------
+
+
+def test_rule_catalog_and_passes_agree():
+    assert set(RULE_PASSES) == set(RULES)
+    assert len(RULES) >= 8  # the acceptance floor
+    for code, info in RULES.items():
+        assert info.code == code
+        assert info.severity in ("definite", "possible", "info")
+        assert info.fix_hint
+
+
+def test_clean_program_is_silent():
+    source = (
+        "n := 3;\ntotal := 0;\n"
+        "while (n > 0) {\n    total := total + n;\n    n := n - 1;\n}\n"
+        "print total;\n"
+    )
+    assert lint(source) == []
+
+
+@pytest.mark.parametrize(
+    "source, rule",
+    [
+        ("x := y;\nprint x;\n", "R001"),
+        ("x := 1;\nx := 2;\nprint x;\n", "R003"),
+        ("if (0) {\n    x := 1;\n}\nprint 5;\n", "R004"),
+        ("n := 1;\nif (n > 0) { print 1; } else { print 2; }\n", "R005"),
+        (CYCLIC_DEAD, "R006"),
+        ("x := 1;\nx := x;\nprint x;\n", "R009"),
+    ],
+)
+def test_definite_positives_survive_verification(source, rule):
+    matches = [d for d in lint(source, verify=True) if d.rule == rule]
+    assert matches
+    assert all(d.verified is True and not d.demoted for d in matches)

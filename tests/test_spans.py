@@ -1,0 +1,165 @@
+"""Satellite S1: every AST node carries a source span, spans survive the
+parse -> pretty -> parse round trip, and they propagate onto CFG nodes.
+
+Spans are deliberately excluded from node equality (two occurrences of
+``a + b`` at different positions are the *same* lexical expression for
+the redundancy analyses), so the round-trip test compares structure with
+``==`` and span presence separately.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.lang.ast_nodes import (
+    Assign,
+    Goto,
+    If,
+    Label,
+    Print,
+    Repeat,
+    Skip,
+    Span,
+    Store,
+    While,
+    subexpressions,
+)
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+
+#: Exercises every statement and expression form the parser accepts.
+ALL_CONSTRUCTS = """\
+x := 1;
+a[x] := x + 2;
+y := a[x] * -x;
+skip;
+if (x < y && y != 0) { y := y - 1; } else { y := y + 1; }
+while (y > 0) { y := y - 1; }
+repeat { x := x + 1; } until (x >= 3);
+label L:
+if (!(x == y)) { goto L; }
+print x % 2;
+"""
+
+
+def _stmt_exprs(stmt):
+    if isinstance(stmt, (Assign, Print)):
+        return [stmt.expr]
+    if isinstance(stmt, Store):
+        return [stmt.index, stmt.expr]
+    if isinstance(stmt, If):
+        return [stmt.cond]
+    if isinstance(stmt, (While, Repeat)):
+        return [stmt.cond]
+    return []
+
+
+def _assert_fully_spanned(program):
+    statements = list(program.walk())
+    assert statements
+    for stmt in statements:
+        assert stmt.span is not None, f"statement without span: {stmt!r}"
+        for expr in _stmt_exprs(stmt):
+            for sub in subexpressions(expr):
+                assert sub.span is not None, (
+                    f"expression without span in {stmt!r}: {sub!r}"
+                )
+
+
+def test_every_ast_node_carries_a_span():
+    _assert_fully_spanned(parse_program(ALL_CONSTRUCTS))
+
+
+def test_statement_spans_point_at_their_source_lines():
+    program = parse_program(ALL_CONSTRUCTS)
+    top = program.body
+    kinds_and_lines = [(type(s).__name__, s.span.line) for s in top]
+    assert kinds_and_lines == [
+        ("Assign", 1),
+        ("Store", 2),
+        ("Assign", 3),
+        ("Skip", 4),
+        ("If", 5),
+        ("While", 6),
+        ("Repeat", 7),
+        ("Label", 8),
+        ("If", 9),
+        ("Print", 10),
+    ]
+    # Columns are 1-based: the first statement starts at column 1.
+    assert top[0].span.column == 1
+    # A nested statement's span sits inside its parent's line range.
+    branch = top[4]
+    assert isinstance(branch, If)
+    assert branch.then_body[0].span.line == branch.span.line
+
+
+def test_expression_spans_are_nested_in_statement_spans():
+    program = parse_program("total := alpha + beta * gamma;\n")
+    stmt = program.body[0]
+    assert isinstance(stmt, Assign)
+    subs = list(subexpressions(stmt.expr))
+    for sub in subs:
+        assert sub.span.line == 1
+    columns = sorted(sub.span.column for sub in subs)
+    # alpha at 10, beta at 18, gamma at 25; the + and * nodes cover
+    # their operands, starting where the left operand starts.
+    assert columns == [10, 10, 18, 18, 25]
+
+
+def test_parse_pretty_parse_round_trip_preserves_spans():
+    first = parse_program(ALL_CONSTRUCTS)
+    rendered = pretty_program(first)
+    second = parse_program(rendered)
+    # Structure is preserved exactly (spans are compare=False) ...
+    assert second.body == first.body
+    # ... and the re-parse attaches a span to every node again.
+    _assert_fully_spanned(second)
+    # The round trip is a fixed point from the first rendering on.
+    assert pretty_program(second) == rendered
+
+
+def test_spans_propagate_to_cfg_nodes():
+    source = (
+        "x := 1;\n"
+        "if (x > 0) { y := x; } else { y := 2; }\n"
+        "print y;\n"
+    )
+    graph = build_cfg(parse_program(source))
+    by_kind: dict[NodeKind, list[int]] = {}
+    for nid in sorted(graph.nodes):
+        node = graph.node(nid)
+        if node.span is not None:
+            by_kind.setdefault(node.kind, []).append(node.span.line)
+    assert by_kind[NodeKind.ASSIGN] == [1, 2, 2]
+    assert by_kind[NodeKind.SWITCH] == [2]
+    assert by_kind[NodeKind.PRINT] == [3]
+
+
+def test_synthetic_nodes_carry_no_span():
+    # The normalizer's loop-exit switch and merges are not source
+    # statements; they must stay span-less so lint never points at them.
+    graph = build_cfg(parse_program("n := 2; while (n > 0) { n := n - 1; }"))
+    spans = {
+        graph.node(nid).kind
+        for nid in graph.nodes
+        if graph.node(nid).span is None
+    }
+    assert NodeKind.MERGE in spans or NodeKind.NOP in spans
+
+
+def test_span_cover_and_as_dict():
+    a = Span(1, 5, 1, 9)
+    b = Span(2, 1, 2, 4)
+    covered = Span.cover(a, b)
+    assert covered == Span(1, 5, 2, 4)
+    assert a.as_dict() == {
+        "line": 1, "column": 5, "end_line": 1, "end_column": 9,
+    }
+
+
+def test_spans_do_not_affect_expression_equality():
+    one = parse_program("x := a + b;").body[0].expr
+    other = parse_program("\n\n   x := a + b;").body[0].expr
+    assert one == other
+    assert one.span != other.span
