@@ -367,21 +367,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    from repro.perf.batch import (
-        default_suite,
-        equivalence_suite,
-        run_batch,
-        write_payload,
+    from repro.perf.batch import resolve_suite, run_batch, write_payload
+
+    suite = resolve_suite(
+        args.suite, smoke=args.smoke, programs=args.programs, size=args.size
     )
-
-    if args.suite == "equivalence":
-        suite = equivalence_suite(smoke=args.smoke)
-    elif args.suite == "lint":
-        from repro.perf.batch import lint_suite
-
-        suite = lint_suite(smoke=args.smoke)
-    else:
-        suite = default_suite(args.programs, size=args.size)
     result = run_batch(
         suite=suite,
         workers=args.workers,
@@ -408,6 +398,45 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"{result['errors']} programs failed "
               f"({result.get('quarantined', 0)} quarantined)",
               file=sys.stderr)
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz.harness import run_fuzz
+    from repro.perf.batch import write_payload
+
+    payload = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        suite=args.suite,
+        jobs=args.jobs,
+        repro_dir=args.repro_dir,
+        write_repros=args.write_repros,
+        minimize_budget=args.minimize_budget,
+    )
+    if args.output:
+        write_payload(payload, args.output)
+        print(f"wrote {args.output}")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    planted = payload["planted"]
+    print(
+        f"fuzz seed={payload['seed']} suite={payload['suite']}: "
+        f"{payload['trials']} trials over {payload['programs']} programs, "
+        f"{payload['applied']} applied, "
+        f"{len(payload['divergences'])} divergence classes "
+        f"({len(payload['novel'])} novel, "
+        f"{len(payload['unminimized'])} unminimized), "
+        f"planted recall {planted['recall']:.1%}",
+        file=sys.stderr,
+    )
+    if not payload["ok"]:
+        print(
+            "fuzz contract violated: a trial errored, a divergence is "
+            "novel or unminimized, or planted recall is below 100%",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -586,11 +615,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--programs", type=int, default=8)
     batch_p.add_argument("--size", type=int, default=80)
     batch_p.add_argument(
-        "--suite", choices=("default", "equivalence", "lint"),
-        default="default",
-        help="'equivalence' runs the 204-program perf-equivalence "
-        "population; 'lint' runs the diagnostics engine (verification "
-        "included) over planted-defect and corpus programs",
+        "--suite", default="default", metavar="NAME",
+        help="'default', 'equivalence' (the 204-program perf-equivalence "
+        "population) or 'lint' (the diagnostics engine over "
+        "planted-defect and corpus programs); unknown names list the "
+        "available suites",
     )
     batch_p.add_argument(
         "--smoke", action="store_true",
@@ -610,6 +639,42 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     batch_p.add_argument("--output", help="write JSON here instead of stdout")
     batch_p.set_defaults(handler=cmd_batch)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="metamorphic differential fuzzing with theorem-derived "
+        "oracles; write the byte-deterministic repro.fuzz/1 JSON",
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0)
+    fuzz_p.add_argument(
+        "--budget", type=int, default=None, metavar="TRIALS",
+        help="run only the first N trials of the deterministic schedule "
+        "(default: the whole suite x mutator sweep)",
+    )
+    fuzz_p.add_argument(
+        "--suite", default="default", metavar="NAME",
+        help="'default' (the 204-program equivalence corpus plus array "
+        "workloads) or 'smoke'; unknown names list the available suites",
+    )
+    fuzz_p.add_argument(
+        "--jobs", type=int, default=0,
+        help="supervised-pool size for the trials (0 = in-process)",
+    )
+    fuzz_p.add_argument(
+        "--repro-dir", default="tests/repros", metavar="DIR",
+        help="directory of known fuzz-<fingerprint>.json reproducers "
+        "(novel fingerprints fail the gate)",
+    )
+    fuzz_p.add_argument(
+        "--write-repros", action="store_true",
+        help="write a reproducer for each divergence class to --repro-dir",
+    )
+    fuzz_p.add_argument(
+        "--minimize-budget", type=int, default=200,
+        help="ddmin predicate evaluations per divergence",
+    )
+    fuzz_p.add_argument("--output", help="write JSON here instead of stdout")
+    fuzz_p.set_defaults(handler=cmd_fuzz)
 
     chaos_p = sub.add_parser(
         "chaos",
@@ -645,6 +710,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     except LangError as exc:
         print(f"repro: language error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Missing or unreadable files get the same one-line treatment.
+        print(f"repro: input error: {exc}", file=sys.stderr)
         return 2
 
 

@@ -295,6 +295,28 @@ def place_and_transform(
             break
     deleted = deletions_for(insert_edges)
 
+    # -- zero-profit motion filter ---------------------------------------------
+    # The placement rules can propose a *pure motion*: insertions whose
+    # edges are, class for class, cycle equivalent to the in-edges of the
+    # computations they delete.  Cycle-equivalent edges execute equally
+    # often on every complete execution (Theorem 1's substrate), so such
+    # a transformation cannot reduce dynamic evaluations -- it only
+    # renames computations into fresh temporaries, and repeating EPR
+    # would walk each computation up its SESE chain forever.  Rejecting
+    # it makes EPR idempotent.
+    if insert_edges and len(insert_edges) == len(deleted):
+        from repro.controldep.cycle_equiv import cycle_equivalence
+
+        edge_class = cycle_equivalence(graph)
+        insert_classes = sorted(edge_class[eid] for eid in insert_edges)
+        deleted_classes = sorted(
+            edge_class[graph.in_edge(nid).id] for nid in deleted
+        )
+        if insert_classes == deleted_classes:
+            counter.tick("epr_zero_profit_motions_rejected")
+            insert_edges = set()
+            deleted = set()
+
     # -- transformation --------------------------------------------------------
     result_graph = graph.copy()
     temp = fresh_temp(graph)
@@ -333,7 +355,10 @@ def candidate_expressions(graph: CFG) -> list[Expr]:
 
 def epr_all(graph: CFG, counter: WorkCounter | None = None, manager=None):
     """Apply EPR to every candidate expression of ``graph``, re-deriving
-    structures after each change.  Returns (final graph, results).
+    structures after each change, and repeat until no motion applies:
+    hoisting one expression can expose a partial redundancy in another
+    (its insertions are new evaluation sites), so a single sweep is not
+    a fixpoint.  Returns (final graph, results across all rounds).
 
     With a :class:`repro.pipeline.manager.AnalysisManager`, the
     per-graph substrates (SESE structure, DFG, availability) come from
@@ -349,21 +374,27 @@ def epr_all(graph: CFG, counter: WorkCounter | None = None, manager=None):
         manager = AnalysisManager(graph, metrics=Metrics(counter=counter))
     current = graph
     results: list[EPRResult] = []
-    for expr in candidate_expressions(graph):
-        if expr not in current.expressions():
-            continue  # rewritten away by an earlier pass
-        if manager.graph is not current:
-            manager.rebind(current)
-        outcome = eliminate_partial_redundancies(
-            current,
-            expr,
-            dfg=manager.get("dfg"),
-            structure=manager.get("sese"),
-            counter=counter,
-            av=manager.get("available"),
-            pav=manager.get("pavailable"),
-        )
-        if outcome.changed:
-            results.append(outcome)
-            current = outcome.graph
+    for _ in range(10):  # convergence bound; rounds after the 2nd are rare
+        changed = False
+        for expr in candidate_expressions(current):
+            if expr not in current.expressions():
+                continue  # rewritten away by an earlier pass
+            if manager.graph is not current:
+                manager.rebind(current)
+            outcome = eliminate_partial_redundancies(
+                current,
+                expr,
+                dfg=manager.get("dfg"),
+                structure=manager.get("sese"),
+                counter=counter,
+                av=manager.get("available"),
+                pav=manager.get("pavailable"),
+            )
+            if outcome.changed:
+                results.append(outcome)
+                current = outcome.graph
+                changed = True
+        if not changed:
+            break
+        counter.tick("epr_rounds")
     return current, results

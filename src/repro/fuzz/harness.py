@@ -1,0 +1,328 @@
+"""The seeded, byte-deterministic fuzzing sweep behind ``repro fuzz``.
+
+The trial schedule is program-major: for each program of the suite, each
+registered mutator runs once, with a per-trial RNG seed derived by
+SHA-256 from ``(run seed, program label, mutator name)`` -- never from
+Python's randomized hash or the wall clock.  ``--budget N`` keeps the
+first ``N`` trials of that schedule, so a budgeted run is a prefix of
+the full sweep, not a sample of it.
+
+The ``repro.fuzz/1`` payload carries no timing fields: the same seed
+produces the same bytes on every run and under every ``PYTHONHASHSEED``.
+Its ``ok`` gate is the PR's acceptance contract:
+
+* zero errors (no trial crashed outside its oracles);
+* every preserving-mutant divergence minimized to a reproducer whose
+  fingerprint is already checked in under the repro directory (novel or
+  unminimized divergences fail);
+* planted-miscompile recall exactly 1.0.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Mapping
+
+from repro.fuzz.mutators import MUTATORS
+from repro.fuzz.oracles import (
+    DEFAULT_MAX_STEPS,
+    DEFAULT_VALUE_LIMIT,
+    ORACLES,
+    run_oracles,
+)
+from repro.fuzz.triage import (
+    divergence_fingerprint,
+    load_known_fingerprints,
+    triage_divergence,
+    write_reproducer,
+)
+
+FUZZ_SCHEMA = "repro.fuzz/1"
+
+#: Program families whose members may loop forever (structural analyses
+#: only); the I/O oracle and the plant mutator skip them.
+NON_EXECUTABLE_FAMILIES = frozenset(("jump",))
+
+#: Default directory both for loading known fingerprints and for writing
+#: new reproducers.
+DEFAULT_REPRO_DIR = "tests/repros"
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """A stable 64-bit trial seed, independent of hash randomization."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def probe_envs(
+    fuzz_seed: int, variables: list[str], count: int = 3
+) -> list[dict[str, int]]:
+    """The empty environment plus ``count`` seeded ones (values -3..9)
+    over ``variables`` -- mirrors the tier-1 differential suites, but
+    derives from the trial seed so replay is exact."""
+    rng = random.Random(derive_seed(fuzz_seed, "envs"))
+    envs: list[dict[str, int]] = [{}]
+    for _ in range(count):
+        envs.append({name: rng.randint(-3, 9) for name in sorted(variables)})
+    return envs
+
+
+def trial_context(
+    program, base_graph, fuzz_seed: int, mutator: str, family: str | None = None
+) -> dict:
+    """Everything a mutator and the oracles share for one trial."""
+    return {
+        "mutator": mutator,
+        "family": family,
+        "executable": family not in NON_EXECUTABLE_FAMILIES,
+        "envs": probe_envs(fuzz_seed, sorted(base_graph.variables())),
+        "max_steps": DEFAULT_MAX_STEPS,
+        "value_limit": DEFAULT_VALUE_LIMIT,
+    }
+
+
+# -- suites -------------------------------------------------------------------
+
+
+def fuzz_suite(smoke: bool = False) -> list[dict]:
+    """The equivalence-corpus population plus array workloads ([BJP91]
+    update encoding), as batch specs."""
+    from repro.perf.batch import equivalence_suite
+
+    suite = equivalence_suite(smoke=smoke)
+    arrays = 2 if smoke else 8
+    suite += [
+        {"label": f"array-{seed}", "family": "array", "args": [seed]}
+        for seed in range(arrays)
+    ]
+    return suite
+
+
+def fuzz_suites() -> dict[str, list[dict]]:
+    """Named suite registry (mirrors ``repro batch``'s suites)."""
+    return {
+        "default": fuzz_suite(smoke=False),
+        "smoke": fuzz_suite(smoke=True),
+    }
+
+
+def resolve_fuzz_suite(name: str) -> list[dict]:
+    suites = fuzz_suites()
+    try:
+        return suites[name]
+    except KeyError:
+        from repro.robust.errors import InputError
+
+        known = ", ".join(sorted(suites))
+        raise InputError(
+            f"unknown fuzz suite {name!r}; available suites: {known}",
+            phase="fuzz-suite",
+        ) from None
+
+
+def trial_specs(seed: int, suite: list[dict]) -> list[dict]:
+    """The full trial schedule: program-major, mutator order fixed."""
+    specs: list[dict] = []
+    for spec in suite:
+        for name in MUTATORS:
+            specs.append({
+                "label": spec["label"],
+                "family": spec["family"],
+                "args": list(spec["args"]),
+                "fuzz": {
+                    "mutator": name,
+                    "seed": derive_seed(seed, f"{spec['label']}:{name}"),
+                },
+            })
+    return specs
+
+
+# -- one trial ----------------------------------------------------------------
+
+
+def run_trial(spec: dict) -> dict:
+    """Run one mutation trial; never raises.  Spawn-safe: takes a plain
+    dict spec and resolves everything inside (this is what
+    ``repro.perf.batch._analyze_one`` dispatches to for pooled runs)."""
+    from repro.cfg.builder import build_cfg
+    from repro.perf.batch import resolve_family
+    from repro.robust.errors import error_record
+
+    fuzz = spec["fuzz"]
+    name = fuzz["mutator"]
+    row: dict = {"label": spec["label"], "mutator": name}
+    try:
+        program = resolve_family(spec["family"])(*spec["args"])
+        base_graph = build_cfg(program)
+        context = trial_context(
+            program, base_graph, fuzz["seed"], name, family=spec["family"]
+        )
+        mutation = MUTATORS[name](program, random.Random(fuzz["seed"]), context)
+        row["kind"] = mutation.kind
+        row["applied"] = mutation.applied
+        if not mutation.applied:
+            return row
+        mutant_graph = mutation.graph
+        if mutant_graph is None:
+            mutant_graph = build_cfg(mutation.program)
+        context = dict(context, expectations=mutation.expectations)
+        verdicts = run_oracles(base_graph, mutant_graph, context)
+        row["checks"] = {v.oracle: v.checks for v in verdicts}
+        failures = [v for v in verdicts if not v.ok]
+        if mutation.kind == "planted":
+            # An I/O failure on a planted mutant is the *detector
+            # working*; consistency-oracle failures on it are still real
+            # divergences (the plant is a valid program).
+            row["detected"] = any(v.oracle == "io" for v in failures)
+            failures = [v for v in failures if v.oracle != "io"]
+        if failures:
+            row["divergences"] = [
+                {"oracle": v.oracle, "detail": v.detail} for v in failures
+            ]
+        return row
+    except Exception as exc:
+        row["error"] = error_record(exc)
+        return row
+
+
+# -- the sweep ----------------------------------------------------------------
+
+
+def _aggregate(rows: list[dict]) -> dict:
+    """Deterministic aggregation of trial rows into the payload body."""
+    mutators: dict[str, dict] = {
+        name: {"attempted": 0, "applied": 0, "divergent": 0, "detected": 0}
+        for name in MUTATORS
+    }
+    oracles: dict[str, dict] = {
+        name: {"checks": 0, "failures": 0} for name in ORACLES
+    }
+    coverage: dict[str, dict[str, int]] = {
+        name: {oracle: 0 for oracle in ORACLES} for name in MUTATORS
+    }
+    for row in rows:
+        if "error" in row:
+            continue
+        stats = mutators[row["mutator"]]
+        stats["attempted"] += 1
+        if not row.get("applied"):
+            continue
+        stats["applied"] += 1
+        if row.get("detected"):
+            stats["detected"] += 1
+        if row.get("divergences"):
+            stats["divergent"] += 1
+        for oracle, checks in row.get("checks", {}).items():
+            oracles[oracle]["checks"] += checks
+            coverage[row["mutator"]][oracle] += 1
+        for divergence in row.get("divergences", []):
+            oracles[divergence["oracle"]]["failures"] += 1
+    return {"mutators": mutators, "oracles": oracles, "coverage": coverage}
+
+
+def run_fuzz(
+    seed: int = 0,
+    budget: int | None = None,
+    suite: str = "default",
+    jobs: int = 0,
+    repro_dir: str = DEFAULT_REPRO_DIR,
+    write_repros: bool = False,
+    minimize_budget: int = 200,
+) -> dict:
+    """Run the sweep; return the ``repro.fuzz/1`` payload.
+
+    ``budget`` is a *trial count* (a prefix of the deterministic
+    schedule), not wall time -- the payload must be byte-identical
+    across machines.  ``jobs > 0`` runs trials across a
+    :class:`~repro.robust.pool.SupervisedPool`; rows come back in
+    schedule order either way.  Divergence triage (ddmin, fingerprints,
+    reproducers) always runs in-process.
+    """
+    suite_specs = resolve_fuzz_suite(suite)
+    specs = trial_specs(seed, suite_specs)
+    if budget is not None:
+        specs = specs[:max(0, budget)]
+
+    if jobs and jobs > 0:
+        from repro.robust.pool import SupervisedPool
+
+        rows = SupervisedPool(jobs).run(specs)
+    else:
+        rows = [run_trial(spec) for spec in specs]
+
+    body = _aggregate(rows)
+    error_rows = [row for row in rows if "error" in row]
+
+    planted = body["mutators"]["plant-miscompile"]["applied"]
+    detected = body["mutators"]["plant-miscompile"]["detected"]
+    recall = (detected / planted) if planted else 1.0
+
+    # Triage: one reproducer per divergence *class* (fingerprint).
+    known = load_known_fingerprints(repro_dir)
+    records: dict[str, dict] = {}
+    for spec, row in zip(specs, rows):
+        for divergence in row.get("divergences", []):
+            fingerprint = divergence_fingerprint(
+                row["mutator"], divergence["oracle"], divergence["detail"]
+            )
+            if fingerprint in records:
+                continue
+            records[fingerprint] = triage_divergence(
+                spec, divergence, minimize_budget=minimize_budget
+            )
+    if write_repros:
+        for record in records.values():
+            write_reproducer(record, repro_dir)
+
+    divergences = [
+        {
+            "fingerprint": record["fingerprint"],
+            "label": record["label"],
+            "mutator": record["mutator"],
+            "oracle": record["oracle"],
+            "detail": record["detail"],
+            "minimized": record["minimized"],
+            "minimized_stmts": record["minimized_stmts"],
+            "novel": record["fingerprint"] not in known,
+        }
+        for record in sorted(
+            records.values(), key=lambda r: r["fingerprint"]
+        )
+    ]
+    novel = sorted(d["fingerprint"] for d in divergences if d["novel"])
+    unminimized = sorted(
+        d["fingerprint"] for d in divergences if not d["minimized"]
+    )
+    ok = (
+        not error_rows
+        and not novel
+        and not unminimized
+        and recall == 1.0
+    )
+
+    applied = sum(m["applied"] for m in body["mutators"].values())
+    return {
+        "schema": FUZZ_SCHEMA,
+        "seed": seed,
+        "suite": suite,
+        "budget": budget,
+        "jobs": jobs,
+        "programs": len({spec["label"] for spec in specs}),
+        "trials": len(rows),
+        "applied": applied,
+        "mutators": body["mutators"],
+        "oracles": body["oracles"],
+        "coverage": body["coverage"],
+        "planted": {
+            "planted": planted,
+            "detected": detected,
+            "recall": round(recall, 4),
+        },
+        "divergences": divergences,
+        "novel": novel,
+        "unminimized": unminimized,
+        "errors": len(error_rows),
+        "rows": rows,
+        "ok": ok,
+    }

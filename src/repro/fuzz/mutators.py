@@ -1,0 +1,465 @@
+"""Seeded program mutators for the metamorphic fuzzer.
+
+Five *semantics-preserving* transforms grounded in the paper, plus one
+deliberately semantics-*changing* planted miscompile used to score the
+detector's recall:
+
+``region-wrap``
+    SESE region extraction: a contiguous statement range is wrapped in
+    ``if (1) { ... }``, introducing a fresh switch/merge pair and hence
+    new canonical SESE regions (Theorem 1 territory).
+``loop-peel``
+    SESE region inlining: one loop iteration's region is inlined into
+    the enclosing region (``while c { b }`` becomes
+    ``if c { b; while c { b } }``; ``repeat`` peels its guaranteed first
+    iteration).
+``dead-branch``
+    Inserts ``if (v * v < 0) { <poison> }``: the opaque predicate is
+    false on every integer, so the poison body -- wild constant stores
+    and a print -- can never execute, but every dataflow analysis must
+    still reason about the branch.
+``reorder``
+    Swaps two adjacent simple statements that the dependence relation
+    (def-def, def-use, use-def, observability) proves independent.
+``opt-roundtrip``
+    Runs the staged optimizer (:func:`repro.opt.pipeline.optimize`);
+    the mutant is the optimized *graph*, held to I/O equivalence with
+    the original.
+``plant-miscompile``
+    Applies one observable semantic edit (flipped operator, perturbed
+    literal, swapped branch arms), verified observable on the trial's
+    probe environments *at plant time* -- so a working I/O oracle must
+    detect every successful plant (recall 1.0 by construction).
+
+Every mutator takes ``(program, rng, context)`` with an explicit
+:class:`random.Random`, never global randomness, and returns a
+:class:`Mutation`; inapplicable trials return ``applied=False`` instead
+of guessing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinOp,
+    Expr,
+    Goto,
+    If,
+    IntLit,
+    Label,
+    Print,
+    Program,
+    Repeat,
+    Skip,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+    expr_vars,
+    program_vars,
+)
+
+#: Binary operators a planted miscompile may flip between.
+_FLIPPABLE_OPS = ("+", "-", "*")
+
+
+@dataclass
+class Mutation:
+    """The outcome of one mutator application.
+
+    ``program`` is the mutated AST for source-level mutators; the
+    optimizer round-trip instead carries the transformed ``graph``
+    (there is no CFG-to-source unparser, and none is needed -- every
+    oracle works on graphs).  ``expectations`` names extra metamorphic
+    invariants the structural oracle must check for this mutant.
+    """
+
+    mutator: str
+    kind: str  # "preserving" | "planted"
+    applied: bool
+    program: Program | None = None
+    graph: object | None = None
+    detail: dict = field(default_factory=dict)
+    expectations: tuple[str, ...] = ()
+
+
+# -- AST copying --------------------------------------------------------------
+#
+# Statements are mutable dataclasses; expressions are frozen and shared.
+# Mutators therefore deep-copy the statement spine and leave expression
+# subtrees aliased.
+
+
+def copy_stmt(stmt: Stmt) -> Stmt:
+    if isinstance(stmt, Assign):
+        return Assign(stmt.target, stmt.expr)
+    if isinstance(stmt, Store):
+        return Store(stmt.array, stmt.index, stmt.expr)
+    if isinstance(stmt, Print):
+        return Print(stmt.expr)
+    if isinstance(stmt, Skip):
+        return Skip()
+    if isinstance(stmt, If):
+        return If(
+            stmt.cond, copy_stmts(stmt.then_body), copy_stmts(stmt.else_body)
+        )
+    if isinstance(stmt, While):
+        return While(stmt.cond, copy_stmts(stmt.body))
+    if isinstance(stmt, Repeat):
+        return Repeat(copy_stmts(stmt.body), stmt.cond)
+    if isinstance(stmt, Goto):
+        return Goto(stmt.label)
+    if isinstance(stmt, Label):
+        return Label(stmt.name)
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def copy_stmts(stmts: list[Stmt]) -> list[Stmt]:
+    return [copy_stmt(stmt) for stmt in stmts]
+
+
+def copy_program(program: Program) -> Program:
+    return Program(copy_stmts(program.body))
+
+
+def _stmt_lists(program: Program) -> list[list[Stmt]]:
+    """Every statement list in the program, preorder: the top level plus
+    each compound body.  Mutators pick insertion/extraction sites here."""
+    lists = [program.body]
+    stack = list(program.body)
+    while stack:
+        stmt = stack.pop(0)
+        if isinstance(stmt, If):
+            lists.extend([stmt.then_body, stmt.else_body])
+            stack.extend(stmt.then_body + stmt.else_body)
+        elif isinstance(stmt, (While, Repeat)):
+            lists.append(stmt.body)
+            stack.extend(stmt.body)
+    return lists
+
+
+def _mentions_jump(stmts: list[Stmt]) -> bool:
+    """Labels or gotos anywhere in the subtree -- duplicating those would
+    redeclare labels, so loop peeling skips them."""
+    probe = Program(copy_stmts(stmts))
+    return any(isinstance(s, (Goto, Label)) for s in probe.walk())
+
+
+# -- semantics-preserving mutators --------------------------------------------
+
+
+def region_wrap(
+    program: Program, rng: random.Random, context: Mapping
+) -> Mutation:
+    """Wrap a random contiguous statement range in ``if (1) { ... }``."""
+    mutated = copy_program(program)
+    lists = [stmts for stmts in _stmt_lists(mutated) if stmts]
+    if not lists:
+        return Mutation("region-wrap", "preserving", applied=False)
+    stmts = rng.choice(lists)
+    start = rng.randrange(len(stmts))
+    end = rng.randint(start + 1, len(stmts))
+    wrapped = If(IntLit(1), stmts[start:end], [])
+    stmts[start:end] = [wrapped]
+    # The wrap bounds a fresh single-entry/single-exit region, so the
+    # canonical SESE region count must not shrink -- unless a goto can
+    # jump into the wrapped slice from outside, in which case the slice
+    # is not single-entry and the new branch/join edges may legally
+    # merge previously distinct cycle-equivalence classes.
+    expectations = (
+        () if _mentions_jump(list(program.body)) else ("regions_nondecrease",)
+    )
+    return Mutation(
+        "region-wrap",
+        "preserving",
+        applied=True,
+        program=mutated,
+        detail={"wrapped_stmts": end - start},
+        expectations=expectations,
+    )
+
+
+def loop_peel(
+    program: Program, rng: random.Random, context: Mapping
+) -> Mutation:
+    """Peel one iteration of a random loop into its enclosing region."""
+    mutated = copy_program(program)
+    sites = [
+        (stmts, i)
+        for stmts in _stmt_lists(mutated)
+        for i, stmt in enumerate(stmts)
+        if isinstance(stmt, (While, Repeat))
+        and not _mentions_jump(stmt.body)
+    ]
+    if not sites:
+        return Mutation("loop-peel", "preserving", applied=False)
+    stmts, i = rng.choice(sites)
+    loop = stmts[i]
+    if isinstance(loop, While):
+        # while c { b }  ==  if c { b; while c { b } }
+        peeled = If(loop.cond, copy_stmts(loop.body) + [loop], [])
+        stmts[i] = peeled
+        shape = "while"
+    else:
+        # repeat { b } until c  ==  b; if !c { repeat { b } until c }
+        assert isinstance(loop, Repeat)
+        stmts[i:i + 1] = copy_stmts(loop.body) + [
+            If(UnOp("!", loop.cond), [loop], [])
+        ]
+        shape = "repeat"
+    return Mutation(
+        "loop-peel",
+        "preserving",
+        applied=True,
+        program=mutated,
+        detail={"loop": shape},
+    )
+
+
+def _opaque_false(rng: random.Random, variables: list[str]) -> Expr:
+    """A predicate that is false on every integer store but that no
+    constant propagator can fold: ``v * v < 0`` (squares are
+    non-negative; unbound variables read as 0)."""
+    if variables and rng.random() < 0.8:
+        v: Expr = Var(rng.choice(variables))
+    else:
+        v = BinOp("+", IntLit(rng.randint(1, 9)), IntLit(rng.randint(1, 9)))
+    return BinOp("<", BinOp("*", v, v), IntLit(0))
+
+
+def dead_branch(
+    program: Program, rng: random.Random, context: Mapping
+) -> Mutation:
+    """Insert an opaquely-dead branch with a maximally observable body."""
+    mutated = copy_program(program)
+    variables = sorted(program_vars(mutated)) or ["poison"]
+    lists = _stmt_lists(mutated)
+    stmts = rng.choice(lists)
+    position = rng.randint(0, len(stmts))
+    poison: list[Stmt] = []
+    for _ in range(rng.randint(1, 3)):
+        poison.append(
+            Assign(rng.choice(variables), IntLit(rng.randint(100, 999)))
+        )
+    poison.append(Print(Var(rng.choice(variables))))
+    guard = _opaque_false(rng, variables)
+    stmts.insert(position, If(guard, poison, []))
+    return Mutation(
+        "dead-branch",
+        "preserving",
+        applied=True,
+        program=mutated,
+        detail={"poison_stmts": len(poison)},
+    )
+
+
+def _defs_uses(stmt: Stmt) -> tuple[frozenset[str], frozenset[str], bool]:
+    """``(defs, uses, observable)`` for a simple statement, or raises.
+
+    A store both defines and uses its array ([BJP91]'s update encoding),
+    so two stores to one array never commute.
+    """
+    if isinstance(stmt, Assign):
+        return frozenset((stmt.target,)), expr_vars(stmt.expr), False
+    if isinstance(stmt, Store):
+        array = frozenset((stmt.array,))
+        return array, array | expr_vars(stmt.index) | expr_vars(stmt.expr), False
+    if isinstance(stmt, Print):
+        return frozenset(), expr_vars(stmt.expr), True
+    if isinstance(stmt, Skip):
+        return frozenset(), frozenset(), False
+    raise TypeError(f"not a simple statement: {stmt!r}")
+
+
+def _independent(a: Stmt, b: Stmt) -> bool:
+    """May ``a; b`` be reordered to ``b; a``?  True iff there is no
+    def-def, def-use or use-def conflict and at most one side is
+    observable (two prints never swap: output order is semantics)."""
+    try:
+        defs_a, uses_a, obs_a = _defs_uses(a)
+        defs_b, uses_b, obs_b = _defs_uses(b)
+    except TypeError:
+        return False
+    if obs_a and obs_b:
+        return False
+    return not (
+        (defs_a & defs_b) or (defs_a & uses_b) or (uses_a & defs_b)
+    )
+
+
+def reorder(
+    program: Program, rng: random.Random, context: Mapping
+) -> Mutation:
+    """Swap one dependence-independent adjacent statement pair."""
+    mutated = copy_program(program)
+    sites = [
+        (stmts, i)
+        for stmts in _stmt_lists(mutated)
+        for i in range(len(stmts) - 1)
+        if _independent(stmts[i], stmts[i + 1])
+    ]
+    if not sites:
+        return Mutation("reorder", "preserving", applied=False)
+    stmts, i = rng.choice(sites)
+    stmts[i], stmts[i + 1] = stmts[i + 1], stmts[i]
+    return Mutation(
+        "reorder",
+        "preserving",
+        applied=True,
+        program=mutated,
+        detail={"swap_sites": len(sites)},
+        expectations=("same_shape",),
+    )
+
+
+def opt_roundtrip(
+    program: Program, rng: random.Random, context: Mapping
+) -> Mutation:
+    """The staged optimizer as a mutator: its output graph must behave
+    identically to its input.  A non-executable program (the goto-soup
+    family) still round-trips -- the structural oracles cover it."""
+    from repro.cfg.builder import build_cfg
+    from repro.opt.pipeline import optimize
+
+    graph = build_cfg(copy_program(program))
+    optimized, report = optimize(graph)
+    return Mutation(
+        "opt-roundtrip",
+        "preserving",
+        applied=True,
+        graph=optimized,
+        detail={
+            "nodes_before": graph.num_nodes,
+            "nodes_after": optimized.num_nodes,
+            "pre_expressions": len(report.pre_expressions),
+        },
+    )
+
+
+# -- the planted miscompile ---------------------------------------------------
+
+
+def _plant_edits(
+    program: Program, rng: random.Random
+) -> list[tuple[str, Callable[[Program], bool]]]:
+    """Candidate semantic edits, in seeded order.  Each callable applies
+    its edit to a *fresh copy* passed in, returning True on success."""
+
+    def flip_op(site: int):
+        def apply(candidate: Program) -> bool:
+            seen = 0
+            for stmt in candidate.walk():
+                if isinstance(stmt, Assign) and isinstance(stmt.expr, BinOp) \
+                        and stmt.expr.op in _FLIPPABLE_OPS:
+                    if seen == site:
+                        ops = [o for o in _FLIPPABLE_OPS if o != stmt.expr.op]
+                        stmt.expr = BinOp(
+                            rng.choice(ops), stmt.expr.left, stmt.expr.right
+                        )
+                        return True
+                    seen += 1
+            return False
+        return apply
+
+    def perturb_literal(site: int):
+        def apply(candidate: Program) -> bool:
+            seen = 0
+            for stmt in candidate.walk():
+                if isinstance(stmt, Assign) and isinstance(stmt.expr, IntLit):
+                    if seen == site:
+                        stmt.expr = IntLit(stmt.expr.value + 1)
+                        return True
+                    seen += 1
+            return False
+        return apply
+
+    def swap_arms(site: int):
+        def apply(candidate: Program) -> bool:
+            seen = 0
+            for stmt in candidate.walk():
+                if isinstance(stmt, If) and stmt.then_body and stmt.else_body:
+                    if seen == site:
+                        stmt.then_body, stmt.else_body = (
+                            stmt.else_body, stmt.then_body
+                        )
+                        return True
+                    seen += 1
+            return False
+        return apply
+
+    edits: list[tuple[str, Callable[[Program], bool]]] = []
+    for site in range(8):
+        edits.append((f"flip-op@{site}", flip_op(site)))
+        edits.append((f"perturb-literal@{site}", perturb_literal(site)))
+        edits.append((f"swap-arms@{site}", swap_arms(site)))
+    rng.shuffle(edits)
+    return edits
+
+
+def _observably_differs(
+    base: Program, mutant: Program, envs: list[dict], context: Mapping
+) -> bool:
+    """Do the two programs differ on any probe environment?  Runs the
+    *same* ``_run_outputs`` configuration the I/O oracle uses, so an
+    edit passing this check is detectable by construction (recall 1.0)."""
+    from repro.cfg.builder import build_cfg
+    from repro.fuzz.oracles import (
+        DEFAULT_MAX_STEPS,
+        DEFAULT_VALUE_LIMIT,
+        _run_outputs,
+    )
+
+    max_steps = context.get("max_steps", DEFAULT_MAX_STEPS)
+    value_limit = context.get("value_limit", DEFAULT_VALUE_LIMIT)
+    try:
+        base_graph = build_cfg(base)
+        mutant_graph = build_cfg(mutant)
+    except Exception:
+        return False
+    for env in envs:
+        before = _run_outputs(base_graph, env, max_steps, value_limit)
+        after = _run_outputs(mutant_graph, env, max_steps, value_limit)
+        if before != after:
+            return True
+    return False
+
+
+def plant_miscompile(
+    program: Program, rng: random.Random, context: Mapping
+) -> Mutation:
+    """Apply one semantic edit verified observable on the trial's probe
+    environments.  Non-executable families (goto soup) and programs with
+    no observable edit return ``applied=False``."""
+    if not context.get("executable", True):
+        return Mutation("plant-miscompile", "planted", applied=False)
+    envs = context["envs"]
+    for name, edit in _plant_edits(program, rng):
+        candidate = copy_program(program)
+        if not edit(candidate):
+            continue
+        if _observably_differs(program, candidate, envs, context):
+            return Mutation(
+                "plant-miscompile",
+                "planted",
+                applied=True,
+                program=candidate,
+                detail={"edit": name},
+            )
+    return Mutation("plant-miscompile", "planted", applied=False)
+
+
+#: The mutator registry, in sweep order.  Order matters: the trial
+#: schedule (and hence every seeded payload) iterates this dict.
+MUTATORS: dict[str, Callable[[Program, random.Random, Mapping], Mutation]] = {
+    "region-wrap": region_wrap,
+    "loop-peel": loop_peel,
+    "dead-branch": dead_branch,
+    "reorder": reorder,
+    "opt-roundtrip": opt_roundtrip,
+    "plant-miscompile": plant_miscompile,
+}

@@ -1,0 +1,167 @@
+"""Automated divergence triage: shrink, fingerprint, deduplicate.
+
+A divergence (a preserving mutant on which an oracle failed) flows
+through three steps:
+
+1. **Minimize** -- :func:`repro.robust.minimize.minimize_program` ddmin
+   over the *base* program, with a predicate that replays the exact
+   trial (same mutator, same derived seed, same probe-environment
+   derivation) and accepts a candidate iff the same oracle still fails.
+   Candidates that fail differently count as passing, so the shrink
+   cannot wander onto a different bug.
+2. **Fingerprint** -- SHA-256 over ``mutator:oracle:<detail signature>``,
+   truncated to 12 hex chars like ``repro.incident/1`` fingerprints.
+   The signature strips volatile payload (values, labels, node ids), so
+   one underlying bug hit from many seed programs deduplicates to one
+   fingerprint.
+3. **Reproduce** -- a ``repro.fuzzrepro/1`` record (original + minimized
+   source, trial coordinates, verdict detail) written under
+   ``tests/repros/`` as ``fuzz-<fingerprint>.json``.  Fingerprints
+   already present there are *known*: the CI gate fails only on novel or
+   unminimized divergences, so a triaged bug does not block the tree
+   twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+
+from repro.robust.minimize import minimize_program
+
+FUZZ_REPRO_SCHEMA = "repro.fuzzrepro/1"
+
+#: Filename prefix for fuzz reproducers in the repro directory.
+_REPRO_PREFIX = "fuzz-"
+
+
+def _detail_signature(detail: str) -> str:
+    """The bug-class signature of a verdict detail: numbers, node ids
+    and environment dumps are volatile across seed programs, so they are
+    masked before hashing."""
+    masked = re.sub(r"-?\d+", "#", detail)
+    masked = re.sub(r"env=\[[^]]*\]", "env=[...]", masked)
+    return masked
+
+
+def divergence_fingerprint(mutator: str, oracle: str, detail: str) -> str:
+    """A stable 12-hex-char fingerprint of a divergence class."""
+    text = f"{mutator}:{oracle}:{_detail_signature(detail)}"
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+def load_known_fingerprints(repro_dir: str) -> set[str]:
+    """Fingerprints of reproducers already checked in under
+    ``repro_dir`` -- these are known bugs, not novel findings."""
+    known: set[str] = set()
+    if not os.path.isdir(repro_dir):
+        return known
+    for name in sorted(os.listdir(repro_dir)):
+        if not (name.startswith(_REPRO_PREFIX) and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(repro_dir, name)) as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if record.get("schema") == FUZZ_REPRO_SCHEMA and record.get(
+            "fingerprint"
+        ):
+            known.add(record["fingerprint"])
+    return known
+
+
+def _replay_fails(mutator: str, oracle: str, fuzz_seed: int):
+    """The minimization predicate: does replaying this trial on a
+    candidate program still fail the *same* oracle?"""
+    from repro.fuzz.harness import trial_context
+    from repro.fuzz.mutators import MUTATORS
+    from repro.fuzz.oracles import run_oracles
+    import random
+
+    from repro.cfg.builder import build_cfg
+
+    def fails(candidate) -> bool:
+        rng = random.Random(fuzz_seed)
+        base_graph = build_cfg(candidate)
+        context = trial_context(candidate, base_graph, fuzz_seed, mutator)
+        mutation = MUTATORS[mutator](candidate, rng, context)
+        if not mutation.applied:
+            return False
+        mutant_graph = mutation.graph or build_cfg(mutation.program)
+        context = dict(context, expectations=mutation.expectations)
+        for verdict in run_oracles(base_graph, mutant_graph, context):
+            if verdict.oracle == oracle and not verdict.ok:
+                return True
+        return False
+
+    return fails
+
+
+def triage_divergence(
+    spec: dict,
+    divergence: dict,
+    minimize_budget: int = 200,
+) -> dict:
+    """Minimize one divergent trial into a ``repro.fuzzrepro/1`` record.
+
+    ``spec`` is the trial spec ({label, family, args, fuzz:{seed,
+    mutator}}); ``divergence`` carries the failing oracle name and
+    verdict detail.  The record always carries a fingerprint; it is
+    *minimized* iff the replay predicate reproduced on the original
+    source (a flaky or environment-dependent divergence stays
+    unminimized -- and therefore trips the gate).
+    """
+    from repro.lang.parser import parse_program
+    from repro.lang.pretty import pretty_program
+    from repro.perf.batch import resolve_family
+
+    mutator = spec["fuzz"]["mutator"]
+    fuzz_seed = spec["fuzz"]["seed"]
+    oracle = divergence["oracle"]
+    program = resolve_family(spec["family"])(*spec["args"])
+    source = pretty_program(program)
+
+    fails = _replay_fails(mutator, oracle, fuzz_seed)
+    try:
+        reproduced = fails(parse_program(source))
+    except Exception:
+        reproduced = False
+    if reproduced:
+        minimized, evals = minimize_program(
+            source, fails, budget=minimize_budget
+        )
+    else:
+        minimized, evals = source, 0
+    fingerprint = divergence_fingerprint(mutator, oracle, divergence["detail"])
+    return {
+        "schema": FUZZ_REPRO_SCHEMA,
+        "fingerprint": fingerprint,
+        "label": spec["label"],
+        "family": spec["family"],
+        "args": list(spec["args"]),
+        "mutator": mutator,
+        "oracle": oracle,
+        "fuzz_seed": fuzz_seed,
+        "detail": divergence["detail"],
+        "source": source,
+        "minimized_source": minimized,
+        "original_stmts": source.count("\n"),
+        "minimized_stmts": minimized.count("\n"),
+        "minimized": reproduced,
+        "predicate_evals": evals,
+    }
+
+
+def write_reproducer(record: dict, repro_dir: str) -> str:
+    """Write ``record`` as ``fuzz-<fingerprint>.json``; returns the path."""
+    os.makedirs(repro_dir, exist_ok=True)
+    path = os.path.join(
+        repro_dir, f"{_REPRO_PREFIX}{record['fingerprint']}.json"
+    )
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -38,6 +38,29 @@ class TransformStats:
         self.rounds += other.rounds
 
 
+def _is_synthetic_exit(graph: CFG, node) -> bool:
+    """True for the ``switch(1)`` escape hatches that normalization adds
+    so infinite loops still reach END: predicate literally ``1`` and an
+    F-arm that falls into END, possibly through interposed merges."""
+    if node.expr != IntLit(1):
+        return False
+    edge = next(
+        (e for e in graph.out_edges(node.id) if e.label == "F"), None
+    )
+    if edge is None:
+        return False
+    dst, seen = edge.dst, set()
+    while dst != graph.end:
+        if dst in seen or graph.nodes[dst].kind is not NodeKind.MERGE:
+            return False
+        seen.add(dst)
+        succs = graph.succs(dst)
+        if len(succs) != 1:
+            return False
+        dst = succs[0]
+    return True
+
+
 def fold_constants(graph: CFG, rhs_values: dict[int, object]) -> TransformStats:
     """Fold constant right-hand sides and constant branch predicates, in
     place.  ``rhs_values`` maps node ids to lattice values (integers fold;
@@ -56,6 +79,13 @@ def fold_constants(graph: CFG, rhs_values: dict[int, object]) -> TransformStats:
                 graph.note_rewrite()
                 stats.folded_rhs += 1
         elif node.kind is NodeKind.SWITCH:
+            if value and _is_synthetic_exit(graph, node):
+                # A synthetic exit (normalize adds switch(1) -> END so
+                # infinite loops still reach END).  Folding it strands
+                # the loop it guards and re-normalization inserts an
+                # identical switch under a fresh id -- a fold treadmill
+                # that never reaches a fixpoint.  Keep it.
+                continue
             taken = graph.switch_edge(node.id, "T" if value else "F")
             in_edge = graph.in_edge(node.id)
             graph.add_edge(in_edge.src, taken.dst, label=in_edge.label)

@@ -65,6 +65,7 @@ from repro.graphs.dominance import (
 )
 from repro.perf.csr import build_csr
 from repro.workloads.generators import (
+    array_program,
     irreducible_program,
     random_jump_program,
     random_program,
@@ -313,6 +314,7 @@ _FAMILIES: dict[str, Callable] = {
     "wide": wide_variable_program,
     "irreducible": irreducible_program,
     "jump": random_jump_program,
+    "array": array_program,
     "loopnest": loop_nest,
     "sparse": sparse_use_program,
     "lintdefects": lint_defect_program,
@@ -406,6 +408,33 @@ def lint_suite(smoke: bool = False) -> list[dict]:
     return suite
 
 
+#: ``repro batch --suite`` vocabulary: name -> builder(args namespace-ish
+#: keyword arguments).  Kept as data so the CLI can both validate and
+#: list the choices without argparse hard-coding them.
+BATCH_SUITES = ("default", "equivalence", "lint")
+
+
+def resolve_suite(
+    name: str, smoke: bool = False, programs: int = 8, size: int = 80
+) -> list[dict]:
+    """The batch suite for ``name``; unknown names raise a one-line
+    :class:`~repro.robust.errors.InputError` listing what is available
+    (instead of a bare traceback or an argparse-only check)."""
+    if name == "default":
+        return default_suite(programs, size=size)
+    if name == "equivalence":
+        return equivalence_suite(smoke=smoke)
+    if name == "lint":
+        return lint_suite(smoke=smoke)
+    from repro.robust.errors import InputError
+
+    known = ", ".join(BATCH_SUITES)
+    raise InputError(
+        f"unknown batch suite {name!r}; available suites: {known}",
+        phase="batch-suite",
+    )
+
+
 def _analyze_one(spec: dict) -> dict:
     """Build and analyze one program; never raises.
 
@@ -416,13 +445,20 @@ def _analyze_one(spec: dict) -> dict:
     Specs with ``"lint": True`` run the diagnostics engine (rule passes
     plus oracle verification) instead of the plain analysis menu; the
     program is round-tripped through the pretty-printer so diagnostics
-    carry genuine source spans.
+    carry genuine source spans.  Specs with a ``"fuzz"`` entry dispatch
+    to one mutation trial of :mod:`repro.fuzz.harness` (mutate, run
+    oracles, report verdicts) -- that is how ``repro fuzz --jobs`` fans
+    trials across the supervised pool.
     """
     from repro.pipeline.manager import AnalysisManager
     from repro.robust.errors import error_record
     from repro.util.metrics import Metrics
 
     try:
+        if spec.get("fuzz"):
+            from repro.fuzz.harness import run_trial
+
+            return run_trial(spec)
         program = resolve_family(spec["family"])(*spec["args"])
         if spec.get("lint"):
             from repro.lang.parser import parse_program

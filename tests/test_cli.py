@@ -263,3 +263,45 @@ def test_batch_spawn_pool_matches_in_process(tmp_path, capsys):
     assert {k: v["work"] for k, v in pooled["passes"].items()} == (
         {k: v["work"] for k, v in serial["passes"].items()}
     )
+
+
+# -- unknown --suite diagnostics (PR 5 satellite) -----------------------------
+
+
+@pytest.mark.parametrize(
+    "command, suites",
+    [
+        ("batch", ("default", "equivalence", "lint")),
+        ("fuzz", ("default", "smoke")),
+    ],
+)
+def test_unknown_suite_exits_2_and_lists_names(capsys, command, suites):
+    """A typo'd --suite must not traceback: exit code 2 and a one-line
+    diagnostic that names every available suite."""
+    assert main([command, "--suite", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "input error" in err and "bogus" in err
+    for name in suites:
+        assert name in err
+    assert "Traceback" not in err
+
+
+def test_fuzz_cli_smoke(tmp_path, capsys):
+    out = str(tmp_path / "fuzz.json")
+    assert main(
+        ["fuzz", "--suite", "smoke", "--budget", "12", "--seed", "0",
+         "--output", out]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "planted recall" in err
+    payload = json.load(open(out))
+    assert payload["schema"] == "repro.fuzz/1"
+    assert payload["trials"] == 12
+    assert payload["ok"] is True
+
+
+def test_missing_file_exits_2_with_one_line_diagnostic(capsys):
+    assert main(["run", "/tmp/definitely-does-not-exist.dfg"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro: input error:")
+    assert "Traceback" not in err

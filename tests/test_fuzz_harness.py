@@ -1,0 +1,87 @@
+"""The fuzz sweep driver: schedule, budget, pooling, gate (PR 5)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.fuzz.harness import (
+    FUZZ_SCHEMA,
+    fuzz_suites,
+    resolve_fuzz_suite,
+    run_fuzz,
+    run_trial,
+    trial_specs,
+)
+from repro.fuzz.mutators import MUTATORS
+from repro.robust.errors import InputError
+
+
+def test_trial_schedule_is_program_major_and_seeded():
+    suite = resolve_fuzz_suite("smoke")
+    specs = trial_specs(0, suite)
+    assert len(specs) == len(suite) * len(MUTATORS)
+    # Program-major: the first len(MUTATORS) trials share the first label.
+    first = suite[0]["label"]
+    assert [s["label"] for s in specs[: len(MUTATORS)]] == [first] * len(MUTATORS)
+    assert [s["fuzz"]["mutator"] for s in specs[: len(MUTATORS)]] == list(MUTATORS)
+    # Seeds differ per (program, mutator) and change with the run seed.
+    seeds = {s["fuzz"]["seed"] for s in specs}
+    assert len(seeds) == len(specs)
+    assert trial_specs(1, suite)[0]["fuzz"]["seed"] != specs[0]["fuzz"]["seed"]
+
+
+def test_budget_is_a_prefix_of_the_schedule(tmp_path):
+    full = run_fuzz(seed=3, suite="smoke", repro_dir=str(tmp_path))
+    cut = run_fuzz(seed=3, suite="smoke", budget=10, repro_dir=str(tmp_path))
+    assert cut["trials"] == 10
+    assert cut["rows"] == full["rows"][:10]
+
+
+def test_jobs_do_not_change_the_payload(tmp_path):
+    solo = run_fuzz(seed=1, suite="smoke", budget=24, repro_dir=str(tmp_path))
+    pooled = run_fuzz(
+        seed=1, suite="smoke", budget=24, jobs=2, repro_dir=str(tmp_path)
+    )
+    # Everything but the jobs echo must be identical -- rows come back in
+    # schedule order regardless of pool interleaving.
+    solo.pop("jobs"), pooled.pop("jobs")
+    assert json.dumps(solo, sort_keys=True) == json.dumps(pooled, sort_keys=True)
+
+
+def test_payload_shape_and_gate(tmp_path):
+    payload = run_fuzz(seed=0, suite="smoke", repro_dir=str(tmp_path))
+    assert payload["schema"] == FUZZ_SCHEMA
+    assert payload["programs"] == len(resolve_fuzz_suite("smoke"))
+    assert payload["errors"] == 0
+    assert payload["divergences"] == []
+    assert payload["planted"]["recall"] == 1.0
+    assert payload["ok"] is True
+    # Coverage: every preserving mutator exercised at least one
+    # consistency oracle; the planted mutator exercised io.
+    assert payload["coverage"]["plant-miscompile"]["io"] > 0
+    for name in MUTATORS:
+        assert payload["mutators"][name]["applied"] > 0, name
+
+
+def test_run_trial_never_raises_on_bad_spec():
+    row = run_trial(
+        {
+            "label": "broken",
+            "family": "no-such-family",
+            "args": [],
+            "fuzz": {"mutator": "reorder", "seed": 1},
+        }
+    )
+    assert "error" in row
+    assert row["label"] == "broken"
+
+
+def test_unknown_suite_lists_available_names():
+    try:
+        resolve_fuzz_suite("bogus")
+    except InputError as exc:
+        message = str(exc)
+        for name in fuzz_suites():
+            assert name in message
+    else:
+        raise AssertionError("unknown suite must raise InputError")

@@ -1,0 +1,114 @@
+"""End-to-end divergence triage (PR 5, satellite: ddmin e2e).
+
+Plant a real miscompile, hand the failing trial to the triage pipeline,
+and require a small reproducer: ddmin over the base program with the
+replay predicate must shrink the seed program to at most ten lines while
+the same oracle still fails, and the fingerprint must be stable so the
+same bug found twice deduplicates.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.cfg.builder import build_cfg
+from repro.fuzz.harness import derive_seed, trial_context
+from repro.fuzz.mutators import MUTATORS
+from repro.fuzz.oracles import run_oracles
+from repro.fuzz.triage import (
+    FUZZ_REPRO_SCHEMA,
+    divergence_fingerprint,
+    load_known_fingerprints,
+    triage_divergence,
+    write_reproducer,
+)
+from repro.workloads.generators import random_program
+
+
+def _planted_trial():
+    """The first random-program trial (by seed) whose planted miscompile
+    applies and trips the io oracle; fully deterministic."""
+    for seed in range(30):
+        label = f"random-{seed}"
+        fuzz_seed = derive_seed(0, f"{label}:plant-miscompile")
+        program = random_program(seed, 16, 4)
+        base_graph = build_cfg(program)
+        context = trial_context(
+            program, base_graph, fuzz_seed, "plant-miscompile", family="random"
+        )
+        mutation = MUTATORS["plant-miscompile"](
+            program, random.Random(fuzz_seed), context
+        )
+        if not mutation.applied:
+            continue
+        mutant_graph = mutation.graph or build_cfg(mutation.program)
+        context = dict(context, expectations=mutation.expectations)
+        failures = [
+            v
+            for v in run_oracles(base_graph, mutant_graph, context)
+            if v.oracle == "io" and not v.ok
+        ]
+        if failures:
+            spec = {
+                "label": label,
+                "family": "random",
+                "args": [seed, 16, 4],
+                "fuzz": {"mutator": "plant-miscompile", "seed": fuzz_seed},
+            }
+            return spec, {"oracle": "io", "detail": failures[0].detail}
+    raise AssertionError("no planted trial tripped the io oracle in 30 seeds")
+
+
+def test_planted_miscompile_minimizes_to_small_reproducer(tmp_path):
+    spec, divergence = _planted_trial()
+    record = triage_divergence(spec, divergence, minimize_budget=400)
+
+    assert record["schema"] == FUZZ_REPRO_SCHEMA
+    assert record["minimized"], "replay predicate failed to reproduce"
+    assert record["predicate_evals"] > 0
+    assert record["minimized_stmts"] <= 10, record["minimized_source"]
+    assert record["minimized_stmts"] <= record["original_stmts"]
+
+    # Stable fingerprint: triaging the same trial again lands on the
+    # same 12-hex id, so dedup across runs works.
+    again = triage_divergence(spec, divergence, minimize_budget=400)
+    assert again["fingerprint"] == record["fingerprint"]
+    assert again["minimized_source"] == record["minimized_source"]
+
+    # Round-trip through the repro directory: written reproducers become
+    # known fingerprints, which is what un-gates CI for triaged bugs.
+    path = write_reproducer(record, str(tmp_path))
+    stored = json.loads(open(path).read())
+    assert stored["fingerprint"] == record["fingerprint"]
+    assert load_known_fingerprints(str(tmp_path)) == {record["fingerprint"]}
+
+
+def test_fingerprint_masks_volatile_payload():
+    a = divergence_fingerprint(
+        "reorder", "io", "outputs diverge at env=[('p', 3)]: (1, 2) vs (1, 3)"
+    )
+    b = divergence_fingerprint(
+        "reorder", "io", "outputs diverge at env=[('q', 7)]: (9, 12) vs (8, 4)"
+    )
+    c = divergence_fingerprint("reorder", "constprop", "anything")
+    assert a == b, "same bug class must share a fingerprint"
+    assert a != c, "different oracle is a different bug class"
+
+
+def test_unreproducible_divergence_stays_unminimized():
+    spec = {
+        "label": "random-0",
+        "family": "random",
+        "args": [0, 16, 4],
+        # A seed under which the reorder mutator finds a legal swap but
+        # every oracle passes: the replay predicate never fails, so the
+        # record must come back unminimized (and would trip the gate).
+        "fuzz": {"mutator": "reorder", "seed": derive_seed(0, "random-0:reorder")},
+    }
+    record = triage_divergence(
+        spec, {"oracle": "io", "detail": "synthetic"}, minimize_budget=50
+    )
+    assert not record["minimized"]
+    assert record["predicate_evals"] == 0
+    assert record["minimized_source"] == record["source"]

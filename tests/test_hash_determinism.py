@@ -119,3 +119,93 @@ def test_lint_output_bytes_identical_across_hash_seeds(tmp_path, fmt) -> None:
     baseline = _lint_bytes(path, fmt, "1")
     for seed in ("2", "42", "12345"):
         assert _lint_bytes(path, fmt, seed) == baseline, seed
+
+
+# -- generators and fuzz mutators ---------------------------------------------
+#
+# The fuzzer's byte-determinism contract starts at the program
+# generators and the mutators: for a fixed seed both must produce
+# byte-identical source under every hash seed.  The helper script prints
+# pretty-printed sources, so any set-ordering leak in a generator or a
+# mutator (site enumeration, variable choice, shuffles) shows up as a
+# stdout diff.
+
+_GEN_SCRIPT = """\
+import random
+from repro.lang.pretty import pretty_program
+from repro.workloads.generators import (
+    array_program, inline_expansion_program, irreducible_program,
+    random_jump_program, random_program,
+)
+from repro.fuzz.mutators import MUTATORS
+from repro.fuzz.harness import probe_envs, trial_context
+from repro.cfg.builder import build_cfg
+
+for seed in range(6):
+    print(pretty_program(random_program(seed, size=14, num_vars=4)))
+    print(pretty_program(irreducible_program(seed)))
+    print(pretty_program(random_jump_program(seed)))
+    print(pretty_program(array_program(seed)))
+    print(pretty_program(inline_expansion_program(seed)))
+
+for seed in range(4):
+    base = random_program(seed, size=14, num_vars=4)
+    graph = build_cfg(base)
+    for name, mutator in MUTATORS.items():
+        context = trial_context(base, graph, seed, name, family="random")
+        mutation = mutator(base, random.Random(seed), context)
+        print(name, mutation.applied, sorted(mutation.detail.items()))
+        if mutation.program is not None:
+            print(pretty_program(mutation.program))
+    print(probe_envs(seed, sorted(graph.variables())))
+"""
+
+
+def _generator_bytes(seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", _GEN_SCRIPT],
+        capture_output=True,
+        env=env,
+        check=True,
+    )
+    assert proc.stdout
+    return proc.stdout
+
+
+def test_generators_and_mutators_identical_across_hash_seeds() -> None:
+    baseline = _generator_bytes("1")
+    for seed in ("2", "42", "12345"):
+        assert _generator_bytes(seed) == baseline, seed
+
+
+# -- the fuzz sweep end to end ------------------------------------------------
+
+
+def _fuzz_bytes(tmp_path, hash_seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC
+    out = str(tmp_path / f"fuzz_{hash_seed}.json")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "fuzz",
+            "--suite", "smoke", "--budget", "18", "--seed", "7",
+            "--output", out,
+        ],
+        capture_output=True,
+        env=env,
+        check=True,
+    )
+    return Path(out).read_bytes()
+
+
+def test_fuzz_payload_bytes_identical_across_hash_seeds(tmp_path) -> None:
+    """``repro fuzz --seed N`` is byte-identical across runs and hash
+    seeds -- the payload carries no wall-clock fields at all."""
+    baseline = _fuzz_bytes(tmp_path, "1")
+    assert b'"wall_ms"' not in baseline and b'"dur_ms"' not in baseline
+    for seed in ("2", "42"):
+        assert _fuzz_bytes(tmp_path, seed) == baseline, seed

@@ -1,0 +1,101 @@
+"""Idempotence of the optimizer passes (PR-5 satellite).
+
+Applying any single pass twice must produce the same graph as applying
+it once: a pass that keeps finding work on its own output either loops
+(EPR's zero-profit motion treadmill, fixed in this PR by the
+cycle-equivalence profit filter) or silently degrades determinism.
+The property is checked over the full 204-program equivalence corpus
+(plus array workloads) by comparing structural graph fingerprints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.core.constprop import dfg_constant_propagation
+from repro.core.dce import dfg_dead_code_elimination
+from repro.core.epr import epr_all
+from repro.fuzz.harness import fuzz_suite
+from repro.opt.copyprop import copy_propagation
+from repro.opt.transform import fold_and_eliminate
+from repro.pipeline.manager import AnalysisManager
+from repro.robust.errors import graph_fingerprint
+from repro.util.metrics import WorkCounter
+
+CORPUS = fuzz_suite(smoke=False)
+
+#: EPR is ~20x the cost of the other passes, so it sweeps a fixed
+#: stratified slice of the corpus (every 4th program still covers every
+#: family) while the cheap passes sweep everything.
+EPR_CORPUS = CORPUS[::4]
+
+
+def _program_for(spec):
+    from repro.perf.batch import resolve_family
+
+    return resolve_family(spec["family"])(*spec["args"])
+
+
+def _apply(graph, name):
+    if name == "epr":
+        manager = AnalysisManager(graph)
+        transformed, _ = epr_all(graph, counter=WorkCounter(), manager=manager)
+        return transformed
+    if name == "constprop":
+        fold_and_eliminate(
+            graph, analyze=lambda g: dfg_constant_propagation(g).rhs_values
+        )
+        return graph
+    if name == "copyprop":
+        copy_propagation(graph)
+        return graph
+    if name == "dce":
+        dfg_dead_code_elimination(graph)
+        return graph
+    raise ValueError(name)
+
+
+def _assert_idempotent(spec, pass_name):
+    graph = build_cfg(_program_for(spec))
+    once = _apply(graph.copy(), pass_name)
+    twice = _apply(once.copy(), pass_name)
+    assert graph_fingerprint(once) == graph_fingerprint(twice), (
+        f"{pass_name} is not idempotent on {spec['label']}: "
+        f"{once.num_nodes} -> {twice.num_nodes} nodes"
+    )
+
+
+@pytest.mark.parametrize(
+    "pass_name", ["constprop", "copyprop", "dce"]
+)
+def test_cheap_passes_idempotent_over_corpus(pass_name):
+    for spec in CORPUS:
+        _assert_idempotent(spec, pass_name)
+
+
+@pytest.mark.parametrize(
+    "spec", EPR_CORPUS, ids=lambda spec: spec["label"]
+)
+def test_epr_idempotent(spec):
+    _assert_idempotent(spec, "epr")
+
+
+def test_epr_zero_profit_guard_fires():
+    """The regression that motivated the guard: on an already-EPR'd
+    graph, a second run used to walk single-site computations up their
+    own straight-line SESE chains forever (insert one node, delete one
+    node, zero dynamic profit, repeat).  The cycle-equivalence filter
+    must reject every such motion, so re-running EPR is a no-op."""
+    from repro.workloads.generators import random_program
+
+    grew = 0
+    for seed in (0, 1, 3, 4):
+        graph = build_cfg(random_program(seed, size=18, num_vars=4))
+        once = _apply(graph, "epr")
+        nodes_after_once = once.num_nodes
+        twice = _apply(once.copy(), "epr")
+        assert twice.num_nodes == nodes_after_once, seed
+        grew += int(nodes_after_once > graph.num_nodes)
+    # The guard must not neuter EPR itself: first runs still transform.
+    assert grew >= 1
