@@ -94,12 +94,13 @@ class ProgramStructure:
             from repro.perf.csr import build_csr
 
             csr = build_csr(graph)
-        self.dom: DominatorTree = (
+        self._dom: DominatorTree = (
             dom if dom is not None else edge_dominators(graph, csr=csr)
         )
-        self.pdom: DominatorTree = (
+        self._pdom: DominatorTree = (
             pdom if pdom is not None else edge_postdominators(graph, csr=csr)
         )
+        self._substrate_version = graph.shape_version
         self.edge_class: dict[int, int] = (
             edge_class
             if edge_class is not None
@@ -162,6 +163,353 @@ class ProgramStructure:
             for child in region.children:
                 combined |= self._defs_in[child]
             self._defs_in[region] = frozenset(combined)
+
+        #: Regions whose membership or boundary moved since the last
+        #: :meth:`consume_touched` (``None`` entries mean the virtual
+        #: root's). A list, not a set: ``Region.__hash__`` follows the
+        #: boundary, so hashing is deferred to consume time.  ``None``
+        #: as the whole value means "unknown -- treat everything as
+        #: touched" (set by :meth:`_rebuild_from_scratch`).
+        self._touched: list | None = []
+
+    # -- dominance substrates (lazy under incremental edits) ----------------
+
+    def _refresh_substrates(self) -> None:
+        """Recompute edge (post)dominators if the graph's shape moved on
+        since they were built.  ``apply_splice``/``apply_unsplice`` keep
+        every *region* table exact by hand but deliberately leave the
+        dominator trees stale -- most incremental consumers never touch
+        them, so the rebuild is paid only by the query methods that do
+        (``is_sese``, ``contains_*``)."""
+        if self._substrate_version == self.graph.shape_version:
+            return
+        from repro.perf.csr import build_csr
+
+        csr = build_csr(self.graph)
+        self._dom = edge_dominators(self.graph, csr=csr)
+        self._pdom = edge_postdominators(self.graph, csr=csr)
+        self._substrate_version = self.graph.shape_version
+
+    @property
+    def dom(self) -> DominatorTree:
+        self._refresh_substrates()
+        return self._dom
+
+    @property
+    def pdom(self) -> DominatorTree:
+        self._refresh_substrates()
+        return self._pdom
+
+    # -- incremental edits ---------------------------------------------------
+
+    def apply_splice(
+        self,
+        eid: int,
+        nid: int,
+        e1: int,
+        e2: int,
+        counter: WorkCounter | None = None,
+    ) -> Region:
+        """Record that edge ``eid`` was split into ``e1 -> nid -> e2``.
+
+        The caller has already mutated the graph (removed ``eid``, added
+        the straight-line node ``nid`` and the two edges); this updates
+        every region table in O(region) instead of rebuilding the whole
+        structure.  Splitting an edge with a pass-through node keeps the
+        two halves in ``eid``'s cycle-equivalence class (every cycle
+        through one crosses the other) and dominance-consecutive in the
+        original class position, so one new canonical region ``(e1, e2)``
+        appears and the old neighbours retarget onto the new boundary
+        edges.  When ``eid`` lay on a cycle the new region may capture
+        more than ``nid``: members of the region ``eid`` *closed* that
+        were dominated by ``eid`` (a rotated loop entered mid-cycle)
+        now sit between ``e1`` and ``e2``; such members are exactly the
+        ones unreachable from the closer's entry once the entry and
+        ``e1`` are barred, so a local traversal migrates them.  Returns
+        the new region.
+        """
+        cls = self.edge_class.pop(eid)
+        self.edge_class[e1] = cls
+        self.edge_class[e2] = cls
+        eids = self.classes[cls]
+        pos = eids.index(eid)
+        eids[pos : pos + 1] = [e1, e2]
+
+        # Region-keyed dict entries must be lifted out before the
+        # (entry, exit) hash mutates.
+        closer = self.opens.get(eids[pos - 1]) if pos > 0 else None
+        if closer is not None:
+            self._rekey(closer, exit=e1)
+        opener = self.opens.pop(eid, None)
+        if opener is not None:
+            self._rekey(opener, entry=e2)
+            self.opens[e2] = opener
+
+        region = Region(e1, e2, cls, pos)
+        self.regions.append(region)
+        self.opens[e1] = region
+        self._reindex_class(cls)
+
+        parent = self.region_of_edge.pop(eid)
+        self.region_of_edge[e1] = parent
+        self.region_of_edge[e2] = parent
+        self.region_of_node[nid] = region
+        region.parent = parent
+        if parent is None:
+            self.roots.append(region)
+            region.depth = 1
+        else:
+            parent.children.append(region)
+            region.depth = parent.depth + 1
+
+        if closer is not None:
+            entry_dst = self.graph.edge(closer.entry).dst
+            seen_nodes, seen_edges = self._forward_reach(
+                entry_dst, {closer.entry, e1}
+            )
+            moved_nodes = [
+                n for n, r in self.region_of_node.items()
+                if r is closer and n not in seen_nodes
+            ]
+            moved_edges = [
+                e for e, r in self.region_of_edge.items()
+                if r is closer and e not in seen_edges
+            ]
+            for n in moved_nodes:
+                self.region_of_node[n] = region
+            for e in moved_edges:
+                self.region_of_edge[e] = region
+            moved_edge_set = set(moved_edges)
+            moved_children = [
+                c for c in closer.children if c.entry in moved_edge_set
+            ]
+            for child in moved_children:
+                closer.children.remove(child)
+                child.parent = region
+                region.children.append(child)
+            if moved_nodes or moved_children:
+                for n in moved_nodes:
+                    self._direct_defs[region] |= self.graph.node(n).defs()
+                kept = set()
+                for n, r in self.region_of_node.items():
+                    if r is closer:
+                        kept |= self.graph.node(n).defs()
+                self._direct_defs[closer] = kept
+                self._recompute_defs(closer)
+        elif self._on_cycle(e2, e1):
+            # No closer region to migrate from, yet the split edge sits
+            # on a cycle: nodes dominated *and* postdominated by the old
+            # edge could live arbitrarily far up the tree.  Rare (only
+            # multi-entry cycles reached here in practice) -- rebuild.
+            self._rebuild_from_scratch(counter)
+            return self.opens[e1]
+
+        node = self.graph.node(nid)
+        self._direct_defs[region] |= node.defs()
+        self._recompute_defs(region)
+        self._recompute_defs_spine(region.parent)
+        if self._touched is not None:
+            self._touched.append(parent)
+            self._touched.append(region)
+            if closer is not None:
+                self._touched.append(closer)
+            if opener is not None:
+                self._touched.append(opener)
+            self._touched.append(
+                self.region_of_node[self.graph.edge(e1).src]
+            )
+            self._touched.append(
+                self.region_of_node[self.graph.edge(e2).dst]
+            )
+        if counter is not None:
+            counter.tick("sese_incremental_splices")
+        return region
+
+    def apply_unsplice(
+        self,
+        nid: int,
+        e1: int,
+        e2: int,
+        merged: int,
+        counter: WorkCounter | None = None,
+    ) -> None:
+        """Record that pass-through node ``nid`` (occupant of the region
+        ``(e1, e2)``) was dissolved and its boundary edges merged into
+        ``merged`` -- the exact inverse of :meth:`apply_splice`.  Any
+        other members the region held (captured by a splice on a cycle)
+        migrate back into the region closed by ``e1`` -- or trigger a
+        rebuild when no such region exists."""
+        region = self.opens.pop(e1)
+        assert region.exit == e2, f"{region!r} does not close at e{e2}"
+        cls = self.edge_class.pop(e1)
+        self.edge_class.pop(e2)
+        self.edge_class[merged] = cls
+        eids = self.classes[cls]
+        pos = eids.index(e1)
+        eids[pos : pos + 2] = [merged]
+
+        closer = self.opens.get(eids[pos - 1]) if pos > 0 else None
+        if closer is not None:
+            self._rekey(closer, exit=merged)
+        opener = self.opens.pop(e2, None)
+        if opener is not None:
+            self._rekey(opener, entry=merged)
+            self.opens[merged] = opener
+        self._reindex_class(cls)
+
+        self.regions.remove(region)
+        parent = region.parent
+        if parent is None:
+            self.roots.remove(region)
+        else:
+            parent.children.remove(region)
+        self.region_of_edge.pop(e1)
+        self.region_of_edge.pop(e2)
+        self.region_of_edge[merged] = parent
+        self.region_of_node.pop(nid)
+        self._direct_defs.pop(region, None)
+        self._defs_in.pop(region)
+
+        leftover_nodes = [
+            n for n, r in self.region_of_node.items() if r is region
+        ]
+        leftover_edges = [
+            e for e, r in self.region_of_edge.items() if r is region
+        ]
+        if leftover_nodes or leftover_edges or region.children:
+            if closer is None:
+                self._rebuild_from_scratch(counter)
+                return
+            for n in leftover_nodes:
+                self.region_of_node[n] = closer
+            for e in leftover_edges:
+                self.region_of_edge[e] = closer
+            for child in region.children:
+                child.parent = closer
+                closer.children.append(child)
+            for n in leftover_nodes:
+                self._direct_defs[closer] |= self.graph.node(n).defs()
+            self._recompute_defs(closer)
+
+        # A variable the dissolved node defined may no longer be defined
+        # anywhere under an ancestor; recompute each spine level from its
+        # direct defs and children, stopping at the first unchanged one.
+        self._recompute_defs_spine(parent)
+        if self._touched is not None:
+            self._touched.append(parent)
+            if closer is not None:
+                self._touched.append(closer)
+            if opener is not None:
+                self._touched.append(opener)
+            merged_edge = self.graph.edge(merged)
+            self._touched.append(self.region_of_node[merged_edge.src])
+            self._touched.append(self.region_of_node[merged_edge.dst])
+        if counter is not None:
+            counter.tick("sese_incremental_unsplices")
+
+    # -- incremental helpers -------------------------------------------------
+
+    def _level_defs(self, region: Region) -> frozenset[str]:
+        combined = set(self._direct_defs.get(region, ()))
+        for child in region.children:
+            combined |= self._defs_in[child]
+        return frozenset(combined)
+
+    def _recompute_defs(self, region: Region) -> None:
+        self._defs_in[region] = self._level_defs(region)
+
+    def _recompute_defs_spine(self, region: Region | None) -> None:
+        walk = region
+        while walk is not None:
+            fresh = self._level_defs(walk)
+            if fresh == self._defs_in[walk]:
+                break
+            self._defs_in[walk] = fresh
+            walk = walk.parent
+
+    def _forward_reach(
+        self, start: int, banned: set[int]
+    ) -> tuple[set[int], set[int]]:
+        """Nodes and edges reachable from node ``start`` without
+        traversing a ``banned`` edge.  Inside a SESE region with the
+        entry and exit barred, this stays within the region, so the
+        sweep is O(region)."""
+        seen_nodes = {start}
+        seen_edges: set[int] = set()
+        stack = [start]
+        while stack:
+            nid = stack.pop()
+            for edge in self.graph.out_edges(nid):
+                if edge.id in banned:
+                    continue
+                seen_edges.add(edge.id)
+                if edge.dst not in seen_nodes:
+                    seen_nodes.add(edge.dst)
+                    stack.append(edge.dst)
+        return seen_nodes, seen_edges
+
+    def _on_cycle(self, from_edge: int, to_edge: int) -> bool:
+        """Does a path run from ``from_edge``'s head to ``to_edge``'s
+        tail (i.e. did the spliced original lie on a cycle)?"""
+        start = self.graph.edge(from_edge).dst
+        goal = self.graph.edge(to_edge).src
+        seen_nodes, _ = self._forward_reach(start, set())
+        return goal in seen_nodes
+
+    def _rebuild_from_scratch(self, counter: WorkCounter | None) -> None:
+        """Fallback for edits whose region consequences are non-local
+        (multi-entry cycles with no closer region to exchange members
+        with): recompute everything and adopt the fresh tables."""
+        fresh = ProgramStructure(self.graph)
+        for name in (
+            "_dom", "_pdom", "_substrate_version", "edge_class", "classes",
+            "regions", "opens", "region_of_node", "region_of_edge", "roots",
+            "_direct_defs", "_defs_in",
+        ):
+            setattr(self, name, getattr(fresh, name))
+        self._touched = None
+        if counter is not None:
+            counter.tick("sese_incremental_rebuilds")
+
+    def consume_touched(self) -> "set | None":
+        """The regions whose equation units may differ from the previous
+        consume (``None`` members standing for the virtual root), or
+        ``None`` when the answer is unknown and everything must be
+        treated as touched.  Resets the accumulator, so each caller sees
+        each edit's effects exactly once."""
+        touched = self._touched
+        self._touched = []
+        if touched is None:
+            return None
+        return set(touched)
+
+    def _rekey(
+        self,
+        region: Region,
+        entry: int | None = None,
+        exit: int | None = None,
+    ) -> None:
+        """Mutate a region's boundary.  ``Region.__hash__`` is derived
+        from ``(entry, exit)``, so every Region-keyed dict entry is
+        popped first and reinserted under the new hash."""
+        direct = self._direct_defs.pop(region, None)
+        defs = self._defs_in.pop(region, None)
+        if entry is not None:
+            region.entry = entry
+        if exit is not None:
+            region.exit = exit
+        if direct is not None:
+            self._direct_defs[region] = direct
+        if defs is not None:
+            self._defs_in[region] = defs
+
+    def _reindex_class(self, cls: int) -> None:
+        """Restore ``Region.index`` (= the entry edge's position within
+        its class) after an insertion or removal."""
+        for i, eid in enumerate(self.classes[cls]):
+            region = self.opens.get(eid)
+            if region is not None and region.class_id == cls:
+                region.index = i
 
     # -- queries -----------------------------------------------------------
 

@@ -61,15 +61,15 @@ def _mask(items: Iterable, index: dict) -> int:
     return mask
 
 
-def liveness_bitsets(
+def liveness_problem(
     graph: CFG,
+    csr: "CSRGraph",
     live_out: frozenset[str] = frozenset(),
-    counter: WorkCounter | None = None,
-    csr: "CSRGraph | None" = None,
-) -> dict[int, frozenset[str]]:
-    """Live variables per edge -- bitset twin of
-    :func:`repro.dataflow.liveness.live_variables`."""
-    csr = _csr_of(graph, csr)
+) -> tuple[BitsetProblem, list[str]]:
+    """Compile liveness to a :class:`BitsetProblem`; returns the problem
+    and the universe its bit numbering is over.  Shared by the flat
+    solver below and the hierarchical/incremental region solvers, so
+    both sides number facts identically."""
     universe = sorted(graph.variables() | live_out)
     index = {var: i for i, var in enumerate(universe)}
     n = csr.n
@@ -88,18 +88,29 @@ def liveness_bitsets(
         boundary_mask=_mask(live_out, index),
         initial_mask=0,
     )
+    return problem, universe
+
+
+def liveness_bitsets(
+    graph: CFG,
+    live_out: frozenset[str] = frozenset(),
+    counter: WorkCounter | None = None,
+    csr: "CSRGraph | None" = None,
+) -> dict[int, frozenset[str]]:
+    """Live variables per edge -- bitset twin of
+    :func:`repro.dataflow.liveness.live_variables`."""
+    csr = _csr_of(graph, csr)
+    problem, universe = liveness_problem(graph, csr, live_out)
     facts = solve_bitset(csr, problem, counter)
     return decode_masks(facts, csr, universe)
 
 
-def reaching_bitsets(
+def reaching_problem(
     graph: CFG,
-    counter: WorkCounter | None = None,
-    csr: "CSRGraph | None" = None,
-) -> "dict[int, frozenset[Definition]]":
-    """Reaching definitions per edge -- bitset twin of
-    :func:`repro.dataflow.reaching.reaching_definitions`."""
-    csr = _csr_of(graph, csr)
+    csr: "CSRGraph",
+) -> tuple[BitsetProblem, list[tuple[str, int]]]:
+    """Compile reaching definitions to a :class:`BitsetProblem`; returns
+    the problem and its ``(var, node)`` site universe."""
     variables = graph.variables()
     sites: set[tuple[str, int]] = {(v, graph.start) for v in variables}
     for node in graph.assign_nodes():
@@ -132,6 +143,18 @@ def reaching_bitsets(
         boundary_mask=0,
         initial_mask=0,
     )
+    return problem, universe
+
+
+def reaching_bitsets(
+    graph: CFG,
+    counter: WorkCounter | None = None,
+    csr: "CSRGraph | None" = None,
+) -> "dict[int, frozenset[Definition]]":
+    """Reaching definitions per edge -- bitset twin of
+    :func:`repro.dataflow.reaching.reaching_definitions`."""
+    csr = _csr_of(graph, csr)
+    problem, universe = reaching_problem(graph, csr)
     facts = solve_bitset(csr, problem, counter)
     return decode_masks(facts, csr, universe)
 
@@ -181,6 +204,33 @@ def expression_space(
     return ExpressionSpace(graph, _csr_of(graph, csr))
 
 
+def expression_problem(
+    graph: CFG,
+    csr: "CSRGraph | None" = None,
+    direction: str = "forward",
+    must: bool = True,
+    space: ExpressionSpace | None = None,
+) -> tuple[BitsetProblem, ExpressionSpace]:
+    """The compiled bitset problem for one expression analysis
+    (``forward``+``must`` = AV, ``backward``+``must`` = ANT, ...), plus
+    the shared :class:`ExpressionSpace` for decoding.  This is the same
+    problem :func:`available_bitsets` et al. solve -- exposed so
+    alternative solvers (the hierarchical region solver) can be run on
+    byte-identical inputs."""
+    if space is None:
+        space = expression_space(graph, csr)
+    problem = BitsetProblem(
+        direction=direction,
+        meet_is_union=not must,
+        kill_then_gen=(direction == "backward"),
+        gen=space.gen,
+        kill=space.kill,
+        boundary_mask=0,
+        initial_mask=space.full if must else 0,
+    )
+    return problem, space
+
+
 def _solve_expressions(
     graph: CFG,
     counter: WorkCounter | None,
@@ -196,17 +246,7 @@ def _solve_expressions(
     unavailable *after*), anticipatability keeps them (the computation
     precedes the kill, so ``x + 1`` *is* anticipatable on entry).
     """
-    if space is None:
-        space = expression_space(graph, csr)
-    problem = BitsetProblem(
-        direction=direction,
-        meet_is_union=not must,
-        kill_then_gen=(direction == "backward"),
-        gen=space.gen,
-        kill=space.kill,
-        boundary_mask=0,
-        initial_mask=space.full if must else 0,
-    )
+    problem, space = expression_problem(graph, csr, direction, must, space)
     facts = solve_bitset(space.csr, problem, counter)
     return space.decoder.decode_all(facts, space.csr)
 

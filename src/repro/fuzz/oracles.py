@@ -27,6 +27,11 @@ acceptance contract) guarantees:
     DFG port-order determinism: building the dependence graph twice from
     fresh copies must serialize identically (the PR-1 contract the
     byte-deterministic payloads depend on).
+``hierarchical-vs-flat``
+    The PR-6 contract: solving the four core analyses bottom-up/top-down
+    over the region-summary hierarchy yields fact masks identical to the
+    flat bitset fixpoint on the mutant (distributivity of bitvector
+    frameworks over the closure-verified system construction).
 
 Oracles never raise on a *divergence* -- they return a failing
 :class:`Verdict` with enough detail to fingerprint.  An oracle that
@@ -231,6 +236,43 @@ def oracle_structure(base_graph, mutant_graph, context: Mapping) -> Verdict:
     return Verdict("structure", True, checks)
 
 
+def oracle_hierarchical_vs_flat(
+    base_graph, mutant_graph, context: Mapping
+) -> Verdict:
+    """The PR-6 contract: the hierarchical region-summary solve of the
+    four core analyses is mask-identical to the flat bitset solve on the
+    mutant.  Bitvector frameworks are distributive, so a summarized
+    fixpoint applied to the real boundary must equal the flat fixpoint
+    (paper Theorem 1 + the closure-verified system construction)."""
+    from repro.perf.bitset import solve_bitset
+    from repro.perf.csr import build_csr
+    from repro.regions.hierarchical import (
+        build_region_systems,
+        core_problems,
+        solve_hierarchical,
+    )
+
+    csr = build_csr(mutant_graph)
+    regions = build_region_systems(mutant_graph)
+    problems = core_problems(mutant_graph, csr)
+    checks = 0
+    for name in sorted(problems):
+        flat = solve_bitset(csr, problems[name])
+        hier = solve_hierarchical(csr, regions, problems[name])
+        checks += 1
+        if flat != hier:
+            bad = [
+                csr.edge_ids[e] for e in range(csr.m) if flat[e] != hier[e]
+            ]
+            return Verdict(
+                "hierarchical-vs-flat", False, checks,
+                detail=f"{name}: hierarchical solve diverges from flat "
+                       f"bitset solve on edges {bad[:8]} "
+                       f"({regions.dissolved} dissolved regions)",
+            )
+    return Verdict("hierarchical-vs-flat", True, checks)
+
+
 def dfg_digest(graph) -> str:
     """A stable digest of the DFG's ports, port order and head order."""
     manager = AnalysisManager(graph)
@@ -264,6 +306,7 @@ ORACLES: dict[str, Callable] = {
     "dataflow": oracle_dataflow,
     "structure": oracle_structure,
     "determinism": oracle_determinism,
+    "hierarchical-vs-flat": oracle_hierarchical_vs_flat,
 }
 
 #: Oracles that execute the program.

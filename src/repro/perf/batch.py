@@ -85,6 +85,8 @@ C1_SIZES = (50, 100, 200, 400, 800)
 F4_SIZES = ((64, 1), (128, 2), (256, 4), (512, 6))
 C1_SIZES_SMOKE = (50, 100)
 F4_SIZES_SMOKE = ((48, 1), (96, 2))
+REPLAY_SIZES = (60, 120, 240)
+REPLAY_SIZES_SMOKE = (40, 80)
 
 
 # -- batteries ---------------------------------------------------------------
@@ -237,6 +239,10 @@ def run_bench(
             _dataflow_legacy, _dataflow_fast, repeat,
         ),
     ]
+    from repro.regions.replay import bench_edit_replay
+
+    replay_sizes = REPLAY_SIZES_SMOKE if smoke else REPLAY_SIZES
+    workloads.append(bench_edit_replay(replay_sizes, repeat=repeat))
     return {
         "schema": BENCH_SCHEMA,
         "tag": tag,
@@ -448,7 +454,10 @@ def _analyze_one(spec: dict) -> dict:
     carry genuine source spans.  Specs with a ``"fuzz"`` entry dispatch
     to one mutation trial of :mod:`repro.fuzz.harness` (mutate, run
     oracles, report verdicts) -- that is how ``repro fuzz --jobs`` fans
-    trials across the supervised pool.
+    trials across the supervised pool.  Specs with ``"regions": True``
+    summarize one subtree bucket of the program structure tree for one
+    analysis (:func:`repro.regions.parallel.summarize_subtree`) -- the
+    region-parallel phase-1 fan-out rides the same pool.
     """
     from repro.pipeline.manager import AnalysisManager
     from repro.robust.errors import error_record
@@ -459,6 +468,10 @@ def _analyze_one(spec: dict) -> dict:
             from repro.fuzz.harness import run_trial
 
             return run_trial(spec)
+        if spec.get("regions"):
+            from repro.regions.parallel import summarize_subtree
+
+            return summarize_subtree(spec)
         program = resolve_family(spec["family"])(*spec["args"])
         if spec.get("lint"):
             from repro.lang.parser import parse_program

@@ -231,6 +231,23 @@ class AnalysisManager:
         self.refresh()
         return name in self._cache
 
+    def adopt(self, name: str, result: object) -> None:
+        """Insert an externally computed result for pass ``name`` into
+        the cache, as if the pass had just run.
+
+        This is how incremental producers (the region edit session
+        maintains the ``sese`` structure across statement edits) hand
+        their up-to-date results to the pipeline so dependents reuse
+        them instead of recomputing.  Pending version invalidation is
+        applied *first*, so an adopt survives exactly until the next
+        graph mutation."""
+        self.registry.spec(name)  # unknown names raise, as get() would
+        self.refresh()
+        self._cache[name] = result
+        self._stats(name).work["adopted"] = (
+            self._stats(name).work.get("adopted", 0) + 1
+        )
+
     # -- resolution --------------------------------------------------------
 
     def get(self, name: str) -> object:

@@ -1,0 +1,236 @@
+"""Region-parallel summarization across the supervised worker pool.
+
+Phase 1 of the hierarchical solve (bottom-up region summaries) is
+embarrassingly parallel across *sibling subtrees*: a subtree's
+summaries depend only on its own nodes and descendants, never on a
+sibling (:func:`repro.regions.hierarchical.hierarchical_summaries`
+with ``only=...``).  This module partitions the root's children into
+balanced buckets and fans each ``(bucket, analysis)`` pair out as one
+spec through :class:`repro.robust.pool.SupervisedPool` -- the same
+hardened pool the batch driver uses, so stragglers are timed out,
+crashes are isolated and retried, and a poison subtree is quarantined
+instead of killing the run.
+
+Workers receive plain dict specs (spawn-safe: a program is named by
+``family``/``args`` and rebuilt inside the worker, exactly like batch
+specs) and return JSON-safe rows; the driver merges the rows and, by
+default, verifies the merged summaries byte-for-byte against an
+in-process sequential sweep -- the parallel path is an optimization,
+never a second source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.regions.incremental import ANALYSES
+
+#: JSON-safe summary encoding: ``{"entry:exit": [gen, kill], ...}``.
+
+
+def encode_summaries(
+    summaries: dict[tuple[int, int], tuple[int, int]]
+) -> dict[str, list[int]]:
+    """Canonical JSON-safe form of a phase-1 summary map (used by the
+    worker rows and by the hash-determinism digests)."""
+    return {
+        f"{entry}:{exit_}": [fn[0], fn[1]]
+        for (entry, exit_), fn in sorted(summaries.items())
+    }
+
+
+def decode_summaries(
+    encoded: dict[str, list[int]]
+) -> dict[tuple[int, int], tuple[int, int]]:
+    out: dict[tuple[int, int], tuple[int, int]] = {}
+    for key, (gen, kill) in encoded.items():
+        entry, exit_ = key.split(":")
+        out[(int(entry), int(exit_))] = (gen, kill)
+    return out
+
+
+def partition_subtrees(regions, buckets: int) -> list[list[int]]:
+    """Greedy balanced partition of the root's child system indices.
+
+    Weights are subtree node counts (summarization work is roughly
+    linear in owned nodes); the heaviest subtree goes to the lightest
+    bucket, ties broken by index so the partition is deterministic.
+    Returns at most ``buckets`` non-empty lists.
+    """
+    systems = regions.systems
+    weights: dict[int, int] = {}
+
+    def subtree_weight(index: int) -> int:
+        if index not in weights:
+            system = systems[index]
+            weights[index] = len(system.nodes) + sum(
+                subtree_weight(child) for child in system.children
+            )
+        return weights[index]
+
+    children = sorted(
+        systems[0].children,
+        key=lambda i: (-subtree_weight(i), i),
+    )
+    buckets = max(1, buckets)
+    loads = [0] * buckets
+    out: list[list[int]] = [[] for _ in range(buckets)]
+    for index in children:
+        slot = loads.index(min(loads))
+        out[slot].append(index)
+        loads[slot] += weights[index]
+    return [bucket for bucket in out if bucket]
+
+
+def summary_specs(
+    family: str,
+    args: tuple,
+    regions,
+    workers: int,
+    analyses: tuple[str, ...] = ANALYSES,
+) -> list[dict]:
+    """One pool spec per ``(subtree bucket, analysis)`` pair."""
+    parts = partition_subtrees(regions, workers)
+    return [
+        {
+            "regions": True,
+            "label": f"{family}-part{p}-{name}",
+            "family": family,
+            "args": list(args),
+            "analysis": name,
+            "subtree": list(bucket),
+        }
+        for p, bucket in enumerate(parts)
+        for name in analyses
+    ]
+
+
+def summarize_subtree(spec: dict) -> dict:
+    """Worker body for a ``"regions"`` spec: rebuild the program, solve
+    the named analysis's summaries over the spec's subtree (plus
+    descendants), and return them JSON-safe.  Runs under
+    :func:`repro.perf.batch._analyze_one`, so raising is fine -- the
+    caller converts exceptions into error rows."""
+    from repro.cfg.builder import build_cfg
+    from repro.perf.batch import resolve_family
+    from repro.perf.csr import build_csr
+    from repro.regions.hierarchical import (
+        build_region_systems,
+        core_problems,
+        hierarchical_summaries,
+    )
+
+    program = resolve_family(spec["family"])(*spec["args"])
+    graph = build_cfg(program)
+    csr = build_csr(graph)
+    regions = build_region_systems(graph)
+    problem = core_problems(graph, csr)[spec["analysis"]]
+    summaries = hierarchical_summaries(
+        csr, regions, problem, only=set(spec["subtree"])
+    )
+    return {
+        "label": spec["label"],
+        "analysis": spec["analysis"],
+        "subtree": list(spec["subtree"]),
+        "systems": len(summaries),
+        "dissolved": regions.dissolved,
+        "summaries": encode_summaries(summaries),
+    }
+
+
+def merge_rows(
+    rows: list[dict],
+) -> dict[str, dict[tuple[int, int], tuple[int, int]]]:
+    """Merge worker rows into ``{analysis: {region key: summary}}``.
+
+    Buckets are disjoint subtrees, so the per-analysis maps never
+    collide; a row with an ``error`` record raises -- partial summary
+    sets must not masquerade as complete ones.
+    """
+    merged: dict[str, dict[tuple[int, int], tuple[int, int]]] = {
+        name: {} for name in ANALYSES
+    }
+    for row in rows:
+        if row.get("error"):
+            from repro.robust.errors import AnalysisError
+
+            raise AnalysisError(
+                f"parallel summary worker failed: {row['error'].get('type')}"
+                f": {row['error'].get('message')}",
+                phase="regions-parallel",
+            )
+        merged[row["analysis"]].update(decode_summaries(row["summaries"]))
+    return merged
+
+
+def parallel_summaries(
+    family: str,
+    args: tuple,
+    workers: int = 0,
+    timeout_s: float | None = None,
+    verify: bool = True,
+) -> dict[str, Any]:
+    """Summarize every region of ``family(*args)`` with sibling subtrees
+    fanned out across the supervised pool.
+
+    ``workers=0`` runs the same specs in-process (deterministic -- the
+    CI and test default).  With ``verify`` (default) the merged result
+    is checked byte-for-byte against the sequential in-process sweep.
+    """
+    from repro.cfg.builder import build_cfg
+    from repro.perf.batch import resolve_family
+    from repro.perf.csr import build_csr
+    from repro.regions.hierarchical import (
+        build_region_systems,
+        core_problems,
+        hierarchical_summaries,
+    )
+
+    program = resolve_family(family)(*args)
+    graph = build_cfg(program)
+    regions = build_region_systems(graph)
+    specs = summary_specs(family, tuple(args), regions, workers or 1)
+
+    if workers and workers > 0:
+        from repro.robust.incidents import IncidentLog
+        from repro.robust.pool import SupervisedPool
+
+        pool = SupervisedPool(
+            workers, timeout_s=timeout_s, incidents=IncidentLog()
+        )
+        rows = pool.run(specs)
+    else:
+        from repro.perf.batch import _analyze_one
+
+        rows = [_analyze_one(spec) for spec in specs]
+    merged = merge_rows(rows)
+
+    verified = None
+    if verify:
+        csr = build_csr(graph)
+        problems = core_problems(graph, csr)
+        for name in ANALYSES:
+            expected = hierarchical_summaries(csr, regions, problems[name])
+            if merged[name] != expected:
+                from repro.robust.errors import AnalysisError
+
+                raise AnalysisError(
+                    f"parallel {name} summaries diverge from the "
+                    f"sequential sweep",
+                    phase="regions-parallel",
+                )
+        verified = True
+
+    return {
+        "family": family,
+        "args": list(args),
+        "workers": workers,
+        "specs": len(specs),
+        "subtrees": len(regions.systems[0].children),
+        "systems": len(regions.systems) - 1,
+        "dissolved": regions.dissolved,
+        "verified": verified,
+        "summaries": {
+            name: encode_summaries(merged[name]) for name in ANALYSES
+        },
+    }

@@ -1,0 +1,248 @@
+"""The deterministic edit-replay benchmark workload.
+
+The workload models an editor session over a diamond-chain program: a
+scripted sequence of statement-level edits, each followed by a full
+query of the four core analyses.  The *fast* side keeps one
+:class:`~repro.regions.edits.EditSession` alive -- every edit
+re-summarizes only the dirty region's spine to the root (plus a cheap
+system reassembly on shape edits).  The *legacy* side does what the
+repo could do before this subsystem existed: rebuild the CSR snapshot
+and re-run the four flat bitset solvers from scratch after every edit.
+
+The edit script is deterministic (fixed PRNG seed, sorted node/edge
+enumeration) so replayed runs are comparable across machines and hash
+seeds.  Two edit kinds:
+
+* ``swap``   -- exchange the ``x + 1`` / ``x - 1`` right-hand sides of a
+  diamond's then/else arms.  Pure expression rewrites: structure-warm,
+  and both expressions stay inside the built universes.
+* ``spike``  -- splice a fresh copy assignment onto an edge, query, then
+  unsplice it and query again.  Exercises the incremental SESE update
+  and the signature-retaining system reassembly.  Spikes address edges
+  by ``(src, dst, label)`` so the script survives edge-id churn across
+  repeats (a splice/unsplice pair restores the shape but renames the
+  edge).
+
+Both sides run the same script on independently built twins of the same
+program; the resulting decoded facts are compared for equality, which
+makes every bench row a differential test as well.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import CFG
+from repro.dataflow.bitsets import (
+    anticipatable_bitsets,
+    available_bitsets,
+    liveness_bitsets,
+    reaching_bitsets,
+)
+from repro.lang.ast_nodes import BinOp, Var
+from repro.perf.csr import build_csr
+from repro.regions.edits import EditSession
+from repro.util.counters import WorkCounter
+from repro.workloads.ladders import diamond_chain
+
+#: Script shape of the default workload (per replay run).
+SWAP_EDITS = 40
+SPIKE_EDITS = 5
+SCRIPT_SEED = 7
+
+
+def build_replay_graph(size: int) -> CFG:
+    """A fresh CFG twin for replay ``size`` (deterministic, so two calls
+    produce graphs with identical node and edge ids)."""
+    return build_cfg(diamond_chain(size))
+
+
+def edit_script(
+    graph: CFG,
+    swaps: int = SWAP_EDITS,
+    spikes: int = SPIKE_EDITS,
+    seed: int = SCRIPT_SEED,
+) -> list[tuple]:
+    """The deterministic edit script for one replay run.
+
+    Entries are ``("swap", a_node, b_node)`` and
+    ``("spike", src, dst, label, var)``; spikes are interleaved through
+    the swaps so shape edits land between expression edits, not bunched
+    at the end.
+    """
+    rng = random.Random(seed)
+    plus: dict[str, list[int]] = {}
+    minus: dict[str, list[int]] = {}
+    for node in sorted(graph.assign_nodes(), key=lambda n: n.id):
+        expr = node.expr
+        if isinstance(expr, BinOp) and isinstance(expr.left, Var):
+            if expr.op == "+":
+                plus.setdefault(expr.left.name, []).append(node.id)
+            elif expr.op == "-":
+                minus.setdefault(expr.left.name, []).append(node.id)
+    variables = sorted(set(plus) & set(minus))
+    if not variables:
+        raise ValueError("replay graph has no swappable diamond arms")
+
+    script: list[tuple] = []
+    for i in range(swaps):
+        var = variables[i % len(variables)]
+        script.append(
+            ("swap", rng.choice(plus[var]), rng.choice(minus[var]))
+        )
+    edges = sorted(
+        (edge.src, edge.dst, edge.label, eid)
+        for eid, edge in graph.edges.items()
+    )
+    every = max(1, len(script) // max(1, spikes))
+    for i in range(spikes):
+        src, dst, label, _ = edges[
+            rng.randrange(len(edges))
+        ]
+        var = variables[i % len(variables)]
+        script.insert(
+            min(len(script), (i + 1) * every), ("spike", src, dst, label, var)
+        )
+    return script
+
+
+def _edge_by_endpoints(graph: CFG, src: int, dst: int, label) -> int:
+    for eid, edge in sorted(graph.edges.items()):
+        if edge.src == src and edge.dst == dst and edge.label == label:
+            return eid
+    raise KeyError(f"no edge {src}->{dst} ({label!r}) in replay graph")
+
+
+def replay_fast(
+    graph: CFG,
+    script: list[tuple],
+    session: EditSession,
+) -> dict[str, dict[int, frozenset]]:
+    """Run the script through the live edit session, querying all four
+    analyses after every edit; returns the final decoded facts."""
+    facts: dict[str, dict[int, frozenset]] = {}
+    for step in script:
+        if step[0] == "swap":
+            _, a, b = step
+            expr_a, expr_b = graph.node(a).expr, graph.node(b).expr
+            session.rewrite_rhs(a, expr_b)
+            session.rewrite_rhs(b, expr_a)
+            facts = session.solve_all()
+        else:
+            _, src, dst, label, var = step
+            eid = _edge_by_endpoints(graph, src, dst, label)
+            nid, _, _ = session.splice_assign(eid, var, Var(var))
+            session.solve_all()
+            session.unsplice(nid)
+            facts = session.solve_all()
+    return facts
+
+
+def _flat_all(graph: CFG) -> dict[str, dict[int, frozenset]]:
+    csr = build_csr(graph)
+    return {
+        "available": available_bitsets(graph, csr=csr),
+        "anticipatable": anticipatable_bitsets(graph, csr=csr),
+        "liveness": liveness_bitsets(graph, csr=csr),
+        "reaching": reaching_bitsets(graph, csr=csr),
+    }
+
+
+def replay_legacy(
+    graph: CFG, script: list[tuple]
+) -> dict[str, dict[int, frozenset]]:
+    """The from-scratch baseline: apply the same script with plain graph
+    mutations, rebuilding the CSR snapshot and re-running all four flat
+    bitset solvers after every edit."""
+    from repro.cfg.graph import NodeKind
+
+    facts: dict[str, dict[int, frozenset]] = {}
+    for step in script:
+        if step[0] == "swap":
+            _, a, b = step
+            node_a, node_b = graph.node(a), graph.node(b)
+            node_a.expr, node_b.expr = node_b.expr, node_a.expr
+            graph.note_rewrite()
+            facts = _flat_all(graph)
+        else:
+            _, src, dst, label, var = step
+            eid = _edge_by_endpoints(graph, src, dst, label)
+            edge_label = graph.edges[eid].label
+            graph.remove_edge(eid)
+            nid = graph.add_node(NodeKind.ASSIGN, target=var, expr=Var(var))
+            graph.add_edge(src, nid, edge_label)
+            graph.add_edge(nid, dst)
+            _flat_all(graph)
+            graph.remove_node(nid)
+            graph.add_edge(src, dst, edge_label)
+            facts = _flat_all(graph)
+    return facts
+
+
+def replay_row(
+    size: int,
+    repeat: int = 3,
+    swaps: int = SWAP_EDITS,
+    spikes: int = SPIKE_EDITS,
+) -> dict[str, Any]:
+    """One ``repro.bench/1`` row comparing incremental replay against
+    the from-scratch baseline on twin graphs.
+
+    Timings are best-of-``repeat`` whole-script runs; both twins replay
+    the script the same number of times, so their final states -- and
+    therefore the ``identical`` comparison -- line up exactly.
+    """
+    import time
+
+    fast_graph = build_replay_graph(size)
+    legacy_graph = build_replay_graph(size)
+    script = edit_script(fast_graph, swaps=swaps, spikes=spikes)
+
+    counter = WorkCounter()
+    session = EditSession(fast_graph, counter=counter)
+    session.solve_all()  # warm: the from-scratch hierarchical baseline
+
+    best_fast = float("inf")
+    fast_facts: dict = {}
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        fast_facts = replay_fast(fast_graph, script, session)
+        best_fast = min(best_fast, time.perf_counter() - t0)
+
+    best_legacy = float("inf")
+    legacy_facts: dict = {}
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        legacy_facts = replay_legacy(legacy_graph, script)
+        best_legacy = min(best_legacy, time.perf_counter() - t0)
+
+    fast_ms = best_fast * 1000.0
+    legacy_ms = best_legacy * 1000.0
+    snapshot = counter.snapshot()
+    return {
+        "size": str(size),
+        "nodes": fast_graph.num_nodes,
+        "edges": fast_graph.num_edges,
+        "edits": len(script),
+        "legacy_ms": round(legacy_ms, 3),
+        "fast_ms": round(fast_ms, 3),
+        "speedup": round(legacy_ms / fast_ms, 2) if fast_ms else 0.0,
+        "identical": fast_facts == legacy_facts,
+        "regions_resummarized": snapshot.get("inc_regions_resummarized", 0),
+        "full_rebuilds": snapshot.get("inc_full_rebuilds", 0),
+    }
+
+
+def bench_edit_replay(
+    sizes: tuple[int, ...], repeat: int = 3
+) -> dict[str, Any]:
+    """The edit-replay workload in ``repro.bench/1`` shape."""
+    rows = [replay_row(size, repeat=repeat) for size in sizes]
+    return {
+        "name": "edit-replay",
+        "family": "diamond_chain",
+        "rows": rows,
+        "largest": rows[-1],
+    }

@@ -1,0 +1,97 @@
+"""The transfer-function algebra behind region summaries.
+
+A separable gen/kill transfer acts on each bit of a fact mask
+independently, and per bit there are only three possible behaviours:
+
+* ``const1`` -- the bit is generated (set regardless of input);
+* ``const0`` -- the bit is killed (cleared regardless of input);
+* ``id``     -- the bit passes through.
+
+A whole-mask transfer is therefore a pair of int masks ``(gen, kill)``
+with ``apply(x) = (x & ~kill) | gen``.  We keep pairs *canonical* --
+``gen & kill == 0`` -- so the pair is a unique name for the function and
+``==`` on pairs is function equality.  The three-valued per-bit domain
+is closed under composition and under both meets (union and
+intersection), which is exactly why a SESE region's effect on a dataflow
+fact can be summarized as one ``(gen, kill)`` pair: bitvector frameworks
+are distributive, so the meet-over-paths function through a subgraph is
+again a gen/kill pair.
+
+Composition laws (per bit; ``f`` runs first, then the node transfer with
+masks ``G``/``K``):
+
+* kill-then-gen (``out = (in & ~K) | G``):
+  ``gen' = (gen & ~K) | G``; ``kill' = (kill | K) & ~gen'``.
+* gen-then-kill (``out = (in | G) & ~K``, available expressions):
+  ``gen' = (gen | G) & ~K``; ``kill' = (kill | K) & ~gen'``.
+
+Meet laws (combining the functions of two converging paths):
+
+* union meet: a bit is generated if either generates, killed only if
+  both kill -- ``(g1 | g2, k1 & k2)``;
+* intersection meet: generated only if both generate, killed if either
+  kills -- ``(g1 & g2, (k1 | k2) & ~(g1 & g2))``.
+
+Canonicality is preserved by all four laws (a bit cannot be in both
+masks of a canonical operand), so no renormalization pass is needed.
+
+>>> f = compose_kg(*IDENTITY, 0b001, 0b010)   # node: gen bit0, kill bit1
+>>> apply(f, 0b111)
+5
+>>> g = compose_kg(*f, 0b010, 0b001)          # then: gen bit1, kill bit0
+>>> apply(g, 0b111) == apply((0b010, 0b001), apply(f, 0b111))
+True
+"""
+
+from __future__ import annotations
+
+#: The identity transfer: every bit passes through.
+IDENTITY: tuple[int, int] = (0, 0)
+
+
+def constant(mask: int, full: int) -> tuple[int, int]:
+    """The constant function returning ``mask`` over a ``full``-bit
+    universe -- the initial value of a fixpoint in the function domain
+    (``constant(0, full)`` for may-problems, ``constant(full, full)``
+    for must-problems).
+
+    >>> constant(0b10, 0b11)
+    (2, 1)
+    """
+    return (mask, full & ~mask)
+
+
+def apply(fn: tuple[int, int], x: int) -> int:
+    """Apply a canonical ``(gen, kill)`` pair to a fact mask."""
+    gen, kill = fn
+    return (x & ~kill) | gen
+
+
+def compose_kg(gen: int, kill: int, node_gen: int, node_kill: int) -> tuple[int, int]:
+    """``(gen, kill)`` followed by a kill-then-gen node transfer.
+
+    Also composes a child-region *summary* after a parent-frame
+    function: canonical summaries apply as kill-then-gen (the masks are
+    disjoint, so the order is immaterial for the summary itself).
+    """
+    out_gen = (gen & ~node_kill) | node_gen
+    return (out_gen, (kill | node_kill) & ~out_gen)
+
+
+def compose_gk(gen: int, kill: int, node_gen: int, node_kill: int) -> tuple[int, int]:
+    """``(gen, kill)`` followed by a gen-then-kill node transfer
+    (available expressions: a self-referential assignment's own gens are
+    killed)."""
+    out_gen = (gen | node_gen) & ~node_kill
+    return (out_gen, (kill | node_kill) & ~out_gen)
+
+
+def meet_union(f: tuple[int, int], g: tuple[int, int]) -> tuple[int, int]:
+    """Pointwise union meet of two transfer functions."""
+    return (f[0] | g[0], f[1] & g[1])
+
+
+def meet_intersect(f: tuple[int, int], g: tuple[int, int]) -> tuple[int, int]:
+    """Pointwise intersection meet of two transfer functions."""
+    out_gen = f[0] & g[0]
+    return (out_gen, (f[1] | g[1]) & ~out_gen)

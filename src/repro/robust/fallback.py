@@ -113,6 +113,23 @@ def _oracle_pavailable(graph, deps, counter):
     return partially_available_expressions_reference(graph, counter)
 
 
+def _oracle_region_summaries(graph, deps, counter):
+    """Flat-bitset twin of the hierarchical region-summary solve: the
+    same four problems over the same CSR, solved by the plain fixpoint
+    (no region tree involved)."""
+    from repro.perf.bitset import solve_bitset
+    from repro.perf.csr import build_csr
+    from repro.regions.hierarchical import core_problems
+
+    csr = build_csr(graph)
+    problems = core_problems(graph, csr)
+    out = {}
+    for name, problem in sorted(problems.items()):
+        masks = solve_bitset(csr, problem)
+        out[name] = {csr.edge_ids[e]: masks[e] for e in range(csr.m)}
+    return out
+
+
 _ORACLES: dict[str, OracleFn] = {
     "dfs": _oracle_dfs,
     "dom": _oracle_dom,
@@ -123,6 +140,7 @@ _ORACLES: dict[str, OracleFn] = {
     "reaching": _oracle_reaching,
     "available": _oracle_available,
     "pavailable": _oracle_pavailable,
+    "region-summaries": _oracle_region_summaries,
 }
 
 
@@ -168,6 +186,22 @@ def _chains_eq(a, b) -> bool:
     return a.chains == b.chains
 
 
+def _regions_eq(a, b) -> bool:
+    """Two region-system assemblies are the same answer when every
+    system has the same boundary, ownership, hierarchy and units."""
+    if len(a.systems) != len(b.systems):
+        return False
+    return all(
+        sa.key == sb.key
+        and sa.parent == sb.parent
+        and sa.nodes == sb.nodes
+        and sa.children == sb.children
+        and sa.fwd_units == sb.fwd_units
+        and sa.bwd_units == sb.bwd_units
+        for sa, sb in zip(a.systems, b.systems)
+    )
+
+
 #: Pass name -> comparator for result shapes without value equality.
 _COMPARATORS: dict[str, Callable[[object, object], bool]] = {
     "dom": _tree_eq,
@@ -175,6 +209,7 @@ _COMPARATORS: dict[str, Callable[[object, object], bool]] = {
     "sese": _sese_eq,
     "csr": _csr_eq,
     "defuse": _chains_eq,
+    "regions": _regions_eq,
 }
 
 

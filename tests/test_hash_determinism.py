@@ -181,6 +181,67 @@ def test_generators_and_mutators_identical_across_hash_seeds() -> None:
         assert _generator_bytes(seed) == baseline, seed
 
 
+# -- region summaries and the edit-replay workload ----------------------------
+#
+# The PR-6 surfaces: phase-1 region summaries (canonical ``(gen, kill)``
+# pairs keyed by region boundary) and the ``repro.bench/1`` edit-replay
+# payload must not depend on set iteration order anywhere in the SESE
+# update, the system assembly, or the solver.  Timing fields are zeroed;
+# everything else -- summary values, work counters, edit counts -- must
+# be byte-identical across hash seeds.
+
+_REGION_SCRIPT = """\
+import json
+from repro.regions.parallel import parallel_summaries
+from repro.regions.replay import build_replay_graph, edit_script, replay_row
+from repro.regions.edits import EditSession
+
+for family, args in (("diamond", [24]), ("loopnest", [4]), ("jump", [6])):
+    payload = parallel_summaries(family, tuple(args), workers=0)
+    print(json.dumps(payload, sort_keys=True))
+
+row = replay_row(24, repeat=1)
+for key in ("legacy_ms", "fast_ms", "speedup"):
+    row[key] = 0.0
+print(json.dumps(row, sort_keys=True))
+
+graph = build_replay_graph(24)
+print(edit_script(graph))
+session = EditSession(graph)
+facts = session.solve_all()
+print(json.dumps(
+    {
+        name: {
+            str(eid): sorted(map(str, values))
+            for eid, values in sorted(result.items())
+        }
+        for name, result in facts.items()
+    },
+    sort_keys=True,
+))
+"""
+
+
+def _region_bytes(seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", _REGION_SCRIPT],
+        capture_output=True,
+        env=env,
+        check=True,
+    )
+    assert proc.stdout
+    return proc.stdout
+
+
+def test_region_summaries_and_replay_identical_across_hash_seeds() -> None:
+    baseline = _region_bytes("1")
+    for seed in ("2", "42", "12345"):
+        assert _region_bytes(seed) == baseline, seed
+
+
 # -- the fuzz sweep end to end ------------------------------------------------
 
 

@@ -35,12 +35,14 @@ print z;
 
 #: Shape-only passes: survive expression rewrites.
 SHAPE_PASSES = (
-    "cfg", "csr", "dfs", "dom", "pdom", "cycle-equiv", "sese", "cdg"
+    "cfg", "csr", "dfs", "dom", "pdom", "cycle-equiv", "sese", "cdg",
+    "regions",
 )
 #: Expression-reading passes: recompute after any rewrite.
 EXPR_PASSES = (
     "dfg", "defuse", "liveness", "reaching", "available", "pavailable",
     "ssa", "constprop", "constprop-cfg", "constprop-defuse", "sccp",
+    "region-summaries",
 )
 
 
