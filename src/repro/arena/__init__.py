@@ -1,0 +1,46 @@
+"""Arena IR: struct-of-arrays programs, interned expressions, fused
+corpus-level solving (DESIGN.md §13).
+
+Public surface:
+
+* :class:`~repro.arena.pool.ExpressionPool` -- corpus-wide expression
+  interning with precomputed per-id analysis tables;
+* :func:`~repro.arena.arena.lower_cfg` /
+  :func:`~repro.arena.arena.lower_program` -- flatten a CFG into a
+  :class:`~repro.arena.arena.ProgramArena`;
+* :class:`~repro.arena.arena.ArenaCorpus` -- many arenas over one pool,
+  with ``to_bytes``/``from_bytes`` wire format for pool workers;
+* :func:`~repro.arena.kernels.analyze_arena` /
+  :func:`~repro.arena.kernels.analyze_corpus` -- the fused solvers,
+  result-identical to the object pipeline.
+"""
+
+from repro.arena.arena import (
+    ArenaCorpus,
+    ProgramArena,
+    lower_cfg,
+    lower_program,
+)
+from repro.arena.kernels import (
+    ArenaSpace,
+    CorpusOrder,
+    analyze_arena,
+    analyze_corpus,
+    arena_constprop,
+    solve_arena_bitset,
+)
+from repro.arena.pool import ExpressionPool
+
+__all__ = [
+    "ArenaCorpus",
+    "ArenaSpace",
+    "CorpusOrder",
+    "ExpressionPool",
+    "ProgramArena",
+    "analyze_arena",
+    "analyze_corpus",
+    "arena_constprop",
+    "lower_cfg",
+    "lower_program",
+    "solve_arena_bitset",
+]

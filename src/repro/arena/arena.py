@@ -1,0 +1,349 @@
+"""Struct-of-arrays program arenas and their binary wire format.
+
+A :class:`ProgramArena` is a lowered CFG: parallel int lists for nodes
+(kind tag, target name id, expression pool id) and edges (src, dst,
+label id), plus CSR successor/predecessor adjacency in the *same order*
+as the object graph's ``_out``/``_in`` lists -- so every array kernel
+that consumes :class:`~repro.perf.csr.CSRGraph` layout runs unmodified
+on an arena, and iteration order (hence any order-sensitive tie-break)
+matches the object pipeline bit for bit.
+
+An :class:`ArenaCorpus` bundles many arenas over one shared
+:class:`~repro.arena.pool.ExpressionPool` and serializes to a compact
+tagged varint stream (``to_bytes``/``from_bytes``).  That stream is what
+:class:`~repro.robust.pool.SupervisedPool` workers receive in arena
+batch mode, replacing per-spec pickles of AST/CFG object graphs: the
+pool tables ship once per chunk and amortize across every program in
+it.
+
+Wire format (version 1): the magic ``b"RPA1"``, then varint-framed
+sections in fixed order (pool names, pool literals, expression rows,
+then each program's node/edge/adjacency arrays).  All integers are
+LEB128 varints; signed values (literals, ``-1`` sentinels) are zigzag
+encoded; strings are length-prefixed UTF-8.  Any magic/version mismatch
+or truncation raises :class:`~repro.robust.errors.InputError` -- never a
+bare struct error -- so the robust layer can quarantine a corrupt
+payload with context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arena.pool import ExpressionPool
+from repro.cfg.graph import CFG, NodeKind
+from repro.lang.ast_nodes import Program
+from repro.robust.errors import InputError
+from repro.util.counters import WorkCounter
+
+MAGIC = b"RPA1"
+VERSION = 1
+
+#: Node kind tags, in the enum's declaration order.
+KIND_TAGS: tuple[NodeKind, ...] = tuple(NodeKind)
+KIND_INDEX: dict[NodeKind, int] = {kind: i for i, kind in enumerate(KIND_TAGS)}
+
+
+@dataclass
+class ProgramArena:
+    """One lowered program: flat node/edge/adjacency tables.
+
+    ``node_ids``/``edge_ids`` carry the *original* CFG ids so decoded
+    analysis results key exactly like the object pipeline's.  All other
+    tables are dense (indexed 0..n-1 / 0..m-1) in CFG insertion order,
+    mirroring :class:`~repro.perf.csr.CSRGraph`.
+    """
+
+    label: str
+    node_ids: list[int] = field(default_factory=list)
+    node_kind: list[int] = field(default_factory=list)
+    #: target variable name id for ASSIGN nodes, else -1
+    node_target: list[int] = field(default_factory=list)
+    #: expression pool id for ASSIGN/PRINT/SWITCH nodes, else -1
+    node_expr: list[int] = field(default_factory=list)
+    edge_ids: list[int] = field(default_factory=list)
+    edge_src: list[int] = field(default_factory=list)
+    edge_dst: list[int] = field(default_factory=list)
+    #: switch-arm label as a pool name id, else -1
+    edge_label: list[int] = field(default_factory=list)
+    succ_off: list[int] = field(default_factory=list)
+    succ_node: list[int] = field(default_factory=list)
+    succ_edge: list[int] = field(default_factory=list)
+    pred_off: list[int] = field(default_factory=list)
+    pred_node: list[int] = field(default_factory=list)
+    pred_edge: list[int] = field(default_factory=list)
+    start: int = -1
+    end: int = -1
+
+    @property
+    def n(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def m(self) -> int:
+        return len(self.edge_ids)
+
+
+def lower_cfg(
+    graph: CFG,
+    pool: ExpressionPool,
+    label: str = "",
+    counter: WorkCounter | None = None,
+) -> ProgramArena:
+    """Flatten ``graph`` into a :class:`ProgramArena` over ``pool``.
+
+    Node and edge enumeration follow CFG insertion order (the
+    :class:`~repro.perf.csr.CSRGraph` convention), and the CSR adjacency
+    preserves the ``_out``/``_in`` list order, so arena RPO/worklist
+    traversals visit exactly the sequence the object kernels do.
+    """
+    arena = ProgramArena(label=label)
+    dense: dict[int, int] = {}
+    for i, nid in enumerate(graph.nodes):
+        dense[nid] = i
+    for nid, node in graph.nodes.items():
+        arena.node_ids.append(nid)
+        arena.node_kind.append(KIND_INDEX[node.kind])
+        arena.node_target.append(
+            pool.intern_name(node.target) if node.target is not None else -1
+        )
+        arena.node_expr.append(
+            pool.intern(node.expr) if node.expr is not None else -1
+        )
+        if counter is not None:
+            counter.tick("arena_nodes_lowered")
+    edge_dense: dict[int, int] = {}
+    for j, (eid, edge) in enumerate(graph.edges.items()):
+        edge_dense[eid] = j
+        arena.edge_ids.append(eid)
+        arena.edge_src.append(dense[edge.src])
+        arena.edge_dst.append(dense[edge.dst])
+        arena.edge_label.append(
+            pool.intern_name(edge.label) if edge.label is not None else -1
+        )
+    off = 0
+    for nid in graph.nodes:
+        arena.succ_off.append(off)
+        for eid in graph._out[nid]:
+            edge = graph.edges[eid]
+            arena.succ_node.append(dense[edge.dst])
+            arena.succ_edge.append(edge_dense[eid])
+            off += 1
+    arena.succ_off.append(off)
+    off = 0
+    for nid in graph.nodes:
+        arena.pred_off.append(off)
+        for eid in graph._in[nid]:
+            edge = graph.edges[eid]
+            arena.pred_node.append(dense[edge.src])
+            arena.pred_edge.append(edge_dense[eid])
+            off += 1
+    arena.pred_off.append(off)
+    arena.start = dense[graph.start]
+    arena.end = dense[graph.end]
+    return arena
+
+
+def lower_program(
+    program: Program,
+    pool: ExpressionPool,
+    label: str = "",
+    counter: WorkCounter | None = None,
+) -> ProgramArena:
+    """Parse-tree entry point: build the CFG, then lower it."""
+    from repro.cfg.builder import build_cfg
+
+    return lower_cfg(build_cfg(program), pool, label=label, counter=counter)
+
+
+@dataclass
+class ArenaCorpus:
+    """Many :class:`ProgramArena`\\ s sharing one expression pool."""
+
+    pool: ExpressionPool
+    programs: list[ProgramArena] = field(default_factory=list)
+
+    def add(
+        self,
+        graph: CFG,
+        label: str = "",
+        counter: WorkCounter | None = None,
+    ) -> ProgramArena:
+        arena = lower_cfg(graph, self.pool, label=label, counter=counter)
+        self.programs.append(arena)
+        return arena
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(MAGIC)
+        _uv(out, VERSION)
+        pool = self.pool
+        _uv(out, len(pool.names))
+        for name in pool.names:
+            _string(out, name)
+        _uv(out, len(pool.literals))
+        for value in pool.literals:
+            _sv(out, value)
+        _uv(out, len(pool.kind))
+        for i in range(len(pool.kind)):
+            _uv(out, pool.kind[i])
+            _sv(out, pool.arg0[i])
+            _sv(out, pool.arg1[i])
+            _sv(out, pool.arg2[i])
+        _uv(out, len(self.programs))
+        for arena in self.programs:
+            _string(out, arena.label)
+            _uv(out, arena.n)
+            _uv(out, arena.m)
+            for table in (arena.node_ids, arena.node_kind):
+                for value in table:
+                    _uv(out, value)
+            for table in (arena.node_target, arena.node_expr):
+                for value in table:
+                    _sv(out, value)
+            for value in arena.edge_ids:
+                _uv(out, value)
+            for value in arena.edge_src:
+                _uv(out, value)
+            for value in arena.edge_dst:
+                _uv(out, value)
+            for value in arena.edge_label:
+                _sv(out, value)
+            # Offsets are monotone; adjacency targets are dense indices.
+            for table in (
+                arena.succ_off, arena.succ_node, arena.succ_edge,
+                arena.pred_off, arena.pred_node, arena.pred_edge,
+            ):
+                for value in table:
+                    _uv(out, value)
+            _uv(out, arena.start)
+            _uv(out, arena.end)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ArenaCorpus":
+        if data[: len(MAGIC)] != MAGIC:
+            raise InputError(
+                "arena payload has bad magic (not an RPA stream)",
+                phase="arena-decode",
+            )
+        reader = _Reader(data, len(MAGIC))
+        version = reader.uv()
+        if version != VERSION:
+            raise InputError(
+                f"arena payload version {version} unsupported "
+                f"(expected {VERSION})",
+                phase="arena-decode",
+            )
+        pool = ExpressionPool()
+        pool.names = [reader.string() for _ in range(reader.uv())]
+        pool.literals = [reader.sv() for _ in range(reader.uv())]
+        n_exprs = reader.uv()
+        for _ in range(n_exprs):
+            pool.kind.append(reader.uv())
+            pool.arg0.append(reader.sv())
+            pool.arg1.append(reader.sv())
+            pool.arg2.append(reader.sv())
+        pool._rebuild_derived()
+        corpus = cls(pool)
+        for _ in range(reader.uv()):
+            arena = ProgramArena(label=reader.string())
+            n = reader.uv()
+            m = reader.uv()
+            arena.node_ids = [reader.uv() for _ in range(n)]
+            arena.node_kind = [reader.uv() for _ in range(n)]
+            arena.node_target = [reader.sv() for _ in range(n)]
+            arena.node_expr = [reader.sv() for _ in range(n)]
+            arena.edge_ids = [reader.uv() for _ in range(m)]
+            arena.edge_src = [reader.uv() for _ in range(m)]
+            arena.edge_dst = [reader.uv() for _ in range(m)]
+            arena.edge_label = [reader.sv() for _ in range(m)]
+            arena.succ_off = [reader.uv() for _ in range(n + 1)]
+            arena.succ_node = [reader.uv() for _ in range(m)]
+            arena.succ_edge = [reader.uv() for _ in range(m)]
+            arena.pred_off = [reader.uv() for _ in range(n + 1)]
+            arena.pred_node = [reader.uv() for _ in range(m)]
+            arena.pred_edge = [reader.uv() for _ in range(m)]
+            arena.start = reader.uv()
+            arena.end = reader.uv()
+            corpus.programs.append(arena)
+        reader.expect_end()
+        return corpus
+
+
+# -- varint primitives -------------------------------------------------------
+
+
+def _uv(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise InputError(
+            f"unsigned varint cannot encode {value}", phase="arena-encode"
+        )
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _sv(out: bytearray, value: int) -> None:
+    """Append a zigzag-encoded signed varint (unbounded-int safe)."""
+    _uv(out, (value << 1) if value >= 0 else ((-value << 1) - 1))
+
+
+def _string(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    _uv(out, len(raw))
+    out.extend(raw)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self.data = data
+        self.pos = pos
+
+    def uv(self) -> int:
+        data, pos = self.data, self.pos
+        shift = 0
+        value = 0
+        while True:
+            if pos >= len(data):
+                raise InputError(
+                    "truncated arena payload (varint ran off the end)",
+                    phase="arena-decode",
+                )
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        self.pos = pos
+        return value
+
+    def sv(self) -> int:
+        raw = self.uv()
+        return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+
+    def string(self) -> str:
+        length = self.uv()
+        end = self.pos + length
+        if end > len(self.data):
+            raise InputError(
+                "truncated arena payload (string ran off the end)",
+                phase="arena-decode",
+            )
+        text = self.data[self.pos : end].decode("utf-8")
+        self.pos = end
+        return text
+
+    def expect_end(self) -> None:
+        if self.pos != len(self.data):
+            raise InputError(
+                f"arena payload has {len(self.data) - self.pos} trailing "
+                "bytes",
+                phase="arena-decode",
+            )

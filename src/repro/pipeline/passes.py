@@ -13,7 +13,8 @@
          ├─ reaching
          ├─ available / pavailable
          ├─ defuse ── constprop-defuse
-         └─ constprop-cfg
+         ├─ constprop-cfg
+         └─ arena ── arena-dataflow
 
 The ``csr`` pass snapshots the CFG into flat arrays
 (:class:`repro.perf.csr.CSRGraph`); the graph-structure passes all run
@@ -256,3 +257,27 @@ def _constprop_defuse(graph, deps, counter):
 )
 def _sccp(graph, deps, counter):
     return sparse_conditional_constant_propagation(deps["ssa"], counter=counter)
+
+
+@_REGISTRY.register(
+    "arena", deps=("cfg",),
+    description="struct-of-arrays arena lowering over an interned "
+                "expression pool",
+)
+def _arena(graph, deps, counter):
+    from repro.arena import ExpressionPool, lower_cfg
+
+    pool = ExpressionPool(counter=counter)
+    return (pool, lower_cfg(graph, pool, counter=counter))
+
+
+@_REGISTRY.register(
+    "arena-dataflow", deps=("arena",),
+    description="fused arena solve: the four bitset analyses plus vector "
+                "constant propagation in one sweep",
+)
+def _arena_dataflow(graph, deps, counter):
+    from repro.arena import analyze_arena
+
+    pool, arena = deps["arena"]
+    return analyze_arena(arena, pool, counter=counter)

@@ -43,6 +43,7 @@ class EditSession:
         counter: WorkCounter | None = None,
         live_out: frozenset[str] = frozenset(),
         manager: "AnalysisManager | None" = None,
+        balance: bool = True,
     ) -> None:
         self.graph = graph
         self.counter = counter if counter is not None else WorkCounter()
@@ -51,7 +52,7 @@ class EditSession:
 
         self.structure = ProgramStructure(graph, counter=self.counter)
         self.engine = RegionDataflow(
-            graph, self.structure, self.counter, live_out
+            graph, self.structure, self.counter, live_out, balance=balance
         )
         self.edits = 0
 

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING
 
 from repro.perf.bitset import BitsetProblem
 from repro.regions.systems import (
+    CHAIN,
     CHILD_UNIT,
     INPUT,
     NODE_UNIT,
@@ -293,6 +294,11 @@ def hierarchical_summaries(
     ``only`` restricts the sweep to the named system indices *plus all
     their descendants* (a subtree's summaries are self-contained, which
     is what lets sibling subtrees be summarized in parallel workers).
+    Synthetic chain systems are skipped: they are re-associations of
+    the root solve, not regions, and a real region's summary never
+    depends on one -- so the result is the same key set whether the
+    assembly was balanced or not, and parallel workers summarizing real
+    subtrees merge to exactly this map.
     """
     forward = problem.direction == "forward"
     root_dense = csr.start if forward else csr.end
@@ -313,7 +319,7 @@ def hierarchical_summaries(
     summaries: dict[int, tuple[int, int]] = {}
     out: dict[tuple[int, int], tuple[int, int]] = {}
     for system in reversed(systems):
-        if system.region is None:
+        if system.region is None or system.region is CHAIN:
             continue
         if wanted is not None and system.index not in wanted:
             continue

@@ -98,6 +98,7 @@ class RegionDataflow:
         structure: "ProgramStructure | None" = None,
         counter: WorkCounter | None = None,
         live_out: frozenset[str] = frozenset(),
+        balance: bool = True,
     ) -> None:
         if structure is None:
             from repro.controldep.sese import ProgramStructure
@@ -107,6 +108,7 @@ class RegionDataflow:
         self.structure = structure
         self.counter = counter if counter is not None else WorkCounter()
         self.live_out = live_out
+        self.balance = balance
         self._build()
 
     # -- construction --------------------------------------------------------
@@ -114,7 +116,7 @@ class RegionDataflow:
     def _build(self) -> None:
         graph = self.graph
         self.systems: RegionSystems = build_systems(
-            graph, self.structure, self.counter
+            graph, self.structure, self.counter, balance=self.balance
         )
 
         # Variable universe (liveness bits + the reaching seed set) and
@@ -187,6 +189,15 @@ class RegionDataflow:
         self._decoded: dict[str, dict[int, frozenset] | None] = {
             a: None for a in ANALYSES
         }
+        # Persistent decoded tables, updated edge-by-edge: the fresh
+        # solve path records exactly which edges' masks moved in
+        # ``_stale``, so a quiescent-ish edit decodes O(changed edges)
+        # instead of O(E).  ``None`` forces a full rebuild (first query,
+        # shape edits -- edge ids appear/vanish there).
+        self._decoded_base: dict[str, dict[int, frozenset] | None] = {
+            a: None for a in ANALYSES
+        }
+        self._stale: dict[str, set[int]] = {a: set() for a in ANALYSES}
         # Signatures depend only on the systems, not the analysis, so
         # the four solvers share one per-epoch signature table.
         self._sig_cache: tuple[int, list] | None = None
@@ -331,6 +342,7 @@ class RegionDataflow:
         self.systems = build_systems(
             self.graph, self.structure, self.counter,
             prev=self.systems, touched=self.structure.consume_touched(),
+            balance=self.balance,
         )
         self._epoch += 1
         self.counter.tick("inc_reshapes")
@@ -414,7 +426,11 @@ class RegionDataflow:
                     root, systems, spec, node_gen, node_kill,
                     summaries, boundary_node, self.counter,
                 )
-                facts.update(root_facts)
+                stale = self._stale[name]
+                for eid, val in root_facts.items():
+                    if facts.get(eid) != val:
+                        facts[eid] = val
+                        stale.add(eid)
                 self.counter.tick("inc_regions_resummarized")
                 cache[None] = (cache[None][0], root_facts, None)
                 root_recomputed = True
@@ -500,6 +516,7 @@ class RegionDataflow:
             # Root facts held still, so only subtrees containing a
             # recomputed region can see a new input or new functions.
             seeds = [c for c in root.children if c in dirty_below]
+        stale = self._stale[name]
         stack = [
             (i, facts[systems[i].entry if forward else systems[i].exit])
             for i in reversed(seeds)
@@ -513,12 +530,19 @@ class RegionDataflow:
             if input_changed or index in recomputed:
                 prev_input[system.key] = inval
                 for eid, fn in cache[system.key][1].items():
-                    facts[eid] = apply(fn, inval)
+                    new = apply(fn, inval)
+                    if facts.get(eid) != new:
+                        facts[eid] = new
+                        stale.add(eid)
                 self.counter.tick("inc_regions_reevaluated")
             for child in reversed(system.children):
                 child_sys = systems[child]
                 boundary = child_sys.entry if forward else child_sys.exit
                 stack.append((child, facts[boundary]))
+        if not fresh:
+            # Shape edits (and first solves) can add or drop edge ids,
+            # so the persistent decoded table starts over.
+            self._decoded_base[name] = None
         self._decoded[name] = None
         return facts, True
 
@@ -544,8 +568,13 @@ class RegionDataflow:
             "reaching": self.sites,
         }[name]
         memo = self._decode_memo[name]
-        out: dict[int, frozenset] = {}
-        for eid in self.graph.edges:
+        base = self._decoded_base[name]
+        if base is None:
+            base = self._decoded_base[name] = {}
+            todo: "set[int] | object" = self.graph.edges
+        else:
+            todo = self._stale[name]
+        for eid in todo:
             mask = facts[eid]
             got = memo.get(mask)
             if got is None:
@@ -557,6 +586,11 @@ class RegionDataflow:
                     rest ^= low
                 got = frozenset(items)
                 memo[mask] = got
-            out[eid] = got
+            base[eid] = got
+        self._stale[name].clear()
+        # Hand out a snapshot so callers holding an earlier result never
+        # see it mutate under a later edit; the copy is a C-level dict
+        # copy, not a per-edge re-decode.
+        out = dict(base)
         self._decoded[name] = out
         return out

@@ -52,11 +52,17 @@ def decode_summaries(
 def partition_subtrees(regions, buckets: int) -> list[list[int]]:
     """Greedy balanced partition of the root's child system indices.
 
-    Weights are subtree node counts (summarization work is roughly
-    linear in owned nodes); the heaviest subtree goes to the lightest
-    bucket, ties broken by index so the partition is deterministic.
-    Returns at most ``buckets`` non-empty lists.
+    Synthetic chain systems (the balanced root re-association) are
+    transparent here: they carry no summarization work of their own, so
+    the partition descends through them to the real top-level region
+    subtrees -- otherwise a chain-shaped program would collapse into a
+    single bucket.  Weights are subtree node counts (summarization work
+    is roughly linear in owned nodes); the heaviest subtree goes to the
+    lightest bucket, ties broken by index so the partition is
+    deterministic.  Returns at most ``buckets`` non-empty lists.
     """
+    from repro.regions.systems import CHAIN
+
     systems = regions.systems
     weights: dict[int, int] = {}
 
@@ -68,10 +74,15 @@ def partition_subtrees(regions, buckets: int) -> list[list[int]]:
             )
         return weights[index]
 
-    children = sorted(
-        systems[0].children,
-        key=lambda i: (-subtree_weight(i), i),
-    )
+    frontier: list[int] = []
+    stack = list(systems[0].children)
+    while stack:
+        index = stack.pop()
+        if systems[index].region is CHAIN:
+            stack.extend(systems[index].children)
+        else:
+            frontier.append(index)
+    children = sorted(frontier, key=lambda i: (-subtree_weight(i), i))
     buckets = max(1, buckets)
     loads = [0] * buckets
     out: list[list[int]] = [[] for _ in range(buckets)]

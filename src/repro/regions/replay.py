@@ -26,6 +26,11 @@ seeds.  Two edit kinds:
 Both sides run the same script on independently built twins of the same
 program; the resulting decoded facts are compared for equality, which
 makes every bench row a differential test as well.
+
+A second workload, ``edit-replay-balance`` (:func:`balance_row`),
+replays the same script through two *live* sessions that differ only in
+the virtual root's shape -- flat O(N) chain vs the balanced composition
+tree -- isolating exactly what the root re-association buys per edit.
 """
 
 from __future__ import annotations
@@ -242,6 +247,96 @@ def bench_edit_replay(
     rows = [replay_row(size, repeat=repeat) for size in sizes]
     return {
         "name": "edit-replay",
+        "family": "diamond_chain",
+        "rows": rows,
+        "largest": rows[-1],
+    }
+
+
+def balance_row(
+    size: int,
+    repeat: int = 3,
+    swaps: int = SWAP_EDITS,
+    spikes: int = 0,
+) -> dict[str, Any]:
+    """One ``repro.bench/1`` row isolating the balanced virtual root.
+
+    Both sides replay the same script through *live* incremental
+    sessions, so the summary caches, the incremental decode, and the
+    per-edit dirty-spine machinery are identical; the only difference
+    is the root's shape.  *Legacy* pins the flat root chain
+    (``balance=False``): every summary-changing edit re-solves an O(N)
+    root system and seeds the top-down walk with all N children.
+    *Fast* re-associates the chain into the balanced composition tree,
+    cutting both to O(log N) plus the edited spine.
+
+    The script is expression edits only (``spikes=0``): a shape edit
+    reassembles the equation systems and full-sweeps on *both* sides,
+    which the mixed-script ``edit-replay`` workload already measures --
+    this row isolates the steady-state per-edit cost that the root
+    shape governs.  The system re-evaluation counters are carried in
+    the row for audit; note they tick per *system*, so the balanced
+    side reads higher -- it trades one O(N)-edge root evaluation per
+    edit for a logarithmic spine of two-edge chain evaluations.
+    """
+    import time
+
+    flat_graph = build_replay_graph(size)
+    bal_graph = build_replay_graph(size)
+    script = edit_script(flat_graph, swaps=swaps, spikes=spikes)
+
+    flat_counter = WorkCounter()
+    flat_session = EditSession(
+        flat_graph, counter=flat_counter, balance=False
+    )
+    flat_session.solve_all()
+    bal_counter = WorkCounter()
+    bal_session = EditSession(bal_graph, counter=bal_counter)
+    bal_session.solve_all()
+
+    best_flat = float("inf")
+    flat_facts: dict = {}
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        flat_facts = replay_fast(flat_graph, script, flat_session)
+        best_flat = min(best_flat, time.perf_counter() - t0)
+
+    best_bal = float("inf")
+    bal_facts: dict = {}
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        bal_facts = replay_fast(bal_graph, script, bal_session)
+        best_bal = min(best_bal, time.perf_counter() - t0)
+
+    flat_ms = best_flat * 1000.0
+    bal_ms = best_bal * 1000.0
+    return {
+        "size": str(size),
+        "nodes": bal_graph.num_nodes,
+        "edges": bal_graph.num_edges,
+        "edits": len(script),
+        "legacy_ms": round(flat_ms, 3),
+        "fast_ms": round(bal_ms, 3),
+        "speedup": round(flat_ms / bal_ms, 2) if bal_ms else 0.0,
+        "identical": flat_facts == bal_facts,
+        "legacy_reevaluated": flat_counter.snapshot().get(
+            "inc_regions_reevaluated", 0
+        ),
+        "fast_reevaluated": bal_counter.snapshot().get(
+            "inc_regions_reevaluated", 0
+        ),
+    }
+
+
+def bench_root_balance(
+    sizes: tuple[int, ...], repeat: int = 3
+) -> dict[str, Any]:
+    """The flat-root vs balanced-root workload in ``repro.bench/1``
+    shape (same edit script as ``edit-replay``; only the root differs).
+    """
+    rows = [balance_row(size, repeat=repeat) for size in sizes]
+    return {
+        "name": "edit-replay-balance",
         "family": "diamond_chain",
         "rows": rows,
         "largest": rows[-1],

@@ -21,6 +21,20 @@ parent and assembly retries.  Dissolving every region degenerates to a
 single flat root system, so the construction always succeeds and the
 hierarchical solve stays byte-identical to the flat one (a dissolved
 tree just summarizes less).
+
+Sequential composition is associative -- ``summary(A; B) =
+summary(B) . summary(A)`` -- so a *flat chain* of sibling systems at
+the virtual root (each sibling's exit edge feeding the next sibling's
+entry) can be re-associated freely.  :meth:`RegionSystems._balance_root`
+exploits this: maximal sequential runs among the root's children are
+wrapped into a balanced binary tree of synthetic *chain systems* (pure
+composition nodes, marked with :data:`CHAIN`, owning no nodes of their
+own).  A statement edit then re-summarizes an O(log chain) spine
+instead of re-solving an O(chain) root system, which is what makes
+per-edit latency on chain-shaped programs scale.  Chain systems are
+solved and cached exactly like region systems; only the *shape* of the
+tree changes, never the fixpoint, so flat/hierarchical byte-identity is
+preserved.
 """
 
 from __future__ import annotations
@@ -39,6 +53,22 @@ INPUT = -1
 #: Unit tags (first element of a unit tuple).
 NODE_UNIT = 0
 CHILD_UNIT = 1
+
+
+class ChainRegion:
+    """Marker standing in for a structure ``Region`` on synthetic chain
+    systems: the system exists only to re-associate sequential
+    composition, it owns no nodes and has no counterpart in the PST."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<chain>"
+
+
+#: The shared marker instance (chain systems are interchangeable; their
+#: identity lives in the ``(entry, exit)`` key like any other system's).
+CHAIN = ChainRegion()
 
 
 class System:
@@ -111,7 +141,7 @@ class RegionSystems:
 
     __slots__ = (
         "graph", "structure", "systems", "sys_of_node", "dissolved",
-        "reused", "_prev", "_touched",
+        "reused", "_prev", "_touched", "_balance",
     )
 
     def __init__(
@@ -121,11 +151,13 @@ class RegionSystems:
         counter: WorkCounter | None = None,
         prev: "RegionSystems | None" = None,
         touched: "set | None" = None,
+        balance: bool = True,
     ) -> None:
         self.graph = graph
         self.structure = structure
         self.dissolved = 0
         self.reused = 0
+        self._balance = balance
         # Unit reuse: ``prev`` is the assembly from just before a single
         # structure edit and ``touched`` that edit's affected regions
         # (``ProgramStructure.consume_touched``).  An untouched region
@@ -223,8 +255,145 @@ class RegionSystems:
                 continue
             self._build_units(system, systems, sys_of_node, dead)
 
+        if self._balance:
+            self._balance_root(systems, sys_of_node, dead)
+
         self.systems = systems
         self.sys_of_node = sys_of_node
+
+    def _balance_root(
+        self, systems: list[System], sys_of_node: dict[int, int], dead: set,
+    ) -> None:
+        """Wrap maximal sequential runs of the root's children into a
+        balanced binary tree of :data:`CHAIN` systems.
+
+        Runs on the *verified* assembly: every root unit already
+        resolved, so a run link ``A.exit == B.entry`` is by construction
+        an edge no root node reads, and the synthetic systems' pure
+        child-unit equations satisfy closure trivially.  Node ownership
+        never moves -- chain systems exist only to re-associate the
+        composition -- so ``sys_of_node`` and every real system's own
+        equations are untouched; only parents, depths and the root's
+        units change.
+        """
+        root = systems[0]
+        children = root.children
+        if len(children) < 2:
+            return
+
+        by_entry = {systems[i].entry: i for i in children}
+        exits = {systems[i].exit for i in children}
+
+        # Maximal paths of the (injective) exit->entry successor map.
+        # Closed cycles of siblings have no start and stay unwrapped.
+        runs: list[list[int]] = []
+        wrapped: set[int] = set()
+        for index in children:
+            if systems[index].entry in exits:
+                continue
+            run = [index]
+            nxt = by_entry.get(systems[index].exit)
+            while nxt is not None and nxt not in wrapped and nxt != index:
+                run.append(nxt)
+                nxt = by_entry.get(systems[nxt].exit)
+            if len(run) >= 2:
+                wrapped.update(run)
+                runs.append(run)
+        if not runs:
+            return
+
+        prev, touched = self._prev, self._touched
+        prev_chain: dict = {}
+        old_root = None
+        if prev is not None and touched is not None and not dead:
+            for old in prev.systems:
+                if old.region is CHAIN:
+                    prev_chain[(old.entry, old.exit)] = old
+            old_root = prev.systems[0]
+
+        def wrap(seq: list[int]) -> int:
+            """Balanced re-association of one run; returns the top."""
+            if len(seq) == 1:
+                return seq[0]
+            mid = len(seq) // 2
+            left, right = wrap(seq[:mid]), wrap(seq[mid:])
+            lsys, rsys = systems[left], systems[right]
+            node = System(len(systems), None)
+            node.region = CHAIN
+            node.entry, node.exit = lsys.entry, rsys.exit
+            node.children = (left, right)
+            systems.append(node)
+            lsys.parent = rsys.parent = node.index
+            old = prev_chain.get((node.entry, node.exit))
+            if (
+                old is not None
+                and tuple(prev.systems[i].key for i in old.children)
+                == (lsys.key, rsys.key)
+            ):
+                node.fwd_units = old.fwd_units
+                node.bwd_units = old.bwd_units
+                self.reused += 1
+            else:
+                node.fwd_units = (
+                    (CHILD_UNIT, 0, INPUT, lsys.exit),
+                    (CHILD_UNIT, 1, lsys.exit, rsys.exit),
+                )
+                node.bwd_units = (
+                    (CHILD_UNIT, 1, INPUT, rsys.entry),
+                    (CHILD_UNIT, 0, rsys.entry, lsys.entry),
+                )
+            return node.index
+
+        top_of_head = {run[0]: wrap(run) for run in runs}
+        new_children = []
+        for index in children:
+            if index in wrapped:
+                if index in top_of_head:
+                    new_children.append(top_of_head[index])
+            else:
+                new_children.append(index)
+        root.children = tuple(new_children)
+        for index in new_children:
+            systems[index].parent = 0
+
+        # A chain top's entry equals its head's, so the root's equations
+        # re-derive cleanly against the new children; reuse the previous
+        # balanced root's units when nothing it reads moved (same
+        # soundness condition as the per-region reuse above).
+        if (
+            old_root is not None
+            and old_root.nodes == root.nodes
+            and tuple(prev.systems[i].key for i in old_root.children)
+            == tuple(systems[i].key for i in root.children)
+        ):
+            root.fwd_units = old_root.fwd_units
+            root.bwd_units = old_root.bwd_units
+            self.reused += 1
+        else:
+            self._build_units(root, systems, sys_of_node, dead)
+
+        # Re-establish the ordering invariant (parents strictly before
+        # children; ``reversed(systems)`` is bottom-up) over the new
+        # depths, then renumber.  CHILD_UNIT positions are positional
+        # within each ``children`` tuple, which the remap preserves.
+        stack = [0]
+        while stack:
+            index = stack.pop()
+            for child in systems[index].children:
+                systems[child].depth = systems[index].depth + 1
+                stack.append(child)
+        order = [systems[0]] + sorted(
+            systems[1:], key=lambda s: (s.depth, s.entry)
+        )
+        remap = {system.index: new for new, system in enumerate(order)}
+        for system in order:
+            system.index = remap[system.index]
+            if system.parent is not None:
+                system.parent = remap[system.parent]
+            system.children = tuple(remap[c] for c in system.children)
+        systems[:] = order
+        for nid, index in sys_of_node.items():
+            sys_of_node[nid] = remap[index]
 
     def _build_units(
         self, system: System, systems: list[System],
@@ -325,11 +494,14 @@ def build_systems(
     counter: WorkCounter | None = None,
     prev: RegionSystems | None = None,
     touched: "set | None" = None,
+    balance: bool = True,
 ) -> RegionSystems:
     """Assemble (and closure-verify) the region equation systems.
 
     ``prev``/``touched`` enable unit reuse across a single structure
     edit: pass the previous assembly and the edit's
     :meth:`~repro.controldep.sese.ProgramStructure.consume_touched` set.
+    ``balance=False`` skips the root-chain re-association (the flat
+    root is kept for differential benchmarking only).
     """
-    return RegionSystems(graph, structure, counter, prev, touched)
+    return RegionSystems(graph, structure, counter, prev, touched, balance)

@@ -15,7 +15,9 @@ pass with no registered oracle escalates to
 The oracle table (:func:`default_oracles`) covers exactly the passes
 whose fast path has a reference twin: ``dfs``, ``dom``, ``pdom``,
 ``cycle-equiv``, ``sese`` (rebuilt from the reference substrates),
-``liveness``, ``reaching``, ``available`` and ``pavailable``.
+``liveness``, ``reaching``, ``available``, ``pavailable``,
+``region-summaries`` and ``arena-dataflow`` (the fused arena solve
+degrades onto the object-graph five-pass menu it replaces).
 :func:`results_equal` knows how to compare each pass's result shape --
 the same comparisons the equivalence suite makes.
 """
@@ -130,6 +132,27 @@ def _oracle_region_summaries(graph, deps, counter):
     return out
 
 
+def _oracle_arena_dataflow(graph, deps, counter):
+    """Object-graph twin of the fused arena solve: the four bitset
+    analyses plus vector constant propagation, result shapes matching
+    :func:`repro.arena.kernels.analyze_arena`."""
+    from repro.dataflow.bitsets import (
+        anticipatable_bitsets,
+        available_bitsets,
+        liveness_bitsets,
+        reaching_bitsets,
+    )
+    from repro.opt.cfg_constprop import cfg_constant_propagation
+
+    return {
+        "available": available_bitsets(graph),
+        "anticipatable": anticipatable_bitsets(graph),
+        "liveness": liveness_bitsets(graph),
+        "reaching": reaching_bitsets(graph),
+        "constprop": cfg_constant_propagation(graph, counter),
+    }
+
+
 _ORACLES: dict[str, OracleFn] = {
     "dfs": _oracle_dfs,
     "dom": _oracle_dom,
@@ -141,6 +164,7 @@ _ORACLES: dict[str, OracleFn] = {
     "available": _oracle_available,
     "pavailable": _oracle_pavailable,
     "region-summaries": _oracle_region_summaries,
+    "arena-dataflow": _oracle_arena_dataflow,
 }
 
 
@@ -186,6 +210,24 @@ def _chains_eq(a, b) -> bool:
     return a.chains == b.chains
 
 
+def _arena_eq(a, b) -> bool:
+    """Two ``(pool, arena)`` lowerings are the same answer when their
+    shipped core tables match -- every derived pool table is a function
+    of those, and :class:`~repro.arena.arena.ProgramArena` compares by
+    value."""
+    pool_a, arena_a = a
+    pool_b, arena_b = b
+    return (
+        pool_a.names == pool_b.names
+        and pool_a.literals == pool_b.literals
+        and pool_a.kind == pool_b.kind
+        and pool_a.arg0 == pool_b.arg0
+        and pool_a.arg1 == pool_b.arg1
+        and pool_a.arg2 == pool_b.arg2
+        and arena_a == arena_b
+    )
+
+
 def _regions_eq(a, b) -> bool:
     """Two region-system assemblies are the same answer when every
     system has the same boundary, ownership, hierarchy and units."""
@@ -210,6 +252,7 @@ _COMPARATORS: dict[str, Callable[[object, object], bool]] = {
     "csr": _csr_eq,
     "defuse": _chains_eq,
     "regions": _regions_eq,
+    "arena": _arena_eq,
 }
 
 

@@ -1,0 +1,181 @@
+"""Arena IR: lowering fidelity, interning determinism, fused solving.
+
+The arena subsystem (PR 7) re-represents whole corpora as flat
+struct-of-arrays tables over one shared expression pool.  These tests
+pin the three contracts the rest of the repo leans on:
+
+* **structural equivalence** -- lowering a CFG yields exactly the CSR
+  snapshot's enumeration and adjacency, plus faithful node/edge
+  payloads, across the whole (smoke) equivalence corpus;
+* **determinism** -- interned ids and the serialized corpus bytes are
+  functions of insertion order only, never of the process hash seed;
+* **fused solving** -- one corpus sweep matches the per-program object
+  pipeline byte-for-byte and performs *zero* interning work (the pool
+  is read-only after lowering, which is what makes the batch-mode
+  amortization sound).
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+
+from repro.arena import (
+    ArenaCorpus,
+    ExpressionPool,
+    analyze_arena,
+    analyze_corpus,
+    lower_cfg,
+)
+from repro.arena.arena import KIND_INDEX
+from repro.cfg.graph import NodeKind
+from repro.perf.batch import _corpus_graphs, _corpus_legacy, equivalence_suite
+from repro.perf.csr import build_csr
+from repro.util.counters import WorkCounter
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), "..", "src")
+
+
+def smoke_corpus() -> tuple[list, ArenaCorpus]:
+    graphs = _corpus_graphs(equivalence_suite(smoke=True))
+    corpus = ArenaCorpus(ExpressionPool())
+    for label, graph in graphs:
+        corpus.add(graph, label=label)
+    return graphs, corpus
+
+
+# -- structural equivalence ---------------------------------------------------
+
+
+def test_lowering_matches_csr_across_corpus():
+    graphs, corpus = smoke_corpus()
+    for (label, graph), arena in zip(graphs, corpus.programs):
+        csr = build_csr(graph)
+        assert arena.label == label
+        assert arena.n == csr.n and arena.m == csr.m
+        assert arena.node_ids == csr.node_ids
+        assert arena.edge_ids == csr.edge_ids
+        assert arena.edge_src == csr.edge_src
+        assert arena.edge_dst == csr.edge_dst
+        assert arena.succ_off == csr.succ_off
+        assert arena.succ_node == csr.succ_node
+        assert arena.succ_edge == csr.succ_edge
+        assert arena.pred_off == csr.pred_off
+        assert arena.pred_node == csr.pred_node
+        assert arena.pred_edge == csr.pred_edge
+        assert arena.start == csr.start and arena.end == csr.end
+
+
+def test_lowering_payloads_decode_back_to_the_cfg():
+    graphs, corpus = smoke_corpus()
+    pool = corpus.pool
+    for (_, graph), arena in zip(graphs, corpus.programs):
+        for i, nid in enumerate(arena.node_ids):
+            node = graph.node(nid)
+            assert arena.node_kind[i] == KIND_INDEX[node.kind]
+            if node.kind is NodeKind.ASSIGN:
+                assert pool.names[arena.node_target[i]] == node.target
+            else:
+                assert arena.node_target[i] == -1
+            if node.expr is not None:
+                # Pool objects are span-stripped canonical ASTs; spans
+                # do not participate in expression equality.
+                assert pool.objects[arena.node_expr[i]] == node.expr
+            else:
+                assert arena.node_expr[i] == -1
+        for i, eid in enumerate(arena.edge_ids):
+            label = graph.edges[eid].label
+            if label is None:
+                assert arena.edge_label[i] == -1
+            else:
+                assert pool.names[arena.edge_label[i]] == label
+
+
+def test_interning_is_shared_across_the_corpus():
+    _, corpus = smoke_corpus()
+    pool = corpus.pool
+    # Hash-consing: every (kind, args) row is unique.
+    rows = list(zip(pool.kind, pool.arg0, pool.arg1, pool.arg2))
+    assert len(rows) == len(set(rows))
+    # The corpus shares structure: the pool is much smaller than the
+    # sum of per-program expression counts.
+    per_program = sum(
+        1 for arena in corpus.programs for e in arena.node_expr if e >= 0
+    )
+    assert len(pool) < per_program
+
+
+# -- determinism --------------------------------------------------------------
+
+_DIGEST_SCRIPT = """
+import hashlib
+from repro.arena import ArenaCorpus, ExpressionPool
+from repro.perf.batch import _corpus_graphs, equivalence_suite
+
+corpus = ArenaCorpus(ExpressionPool())
+for label, graph in _corpus_graphs(equivalence_suite(smoke=True)):
+    corpus.add(graph, label=label)
+print(hashlib.sha256(corpus.to_bytes()).hexdigest())
+"""
+
+
+def _digest_under_seed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC_ROOT
+    out = subprocess.run(
+        [sys.executable, "-c", _DIGEST_SCRIPT],
+        capture_output=True, text=True, env=env, check=True, timeout=300,
+    )
+    return out.stdout.strip()
+
+
+def test_interned_ids_are_hash_seed_deterministic():
+    digests = {_digest_under_seed(seed) for seed in ("1", "31337")}
+    assert len(digests) == 1
+    # And the in-process build agrees with the subprocess ones.
+    _, corpus = smoke_corpus()
+    assert hashlib.sha256(corpus.to_bytes()).hexdigest() == digests.pop()
+
+
+def test_bytes_roundtrip_is_identity():
+    _, corpus = smoke_corpus()
+    wire = corpus.to_bytes()
+    clone = ArenaCorpus.from_bytes(wire)
+    assert clone.to_bytes() == wire
+    assert analyze_corpus(clone) == analyze_corpus(corpus)
+
+
+# -- fused solving ------------------------------------------------------------
+
+
+def test_fused_sweep_matches_object_pipeline():
+    graphs, corpus = smoke_corpus()
+    assert analyze_corpus(corpus) == _corpus_legacy(graphs)
+
+
+def test_fused_sweep_does_no_per_program_interning():
+    counter = WorkCounter()
+    graphs = _corpus_graphs(equivalence_suite(smoke=True))
+    corpus = ArenaCorpus(ExpressionPool(counter=counter))
+    for label, graph in graphs:
+        corpus.add(graph, label=label, counter=counter)
+    lowered = counter.snapshot()
+    assert lowered.get("arena_interned", 0) > 0
+
+    results = analyze_corpus(corpus, counter=counter)
+    solved = counter.snapshot()
+    # The fused sweep reads the pool; it never interns -- neither new
+    # rows nor memo hits.
+    assert solved.get("arena_interned") == lowered.get("arena_interned")
+    assert solved.get("arena_intern_hits") == lowered.get("arena_intern_hits")
+    assert solved.get("arena_programs_solved") == len(corpus.programs)
+    assert len(results) == len(graphs)
+
+
+def test_single_program_matches_corpus_row():
+    graphs, corpus = smoke_corpus()
+    label, graph = graphs[0]
+    solo_pool = ExpressionPool()
+    solo = lower_cfg(graph, solo_pool, label=label)
+    assert analyze_arena(solo, solo_pool) == analyze_corpus(corpus)[label]

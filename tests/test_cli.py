@@ -169,7 +169,10 @@ def test_bench_smoke_payload(tmp_path, capsys):
     assert payload["schema"] == "repro.bench/1"
     assert payload["tag"] == "t" and payload["mode"] == "smoke"
     names = [w["name"] for w in payload["workloads"]]
-    assert names == ["c1-structure", "f4-dataflow", "edit-replay"]
+    assert names == [
+        "c1-structure", "f4-dataflow", "edit-replay",
+        "edit-replay-balance", "arena-fused",
+    ]
     for workload in payload["workloads"]:
         assert workload["rows"], workload["name"]
         for row in workload["rows"]:

@@ -42,7 +42,7 @@ SHAPE_PASSES = (
 EXPR_PASSES = (
     "dfg", "defuse", "liveness", "reaching", "available", "pavailable",
     "ssa", "constprop", "constprop-cfg", "constprop-defuse", "sccp",
-    "region-summaries",
+    "region-summaries", "arena", "arena-dataflow",
 )
 
 
