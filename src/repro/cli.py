@@ -298,6 +298,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
             fh.write(_lint_dot(graph, diagnostics))
         print(f"wrote {args.dot}")
 
+    if result.oracle_failures:
+        # A rule's oracle checker raised: the findings above are still
+        # sound (the affected ones were conservatively demoted), but the
+        # zero-false-positive guarantee was not fully measured.  Exit 2
+        # with one structured line -- the documented contract.
+        from repro.robust.errors import AnalysisError
+
+        first = result.oracle_failures[0]
+        raise AnalysisError(
+            f"{len(result.oracle_failures)} lint oracle check(s) raised; "
+            f"first: {first['type']}: {first['message']}",
+            phase="lint-verify",
+            pass_name=first.get("pass"),
+        )
+
     if args.fail_on != "never":
         threshold = SEVERITIES.index(args.fail_on)
         if any(
@@ -318,13 +333,16 @@ def cmd_lintsweep(args: argparse.Namespace) -> int:
     print(f"lint sweep ({payload['mode']}): {corpus['programs']} corpus "
           f"programs, {corpus['findings']} findings, "
           f"{corpus['unverified_definite']} unverified definite, "
-          f"{corpus['refuted']} refuted; planted recall "
+          f"{corpus['refuted']} refuted, "
+          f"{corpus['oracle_failures'] + planted['oracle_failures']} oracle "
+          f"failures; planted recall "
           f"{planted['recall']:.1%}, precision {planted['precision']:.1%}")
     print(f"wrote {out}")
     if not payload["ok"]:
         print("lint sweep contract violated: an unverified definite "
-              "finding, a refuted finding, or recall below "
-              f"{payload['recall_floor']:.0%}", file=sys.stderr)
+              "finding, a refuted finding, an oracle-checker failure, "
+              f"or recall below {payload['recall_floor']:.0%}",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -620,9 +638,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     batch_p.add_argument(
         "--suite", default="default", metavar="NAME",
         help="'default', 'equivalence' (the 204-program perf-equivalence "
-        "population) or 'lint' (the diagnostics engine over "
-        "planted-defect and corpus programs); unknown names list the "
-        "available suites",
+        "population), 'lint' (the diagnostics engine over "
+        "planted-defect and corpus programs) or 'sparse' (the sparse "
+        "engine's client passes cross-checked against their dense "
+        "reference twins); unknown names list the available suites",
     )
     batch_p.add_argument(
         "--smoke", action="store_true",

@@ -15,15 +15,25 @@ This package implements Section 3.1 of the paper:
   control dependence iff cycle equivalent in the augmented graph").
 * :mod:`repro.controldep.factored` -- the factored control dependence
   graph built from cycle-equivalence classes in O(E).
+* :mod:`repro.controldep.ntscd` -- *non-termination-sensitive* strong
+  control dependence (Chalupa et al., arXiv:2011.01564): maximal paths
+  may be infinite, so code after a possibly-diverging loop depends on
+  the loop predicate.  The postdominance-based CDG above cannot express
+  that; our ``goto`` frontend's irreducible and non-terminating CFGs
+  exercise the difference.
 """
 
 from repro.controldep.cdg import control_dependence_edges, control_dependence_nodes
 from repro.controldep.cycle_equiv import cycle_equivalence
 from repro.controldep.factored import FactoredCDG, build_factored_cdg
+from repro.controldep.ntscd import NTSCDResult, ntscd, ntscd_reference
 from repro.controldep.sese import ProgramStructure, Region, build_program_structure
 
 __all__ = [
     "FactoredCDG",
+    "NTSCDResult",
+    "ntscd",
+    "ntscd_reference",
     "ProgramStructure",
     "Region",
     "build_factored_cdg",

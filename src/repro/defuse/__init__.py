@@ -6,12 +6,17 @@ for forward propagation along chains, quadratic in the worst case
 dead branches (it finds *all-paths* constants only -- Section 4's
 motivating deficiency)."""
 
-from repro.defuse.chains import DefUseChains, build_def_use_chains
+from repro.defuse.chains import (
+    DefUseChains,
+    build_def_use_chains,
+    build_def_use_chains_reference,
+)
 from repro.defuse.constprop import DefUseConstants, defuse_constant_propagation
 
 __all__ = [
     "DefUseChains",
     "DefUseConstants",
     "build_def_use_chains",
+    "build_def_use_chains_reference",
     "defuse_constant_propagation",
 ]

@@ -53,7 +53,40 @@ class DefUseChains:
 def build_def_use_chains(
     graph: CFG, counter: WorkCounter | None = None
 ) -> DefUseChains:
-    """Compute every def-use chain from the reaching-definitions solution."""
+    """Compute every def-use chain, sparsely.
+
+    Since the sparse framework landed, this is a projection of the
+    live-range-split form built by the parameterized engine with the
+    no-split :class:`~repro.sparse.engine.DefUseStrategy`: the origins
+    of the name each use consumes are exactly its reaching definitions.
+    Chains come out canonically sorted by ``(use_node, var, def_node)``
+    -- a strictly more deterministic order than the reference's
+    hash-dependent frozenset iteration.  The dense construction from
+    reaching definitions survives as
+    :func:`build_def_use_chains_reference`; the chain *sets* are
+    identical across the corpus (``tests/test_sparse_framework.py``).
+    """
+    from repro.sparse.engine import (
+        DefUseStrategy,
+        build_sparse_form,
+        sparse_chain_items,
+    )
+
+    counter = counter if counter is not None else WorkCounter()
+    form = build_sparse_form(graph, DefUseStrategy(), counter=counter)
+    chains = [
+        Chain(var, def_node, use_node)
+        for var, def_node, use_node in sparse_chain_items(form)
+    ]
+    counter.tick("chains_built", len(chains))
+    return DefUseChains(graph, chains)
+
+
+def build_def_use_chains_reference(
+    graph: CFG, counter: WorkCounter | None = None
+) -> DefUseChains:
+    """The dense construction from the reaching-definitions solution,
+    kept as the oracle for the sparse projection."""
     reach = reaching_definitions(graph, counter)
     chains: list[Chain] = []
     for node in graph.nodes.values():

@@ -32,6 +32,12 @@ acceptance contract) guarantees:
     over the region-summary hierarchy yields fact masks identical to the
     flat bitset fixpoint on the mutant (distributivity of bitvector
     frameworks over the closure-verified system construction).
+``sparse-vs-dense``
+    The PR-9 contract: every client of the parameterized sparse engine
+    (def-use chains, SSA construction, interval ranges, taint, NTSCD)
+    agrees with its dense reference twin on the mutant -- chain sets
+    equal, SSA overlays identical field by field, and the range/taint/
+    control-dependence fact surfaces byte-equal.
 ``bytes-roundtrip``
     The PR-7 contract: lowering the mutant into an arena corpus,
     serializing it, deserializing and running the fused arena sweep must
@@ -316,6 +322,73 @@ def oracle_bytes_roundtrip(
     return Verdict("bytes-roundtrip", True, checks)
 
 
+def _ssa_snapshot(ssa):
+    """The full comparison surface of an SSA overlay: names at every
+    def/use/entry site plus each phi's result and per-edge arguments."""
+    return (
+        sorted(ssa.def_names.items()),
+        sorted(ssa.use_names.items()),
+        sorted(ssa.entry_names.items()),
+        sorted(
+            (nid, var, phi.result, tuple(sorted(phi.args.items())))
+            for nid, by_var in ssa.phis.items()
+            for var, phi in by_var.items()
+        ),
+    )
+
+
+def oracle_sparse_vs_dense(
+    base_graph, mutant_graph, context: Mapping
+) -> Verdict:
+    """The PR-9 contract: sparse-engine clients equal their dense
+    reference twins on the mutant."""
+    from repro.controldep.ntscd import ntscd, ntscd_reference
+    from repro.defuse.chains import (
+        build_def_use_chains,
+        build_def_use_chains_reference,
+    )
+    from repro.sparse.range_analysis import (
+        range_analysis,
+        range_analysis_reference,
+    )
+    from repro.sparse.taint import taint_analysis, taint_analysis_reference
+    from repro.ssa.cytron import build_ssa_cytron, build_ssa_cytron_reference
+
+    def chain_set(chains):
+        return {(c.var, c.def_node, c.use_node) for c in chains.chains}
+
+    pairs = {
+        "chains": lambda g: chain_set(build_def_use_chains(g)),
+        "chains-ref": lambda g: chain_set(build_def_use_chains_reference(g)),
+        "ssa": lambda g: _ssa_snapshot(build_ssa_cytron(g)),
+        "ssa-ref": lambda g: _ssa_snapshot(build_ssa_cytron_reference(g)),
+        "ssa-pruned": lambda g: _ssa_snapshot(
+            build_ssa_cytron(g, pruned=True)
+        ),
+        "ssa-pruned-ref": lambda g: _ssa_snapshot(
+            build_ssa_cytron_reference(g, pruned=True)
+        ),
+        "range": lambda g: range_analysis(g).facts(),
+        "range-ref": lambda g: range_analysis_reference(g).facts(),
+        "taint": lambda g: taint_analysis(g).facts(),
+        "taint-ref": lambda g: taint_analysis_reference(g).facts(),
+        "ntscd": lambda g: ntscd(g).facts(),
+        "ntscd-ref": lambda g: ntscd_reference(g).facts(),
+    }
+    checks = 0
+    for client in ("chains", "ssa", "ssa-pruned", "range", "taint", "ntscd"):
+        fast = pairs[client](mutant_graph)
+        dense = pairs[f"{client}-ref"](mutant_graph)
+        checks += 1
+        if fast != dense:
+            return Verdict(
+                "sparse-vs-dense", False, checks,
+                detail=f"{client}: sparse client diverges from its dense "
+                       f"reference twin",
+            )
+    return Verdict("sparse-vs-dense", True, checks)
+
+
 def dfg_digest(graph) -> str:
     """A stable digest of the DFG's ports, port order and head order."""
     manager = AnalysisManager(graph)
@@ -351,6 +424,7 @@ ORACLES: dict[str, Callable] = {
     "determinism": oracle_determinism,
     "hierarchical-vs-flat": oracle_hierarchical_vs_flat,
     "bytes-roundtrip": oracle_bytes_roundtrip,
+    "sparse-vs-dense": oracle_sparse_vs_dense,
 }
 
 #: Oracles that execute the program.

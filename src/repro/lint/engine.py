@@ -27,6 +27,12 @@ class LintResult:
     diagnostics: list[Diagnostic]
     verified: bool
     manager: AnalysisManager = field(repr=False)
+    #: Structured :func:`~repro.robust.errors.error_record` dicts, one per
+    #: oracle checker that *raised* during verification.  Non-empty means
+    #: the zero-false-positive guarantee was not fully measured: ``repro
+    #: lint`` surfaces this as an analysis error (exit 2) and the sweep's
+    #: ``ok`` gate requires the count to be zero.
+    oracle_failures: list[dict] = field(default_factory=list)
 
     def by_severity(self) -> dict[str, int]:
         counts = {"definite": 0, "possible": 0, "info": 0}
@@ -70,8 +76,8 @@ class LintEngine:
     >>> from repro.lang.parser import parse_program
     >>> g = build_cfg(parse_program("x := y; print x;"))
     >>> result = LintEngine(g).run()
-    >>> [d.rule for d in result.diagnostics]  # R010: x copies y at the print
-    ['R001', 'R010']
+    >>> [d.rule for d in result.diagnostics]  # copy chain + tainted print
+    ['R001', 'R010', 'R011']
     >>> result.diagnostics[0].verified
     True
     """
@@ -92,12 +98,14 @@ class LintEngine:
         max_steps: int = DEFAULT_PROBE_STEPS,
     ) -> LintResult:
         diagnostics = list(self.manager.get(LINT_PASS))
+        failures: list[dict] = []
         if verify:
             diagnostics = verify_diagnostics(
-                self.graph, diagnostics, max_steps=max_steps
+                self.graph, diagnostics, max_steps=max_steps, failures=failures
             )
         return LintResult(
             diagnostics=sorted_diagnostics(diagnostics),
             verified=verify,
             manager=self.manager,
+            oracle_failures=failures,
         )

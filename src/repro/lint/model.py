@@ -61,7 +61,8 @@ RULES: dict[str, RuleInfo] = {
             "variable may be read before assignment on some path",
             "def-use chains: the entry value is one of several definitions "
             "reaching the use",
-            "none (possible-paths findings are not verified)",
+            "reference reaching definitions: both the entry value and a "
+            "real assignment reach the use",
             "assign the variable on every path to this statement",
         ),
         RuleInfo(
@@ -102,14 +103,16 @@ RULES: dict[str, RuleInfo] = {
             "expression was already computed on the incoming path(s)",
             "available / partially-available + anticipatable expressions "
             "(the PRE safety/profitability pair)",
-            "none (info findings are not verified)",
+            "generic-solver reference twins of the availability / "
+            "anticipatability analyses agree",
             "reuse the earlier computation through a temporary",
         ),
         RuleInfo(
             "R008", "loop-invariant", "info",
             "expression is invariant in the enclosing loop",
             "natural loops: no operand is defined inside the loop body",
-            "none (info findings are not verified)",
+            "reference reaching definitions: no definition inside the loop "
+            "body reaches the expression's operands",
             "hoist the computation out of the loop",
         ),
         RuleInfo(
@@ -124,8 +127,39 @@ RULES: dict[str, RuleInfo] = {
             "use reads a copy whose original is still available",
             "DFG copy-propagation justification: the original has the same "
             "dependence source at the use as at the copy",
-            "none (info findings are not verified)",
+            "reference reaching definitions match at copy and use + "
+            "differential execution with the use rewritten to the original",
             "read the original variable directly",
+        ),
+        RuleInfo(
+            "R011", "possibly-tainted-print", "possible",
+            "printed or stored value may derive from an unvalidated entry "
+            "value",
+            "sparse forward taint tracking: some operand of the sink is "
+            "transitively computed from a variable's entry value",
+            "dense (per-edge) taint reference agrees that the operand is "
+            "tainted at the sink",
+            "validate or initialize the value before printing or storing it",
+        ),
+        RuleInfo(
+            "R012", "empty-range-branch", "definite",
+            "branch predicate is range-decided: one arm can never be taken",
+            "sparse interval range analysis with branch refinement decides "
+            "the predicate's truth (though no operand is constant)",
+            "dense (per-edge) interval reference computes the same verdict "
+            "+ every probe trace takes the predicted arm",
+            "remove the arm that can never run, or fix the guard",
+        ),
+        RuleInfo(
+            "R013", "range-dead-code", "definite",
+            "statement is only reachable through range-dead branch edges "
+            "(strong control dependence on a decided branch)",
+            "interval-infeasible edges removed from the CFG leave the "
+            "statement unreachable; NTSCD names the deciding branch",
+            "dense interval reference reproduces the dead edges + reference "
+            "NTSCD confirms the controlling branch + no probe trace visits "
+            "the statement",
+            "remove the statement or fix the branch that starves it",
         ),
     )
 }

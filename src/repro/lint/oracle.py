@@ -37,16 +37,35 @@ simply skipped: it neither confirms nor refutes.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.cfg.graph import CFG, NodeKind
 from repro.cfg.interp import run_cfg
+from repro.dataflow.anticipatable import anticipatable_expressions_reference
+from repro.dataflow.available import (
+    available_expressions_reference,
+    partially_available_expressions_reference,
+)
 from repro.dataflow.liveness import live_variables_reference
 from repro.dataflow.reaching import reaching_definitions_reference
 from repro.defuse.chains import build_def_use_chains
-from repro.lang.ast_nodes import Var
+from repro.graphs.loops import natural_loops
+from repro.lang.ast_nodes import (
+    BinOp,
+    Expr,
+    Index,
+    UnOp,
+    Update,
+    Var,
+    expr_vars,
+    subexpressions,
+)
 from repro.lang.errors import InterpError
 from repro.lang.interp import ExecutionResult
+from repro.lang.pretty import pretty_expr
 from repro.lint.model import Diagnostic, confirm, demote, sorted_diagnostics
 from repro.opt.cfg_constprop import cfg_constant_propagation
+from repro.robust.errors import error_record
 from repro.util.counters import WorkCounter
 
 #: Step budget per probe run; corpus programs are small, so a blowout
@@ -104,6 +123,56 @@ class _Oracle:
             "kildall",
             lambda: cfg_constant_propagation(self.graph, WorkCounter()),
         )
+
+    def ranges(self):
+        from repro.sparse.range_analysis import range_analysis_reference
+
+        return self._memo(
+            "ranges",
+            lambda: range_analysis_reference(self.graph, WorkCounter()),
+        )
+
+    def taint(self):
+        from repro.sparse.taint import taint_analysis_reference
+
+        return self._memo(
+            "taint",
+            lambda: taint_analysis_reference(self.graph, counter=WorkCounter()),
+        )
+
+    def ntscd(self):
+        from repro.controldep.ntscd import ntscd_reference
+
+        return self._memo(
+            "ntscd", lambda: ntscd_reference(self.graph, WorkCounter())
+        )
+
+    def available(self):
+        return self._memo(
+            "available",
+            lambda: available_expressions_reference(
+                self.graph, WorkCounter()
+            ),
+        )
+
+    def pavailable(self):
+        return self._memo(
+            "pavailable",
+            lambda: partially_available_expressions_reference(
+                self.graph, WorkCounter()
+            ),
+        )
+
+    def anticipatable(self):
+        return self._memo(
+            "anticipatable",
+            lambda: anticipatable_expressions_reference(
+                self.graph, WorkCounter()
+            ),
+        )
+
+    def loops(self):
+        return self._memo("loops", lambda: natural_loops(self.graph))
 
     def observable_defs(self) -> set[int]:
         """Assignment nodes whose values can reach a print or a branch,
@@ -186,6 +255,57 @@ class _Oracle:
             self._splices[nid] = ok
         return self._splices[nid]
 
+    def rewrite_preserves_outputs(self, nid: int, new_expr: Expr) -> bool:
+        """Differential execution with node ``nid``'s expression replaced
+        in a copy: True when every conclusive probe's outputs survive."""
+        rewritten = self.graph.copy()
+        rewritten.node(nid).expr = new_expr
+        for env, baseline in self.probes():
+            try:
+                alt = run_cfg(
+                    rewritten,
+                    env,
+                    self.max_steps,
+                    value_limit=PROBE_VALUE_LIMIT,
+                )
+            except InterpError:
+                return False
+            if alt.outputs != baseline.outputs:
+                return False
+        return True
+
+
+def _substitute_var(expr: Expr, var: str, replacement: Expr) -> Expr:
+    """``expr`` with every read of ``var`` replaced (spans preserved)."""
+    if isinstance(expr, Var):
+        return replacement if expr.name == var else expr
+    if isinstance(expr, UnOp):
+        return replace(expr, operand=_substitute_var(expr.operand, var, replacement))
+    if isinstance(expr, BinOp):
+        return replace(
+            expr,
+            left=_substitute_var(expr.left, var, replacement),
+            right=_substitute_var(expr.right, var, replacement),
+        )
+    if isinstance(expr, Index):
+        array = expr.array
+        if array == var and isinstance(replacement, Var):
+            array = replacement.name
+        return replace(
+            expr, array=array, index=_substitute_var(expr.index, var, replacement)
+        )
+    if isinstance(expr, Update):
+        array = expr.array
+        if array == var and isinstance(replacement, Var):
+            array = replacement.name
+        return replace(
+            expr,
+            array=array,
+            index=_substitute_var(expr.index, var, replacement),
+            value=_substitute_var(expr.value, var, replacement),
+        )
+    return expr
+
 
 def _defs_of_var_reaching(oracle: _Oracle, nid: int, var: str) -> set[int]:
     reach = oracle.reaching()
@@ -263,13 +383,144 @@ def _check_self_assign(oracle: _Oracle, diag: Diagnostic):
     return confirmed and not refuted, refuted
 
 
+def _check_maybe_uninit(oracle: _Oracle, diag: Diagnostic):
+    assert diag.var is not None
+    defs = _defs_of_var_reaching(oracle, diag.node, diag.var)
+    confirmed = oracle.graph.start in defs and len(defs) > 1
+    # The claim is a may-property; the only way a witness can contradict
+    # it is statically: the entry value does not reach the use at all.
+    refuted = oracle.graph.start not in defs
+    return confirmed, refuted
+
+
+def _find_subexpr(node, text: str) -> Expr | None:
+    """The first subexpression of the node whose pretty form is ``text``
+    (tree order -- the same walk the rule used to pick it)."""
+    if node.expr is None:
+        return None
+    for sub in subexpressions(node.expr):
+        if pretty_expr(sub) == text:
+            return sub
+    return None
+
+
+def _check_redundant_expr(oracle: _Oracle, diag: Diagnostic):
+    sub = _find_subexpr(oracle.graph.node(diag.node), diag.var or "")
+    if sub is None:
+        return False, False
+    eid = oracle.graph.in_edge(diag.node).id
+    kind = dict(diag.data).get("kind")
+    fully = sub in oracle.available()[eid]
+    partially = (
+        sub in oracle.pavailable()[eid] and sub in oracle.anticipatable()[eid]
+    )
+    confirmed = fully if kind == "full" else partially
+    # Refuted only when the reference twins reject *both* readings: the
+    # expression is not even partially redundant here.
+    return confirmed, not (fully or partially)
+
+
+def _check_loop_invariant(oracle: _Oracle, diag: Diagnostic):
+    sub = _find_subexpr(oracle.graph.node(diag.node), diag.var or "")
+    if sub is None:
+        return False, False
+    bodies = [
+        body for body in oracle.loops().values() if diag.node in body
+    ]
+    if not bodies:
+        return False, False
+    reach = oracle.reaching()
+    inside: set[int] = set()
+    for edge in oracle.graph.in_edges(diag.node):
+        for def_var, def_node in reach[edge.id]:
+            if def_var in expr_vars(sub):
+                inside.add(def_node)
+    # Invariant in *some* enclosing loop: no reaching operand definition
+    # sits inside that loop's body.  Static-only -- no refutation probe.
+    confirmed = any(
+        not (inside & body) for body in bodies
+    )
+    return confirmed, False
+
+
+def _check_copy_chain(oracle: _Oracle, diag: Diagnostic):
+    assert diag.var is not None
+    data = dict(diag.data)
+    original, copy_node = data.get("original"), data.get("copy_node")
+    if not isinstance(original, str) or not isinstance(copy_node, int):
+        return False, False
+    at_copy = _defs_of_var_reaching(oracle, copy_node, original)
+    at_use = _defs_of_var_reaching(oracle, diag.node, original)
+    confirmed = bool(at_copy) and at_copy == at_use
+    node = oracle.graph.node(diag.node)
+    rewritten = _substitute_var(node.expr, diag.var, Var(original))
+    refuted = not oracle.rewrite_preserves_outputs(diag.node, rewritten)
+    return confirmed and not refuted, refuted
+
+
+def _check_tainted_print(oracle: _Oracle, diag: Diagnostic):
+    assert diag.var is not None
+    confirmed = bool(oracle.taint().use_taint.get((diag.node, diag.var)))
+    return confirmed, not confirmed
+
+
+def _check_empty_range_branch(oracle: _Oracle, diag: Diagnostic):
+    from repro.sparse import interval as _iv
+
+    data = dict(diag.data)
+    value, arm = data.get("value"), data.get("arm")
+    pred = oracle.ranges().switch_values.get(diag.node)
+    confirmed = (
+        pred is not None
+        and not pred.is_empty
+        and _iv.truth(pred) is value
+    )
+    refuted = False
+    if arm in ("T", "F"):
+        predicted = oracle.graph.switch_edge(diag.node, arm).dst
+        for _env, result in oracle.probes():
+            trace = result.trace
+            for i, visited in enumerate(trace[:-1]):
+                if visited == diag.node and trace[i + 1] != predicted:
+                    refuted = True
+    return confirmed and not refuted, refuted
+
+
+def _check_range_dead(oracle: _Oracle, diag: Diagnostic):
+    dead_edges = oracle.ranges().dead_edges
+    graph = oracle.graph
+    live = {graph.start}
+    stack = [graph.start]
+    while stack:
+        nid = stack.pop()
+        for edge in graph.out_edges(nid):
+            if edge.id in dead_edges or edge.dst in live:
+                continue
+            live.add(edge.dst)
+            stack.append(edge.dst)
+    owners = frozenset(graph.edge(eid).src for eid in dead_edges)
+    controllers = oracle.ntscd().deps.get(diag.node, frozenset())
+    confirmed = diag.node not in live and bool(controllers & owners)
+    refuted = any(
+        diag.node in result.trace for _env, result in oracle.probes()
+    )
+    return confirmed and not refuted, refuted
+
+
 _CHECKERS = {
     "R001": _check_use_before_def,
+    "R002": _check_maybe_uninit,
     "R003": _check_dead_store,
     "R004": _check_unreachable,
     "R005": _check_constant_branch,
     "R006": _check_dead_code,
+    "R007": _check_redundant_expr,
+    "R008": _check_loop_invariant,
     "R009": _check_self_assign,
+    "R010": _check_copy_chain,
+    "R011": _check_tainted_print,
+    "R012": _check_empty_range_branch,
+    "R013": _check_range_dead,
 }
 
 
@@ -277,28 +528,55 @@ def verify_diagnostics(
     graph: CFG,
     diagnostics,
     max_steps: int = DEFAULT_PROBE_STEPS,
+    failures: list[dict] | None = None,
 ) -> list[Diagnostic]:
-    """Confirm or demote every ``definite`` finding.
+    """Confirm or demote every ``definite`` finding, and attach witness
+    verdicts to possible/info findings too.
 
-    Returns a new sorted list: confirmed findings carry
-    ``verified=True``; unconfirmed ones are demoted to ``possible``
+    Returns a new sorted list.  For ``definite`` findings, confirmed ones
+    carry ``verified=True``; unconfirmed ones are demoted to ``possible``
     (``demoted=True``, plus ``refuted=True`` when a probe actively
-    contradicted the claim).  Non-definite findings pass through
-    untouched.
+    contradicted the claim).  Possible/info findings with a registered
+    checker keep their severity but gain ``verified``/``refuted`` flags.
+
+    A checker that *raises* never crashes the lint run: the finding is
+    conservatively demoted (or left unverified) and a structured
+    :func:`~repro.robust.errors.error_record` is appended to
+    ``failures`` so callers can surface the analysis error through the
+    :class:`~repro.robust.errors.ReproError` taxonomy (``repro lint``
+    exits 2 with one diagnostic line; the sweep's ``ok`` gate counts
+    oracle failures).
     """
     oracle = _Oracle(graph, max_steps)
     out: list[Diagnostic] = []
     for diag in diagnostics:
-        if diag.severity != "definite":
-            out.append(diag)
-            continue
         checker = _CHECKERS.get(diag.rule)
         if checker is None:
-            out.append(demote(diag))
+            if diag.severity == "definite":
+                out.append(demote(diag))
+            else:
+                out.append(diag)
             continue
-        confirmed, refuted = checker(oracle, diag)
-        if confirmed and not refuted:
-            out.append(confirm(diag))
+        try:
+            confirmed, refuted = checker(oracle, diag)
+        except Exception as exc:  # noqa: BLE001 -- route, never crash
+            if failures is not None:
+                record = error_record(exc)
+                record["phase"] = "lint-verify"
+                record["pass"] = f"oracle:{diag.rule}"
+                failures.append(record)
+            if diag.severity == "definite":
+                out.append(demote(diag))
+            else:
+                out.append(replace(diag, verified=False))
+            continue
+        if diag.severity == "definite":
+            if confirmed and not refuted:
+                out.append(confirm(diag))
+            else:
+                out.append(demote(diag, refuted=refuted))
         else:
-            out.append(demote(diag, refuted=refuted))
+            out.append(
+                replace(diag, verified=confirmed and not refuted, refuted=refuted)
+            )
     return sorted_diagnostics(out)

@@ -50,6 +50,9 @@ RULE_PASSES = {
     "R008": "lint-loop-invariant",
     "R009": "lint-self-assign",
     "R010": "lint-copy-chain",
+    "R011": "lint-tainted-print",
+    "R012": "lint-empty-range-branch",
+    "R013": "lint-range-dead",
 }
 
 #: The aggregate pass: every rule's findings, in presentation order.
@@ -407,6 +410,124 @@ def rule_copy_chain(graph, deps, counter) -> tuple[Diagnostic, ...]:
                 node=nid,
                 var=var,
                 related=(("copied here", copy_node.span),),
+                data={"original": original, "copy_node": source.node},
+            )
+        )
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_tainted_print(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R011: a sink (print, or array store) consumes a value transitively
+    derived from some variable's *entry* value -- data nothing in the
+    program ever validated.  Uses whose entry value arrives *directly*
+    are R001/R002's findings, so only transitive flows are reported."""
+    from repro.sparse.taint import is_sink
+
+    taint = deps["sparse-taint"]
+    chains = deps["defuse"]
+    unreachable = deps["constprop"].dead_nodes
+    found = []
+    for node in _statement_nodes(graph):
+        if node.id in unreachable or not is_sink(node):
+            continue
+        counter.tick("lint_nodes_scanned")
+        for var in sorted(node.uses()):
+            if not taint.use_taint.get((node.id, var)):
+                continue
+            if graph.start in chains.defs_reaching_use(node.id, var):
+                continue  # the entry value itself: R001/R002's finding
+            found.append(
+                make_diagnostic(
+                    "R011",
+                    _var_span(node, var),
+                    f"'{var}' may carry an unvalidated entry value into "
+                    f"this output",
+                    node=node.id,
+                    var=var,
+                )
+            )
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_empty_range_branch(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R012: interval analysis decides the predicate even though no
+    operand is a compile-time constant (those are R005's findings): one
+    arm's refined environment is provably empty."""
+    from repro.sparse import interval as _iv
+
+    ranges = deps["sparse-range"]
+    constants = deps["constprop"]
+    constant_rhs = constants.constant_rhs()
+    found = []
+    for node in _statement_nodes(graph):
+        if node.kind is not NodeKind.SWITCH or node.span is None:
+            continue
+        counter.tick("lint_nodes_scanned")
+        if node.id in constants.dead_nodes or node.id in constant_rhs:
+            continue
+        pred = ranges.switch_values.get(node.id)
+        if pred is None or pred.is_empty:
+            continue
+        verdict = _iv.truth(pred)
+        if verdict is None:
+            continue
+        arm = "true" if verdict else "false"
+        found.append(
+            make_diagnostic(
+                "R012",
+                node.span,
+                f"branch condition is always {arm}: its value stays in "
+                f"{pred}",
+                node=node.id,
+                data={"value": bool(verdict), "arm": "T" if verdict else "F"},
+            )
+        )
+    return tuple(sorted_diagnostics(found))
+
+
+def rule_range_dead(graph, deps, counter) -> tuple[Diagnostic, ...]:
+    """R013: removing the range-dead branch edges leaves the statement
+    unreachable, and NTSCD names a deciding branch the statement is
+    strongly control-dependent on.  Constant-propagation-dead statements
+    are R004's findings; this rule catches what *interval* reasoning
+    kills -- including code after a provably non-terminating loop, which
+    only non-termination-sensitive control dependence attributes."""
+    ranges = deps["sparse-range"]
+    dead_edges = ranges.dead_edges
+    if not dead_edges:
+        return ()
+    ntscd = deps["ntscd"]
+    unreachable = deps["constprop"].dead_nodes
+    live = {graph.start}
+    stack = [graph.start]
+    while stack:
+        nid = stack.pop()
+        counter.tick("lint_nodes_scanned")
+        for edge in graph.out_edges(nid):
+            if edge.id in dead_edges or edge.dst in live:
+                continue
+            live.add(edge.dst)
+            stack.append(edge.dst)
+    owners = frozenset(graph.edge(eid).src for eid in dead_edges)
+    found = []
+    for node in _statement_nodes(graph):
+        if node.id in live or node.id in unreachable or node.span is None:
+            continue
+        controllers = sorted(ntscd.deps.get(node.id, frozenset()) & owners)
+        if not controllers:
+            continue
+        branch = graph.node(controllers[0])
+        found.append(
+            make_diagnostic(
+                "R013",
+                node.span,
+                "statement is unreachable once range-impossible branch "
+                "arms are removed",
+                node=node.id,
+                related=(
+                    ("decided by this branch", branch.span),
+                ),
+                data={"branch": controllers[0]},
             )
         )
     return tuple(sorted_diagnostics(found))
@@ -425,6 +546,9 @@ _RULE_BODIES = {
     "R008": (rule_loop_invariant, ("cfg", "csr")),
     "R009": (rule_self_assign, ("cfg", "constprop")),
     "R010": (rule_copy_chain, ("dfg", "constprop")),
+    "R011": (rule_tainted_print, ("sparse-taint", "defuse", "constprop")),
+    "R012": (rule_empty_range_branch, ("sparse-range", "constprop")),
+    "R013": (rule_range_dead, ("sparse-range", "ntscd", "constprop")),
 }
 
 _LINT_REGISTRY: PassRegistry | None = None

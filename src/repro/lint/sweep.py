@@ -16,7 +16,8 @@ Two populations:
 
 The resulting ``repro.lintsweep/1`` payload is checked in as
 ``LINT_<tag>.json`` and gated in CI: ``ok`` requires zero unverified
-definites, zero refuted findings, and recall >= the floor.
+definites, zero refuted findings, zero oracle-checker failures
+(checkers that *raised* instead of answering), and recall >= the floor.
 """
 
 from __future__ import annotations
@@ -46,6 +47,7 @@ def _sweep_corpus(smoke: bool, max_steps: int) -> dict:
     findings = 0
     unverified_definite = 0
     refuted = 0
+    oracle_failures = 0
     failures: list[str] = []
     for spec in equivalence_suite(smoke=smoke):
         programs += 1
@@ -54,9 +56,10 @@ def _sweep_corpus(smoke: bool, max_steps: int) -> dict:
         # printer so findings point at real source positions.
         result = _lint_source(pretty_program(program), max_steps)
         findings += len(result.diagnostics)
+        oracle_failures += len(result.oracle_failures)
         bad = result.unverified_definite()
         unverified_definite += bad
-        if bad:
+        if bad or result.oracle_failures:
             failures.append(spec["label"])
         for diag in result.diagnostics:
             row = by_rule.setdefault(
@@ -76,6 +79,7 @@ def _sweep_corpus(smoke: bool, max_steps: int) -> dict:
         "findings": findings,
         "unverified_definite": unverified_definite,
         "refuted": refuted,
+        "oracle_failures": oracle_failures,
         "failing_programs": sorted(failures),
         "by_rule": dict(sorted(by_rule.items())),
     }
@@ -86,12 +90,14 @@ def _sweep_planted(smoke: bool, max_steps: int) -> dict:
     cases = 8 if smoke else 40
     planted = 0
     found = 0
+    oracle_failures = 0
     scored_findings = 0
     matched_findings = 0
     missed: list[dict] = []
     for seed in range(cases):
         source, labels = lint_defect_case(seed)
         result = _lint_source(source, max_steps)
+        oracle_failures += len(result.oracle_failures)
         # A diagnostic matches a label when the rule agrees and the
         # primary span sits on the labelled line.
         positions = {
@@ -128,6 +134,7 @@ def _sweep_planted(smoke: bool, max_steps: int) -> dict:
         "scored_findings": scored_findings,
         "matched_findings": matched_findings,
         "precision": precision,
+        "oracle_failures": oracle_failures,
         "missed": missed,
     }
 
@@ -145,6 +152,8 @@ def run_lint_sweep(
     ok = (
         corpus["unverified_definite"] == 0
         and corpus["refuted"] == 0
+        and corpus["oracle_failures"] == 0
+        and planted["oracle_failures"] == 0
         and planted["recall"] >= RECALL_FLOOR
     )
     return {

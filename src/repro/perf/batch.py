@@ -94,6 +94,11 @@ BALANCE_SIZES_SMOKE = (128, 256)
 #: Arena workload rows: prefix sizes of the equivalence corpus.
 ARENA_SLICES = (51, 102, 204)
 ARENA_SLICES_SMOKE = (12, 24)
+#: Sparse-client workload rows: region counts of the F1 sparse-use
+#: ladder, where dense per-edge environments pay for every variable at
+#: every node while the split-based clients touch only live names.
+SPARSE_CLIENT_SIZES = (16, 32, 64)
+SPARSE_CLIENT_SIZES_SMOKE = (8, 16)
 
 
 # -- batteries ---------------------------------------------------------------
@@ -294,6 +299,72 @@ def bench_arena_fused(smoke: bool = False, repeat: int = 3) -> dict[str, Any]:
     }
 
 
+def bench_sparse_clients(smoke: bool = False, repeat: int = 3) -> dict[str, Any]:
+    """The PR-9 workload: sparse range + taint clients vs their dense
+    per-edge reference twins, on the F1 sparse-use ladder.
+
+    Each row runs both client analyses end to end on both sides,
+    compares the *fact surfaces* for identity, and discloses the
+    visited-work counters (``dense_visits`` vs ``sparse_visits``) so the
+    asymptotic claim -- the sparse propagation graph touches live names
+    only -- is checked in alongside the wall-clock ratio.
+    """
+    from repro.sparse.range_analysis import (
+        range_analysis,
+        range_analysis_reference,
+    )
+    from repro.sparse.taint import taint_analysis, taint_analysis_reference
+    from repro.util.counters import WorkCounter
+
+    sizes = SPARSE_CLIENT_SIZES_SMOKE if smoke else SPARSE_CLIENT_SIZES
+    rows = []
+    for regions in sizes:
+        graph = build_cfg(sparse_use_program(regions, vars_per_region=3))
+        counters: dict[str, WorkCounter] = {}
+
+        def legacy() -> tuple:
+            counter = counters["legacy"] = WorkCounter()
+            return (
+                range_analysis_reference(graph, counter=counter).facts(),
+                taint_analysis_reference(graph, counter=counter).facts(),
+            )
+
+        def fast() -> tuple:
+            counter = counters["fast"] = WorkCounter()
+            return (
+                range_analysis(graph, counter=counter).facts(),
+                taint_analysis(graph, counter=counter).facts(),
+            )
+
+        legacy_ms, legacy_result = _best_ms(legacy, repeat)
+        fast_ms, fast_result = _best_ms(fast, repeat)
+        dense_visits = (
+            counters["legacy"]["dense_visits"]
+            + counters["legacy"]["dense_taint_visits"]
+        )
+        sparse_visits = counters["fast"]["sparse_visits"]
+        rows.append({
+            "size": f"R={regions}",
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "legacy_ms": round(legacy_ms, 3),
+            "fast_ms": round(fast_ms, 3),
+            "dense_visits": dense_visits,
+            "sparse_visits": sparse_visits,
+            "speedup": round(legacy_ms / fast_ms, 2) if fast_ms else 0.0,
+            "identical": (
+                legacy_result == fast_result
+                and sparse_visits < dense_visits
+            ),
+        })
+    return {
+        "name": "sparse-clients",
+        "family": "sparse_use_program",
+        "rows": rows,
+        "largest": rows[-1],
+    }
+
+
 def run_bench(
     tag: str = "dev",
     smoke: bool = False,
@@ -332,6 +403,7 @@ def run_bench(
     balance_sizes = BALANCE_SIZES_SMOKE if smoke else BALANCE_SIZES
     workloads.append(bench_root_balance(balance_sizes, repeat=repeat))
     workloads.append(bench_arena_fused(smoke=smoke, repeat=repeat))
+    workloads.append(bench_sparse_clients(smoke=smoke, repeat=repeat))
     return {
         "schema": BENCH_SCHEMA,
         "tag": tag,
@@ -503,10 +575,42 @@ def lint_suite(smoke: bool = False) -> list[dict]:
     return suite
 
 
+def sparse_suite(smoke: bool = False) -> list[dict]:
+    """The sparse-client batch battery: programs analyzed through the
+    sparse engine's client passes only (def-use, SSA, ranges, taint,
+    SCVN, NTSCD), each checked against its dense reference twin inside
+    the worker.  The mix leans on the families where sparseness matters:
+    the F1 sparse-use ladder, irreducible flowgraphs, and goto soup
+    (whose infinite loops are exactly NTSCD's extra coverage)."""
+    randoms, irreducibles, jumps = (4, 2, 2) if smoke else (12, 6, 6)
+    suite = [
+        {"label": f"sparse-random-{seed}", "family": "random",
+         "args": [seed, 18, 4], "sparse": True}
+        for seed in range(randoms)
+    ]
+    suite += [
+        {"label": f"sparse-irreducible-{seed}", "family": "irreducible",
+         "args": [seed, 5], "sparse": True}
+        for seed in range(irreducibles)
+    ]
+    suite += [
+        {"label": f"sparse-jump-{seed}", "family": "jump",
+         "args": [seed, 7], "sparse": True}
+        for seed in range(jumps)
+    ]
+    suite += [
+        {"label": "sparse-ladder-12", "family": "sparse", "args": [12],
+         "sparse": True},
+        {"label": "sparse-wide-24", "family": "wide", "args": [24, 2],
+         "sparse": True},
+    ]
+    return suite
+
+
 #: ``repro batch --suite`` vocabulary: name -> builder(args namespace-ish
 #: keyword arguments).  Kept as data so the CLI can both validate and
 #: list the choices without argparse hard-coding them.
-BATCH_SUITES = ("default", "equivalence", "lint")
+BATCH_SUITES = ("default", "equivalence", "lint", "sparse")
 
 
 def resolve_suite(
@@ -521,6 +625,8 @@ def resolve_suite(
         return equivalence_suite(smoke=smoke)
     if name == "lint":
         return lint_suite(smoke=smoke)
+    if name == "sparse":
+        return sparse_suite(smoke=smoke)
     from repro.robust.errors import InputError
 
     known = ", ".join(BATCH_SUITES)
@@ -537,7 +643,11 @@ def _analyze_one(spec: dict) -> dict:
     ``error`` record) so one poison program can no longer take down its
     whole chunk, let alone the run.
 
-    Specs with ``"lint": True`` run the diagnostics engine (rule passes
+    Specs with ``"sparse": True`` run the sparse-engine client passes
+    only (def-use, ranges, taint, SCVN, NTSCD) and cross-check each
+    result against its dense reference twin inside the worker, reporting
+    the agreement flags on the row.  Specs with ``"lint": True`` run the
+    diagnostics engine (rule passes
     plus oracle verification) instead of the plain analysis menu; the
     program is round-tripped through the pretty-printer so diagnostics
     carry genuine source spans.  Specs with a ``"fuzz"`` entry dispatch
@@ -567,6 +677,60 @@ def _analyze_one(spec: dict) -> dict:
 
             return summarize_subtree(spec)
         program = resolve_family(spec["family"])(*spec["args"])
+        if spec.get("sparse"):
+            from repro.controldep.ntscd import ntscd_reference
+            from repro.defuse.chains import build_def_use_chains_reference
+            from repro.sparse.range_analysis import range_analysis_reference
+            from repro.sparse.taint import taint_analysis_reference
+
+            graph = build_cfg(program)
+            manager = AnalysisManager(graph, metrics=Metrics())
+            t0 = time.perf_counter()
+            chains = manager.get("defuse")
+            ranges = manager.get("sparse-range")
+            taint = manager.get("sparse-taint")
+            scvn = manager.get("scvn")
+            deps = manager.get("ntscd")
+            wall_ms = (time.perf_counter() - t0) * 1000.0
+
+            def chain_set(result):
+                return {(c.var, c.def_node, c.use_node)
+                        for c in result.chains}
+
+            agree = {
+                "chains": chain_set(chains)
+                == chain_set(build_def_use_chains_reference(graph)),
+                "range": ranges.facts()
+                == range_analysis_reference(graph).facts(),
+                "taint": taint.facts()
+                == taint_analysis_reference(graph).facts(),
+                "ntscd": deps.facts() == ntscd_reference(graph).facts(),
+            }
+            return {
+                "label": spec["label"],
+                "nodes": graph.num_nodes,
+                "edges": graph.num_edges,
+                "wall_ms": round(wall_ms, 3),
+                "sparse": {
+                    "chains": chains.size(),
+                    "dead_edges": len(ranges.dead_edges),
+                    "tainted_sinks": sum(
+                        1 for hit in taint.sinks.values() if hit
+                    ),
+                    "ntscd_deps": sum(
+                        len(ps) for ps in deps.deps.values()
+                    ),
+                    "scvn_classes": scvn.num_classes(),
+                    "agree": agree,
+                },
+                "passes": {
+                    row["pass"]: {
+                        "work": row["work_total"],
+                        "wall_ms": row["wall_ms"],
+                    }
+                    for row in manager.report()
+                },
+            }
         if spec.get("lint"):
             from repro.lang.parser import parse_program
             from repro.lang.pretty import pretty_program

@@ -260,6 +260,49 @@ def _sccp(graph, deps, counter):
 
 
 @_REGISTRY.register(
+    "ntscd", deps=("cfg",), uses_exprs=False,
+    description="non-termination-sensitive strong control dependence "
+                "(Chalupa et al.)",
+)
+def _ntscd(graph, deps, counter):
+    from repro.controldep.ntscd import ntscd
+
+    return ntscd(graph, counter)
+
+
+@_REGISTRY.register(
+    "sparse-range", deps=("cfg",),
+    description="sparse interval range analysis with branch refinement "
+                "(live-range-splitting engine)",
+)
+def _sparse_range(graph, deps, counter):
+    from repro.sparse.range_analysis import range_analysis
+
+    return range_analysis(graph, counter)
+
+
+@_REGISTRY.register(
+    "sparse-taint", deps=("cfg",),
+    description="sparse forward taint tracking (entry values to "
+                "prints/stores)",
+)
+def _sparse_taint(graph, deps, counter):
+    from repro.sparse.taint import taint_analysis
+
+    return taint_analysis(graph, counter=counter)
+
+
+@_REGISTRY.register(
+    "scvn", deps=("ssa", "sccp"),
+    description="sparse conditional value numbering over SCCP facts",
+)
+def _scvn(graph, deps, counter):
+    from repro.sparse.scvn import sparse_value_numbering
+
+    return sparse_value_numbering(deps["ssa"], deps["sccp"], counter)
+
+
+@_REGISTRY.register(
     "arena", deps=("cfg",),
     description="struct-of-arrays arena lowering over an interned "
                 "expression pool",

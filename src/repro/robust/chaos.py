@@ -161,27 +161,36 @@ def make_plan(
     pass_names: list[str],
     oracle_names: frozenset[str],
     extra_rate: float = 0.25,
+    forced: tuple[str, ...] = (),
 ) -> dict[str, Fault]:
     """The seeded fault plan for program ``index`` of a chaos run.
 
     One *guaranteed* fault rotates through ``pass_names`` so a suite of
-    >= ``len(pass_names)`` programs covers every pass.  Extra faults are
-    sprinkled only on oracle-backed passes: those always recover, so
-    they can never abort the run before the guaranteed target executes.
+    >= ``len(pass_names)`` programs covers every pass; when the suite is
+    *shorter* than the registry, the harness distributes the leftover
+    passes as ``forced`` secondary targets onto programs whose primary
+    target is oracle-backed (those recover, so the run reaches the
+    secondary).  Extra faults are sprinkled only on oracle-backed
+    passes: those always recover, so they can never abort the run
+    before the guaranteed target executes.
     """
     rng = random.Random(derive_seed(seed, f"{index}:{label}"))
-    target = pass_names[index % len(pass_names)]
+    targets = [pass_names[index % len(pass_names)]]
+    for name in forced:
+        if name not in targets:
+            targets.append(name)
     plan: dict[str, Fault] = {}
     for name in sorted(oracle_names & set(pass_names)):
-        if name != target and rng.random() < extra_rate:
+        if name not in targets and rng.random() < extra_rate:
             kind = rng.choice(("raise", "corrupt", "delay"))
             plan[name] = Fault(name, kind, DELAY_S if kind == "delay" else 0.0)
-    if target in oracle_names:
-        kind = rng.choice(("raise", "corrupt", "delay"))
-    else:
-        # Unrecoverable on purpose: exercises quarantine + minimization.
-        kind = rng.choice(("raise", "delay"))
-    plan[target] = Fault(target, kind, DELAY_S if kind == "delay" else 0.0)
+    for target in targets:
+        if target in oracle_names:
+            kind = rng.choice(("raise", "corrupt", "delay"))
+        else:
+            # Unrecoverable on purpose: exercises quarantine + minimization.
+            kind = rng.choice(("raise", "delay"))
+        plan[target] = Fault(target, kind, DELAY_S if kind == "delay" else 0.0)
     return plan
 
 
@@ -281,6 +290,24 @@ def run_chaos(
     pass_names = default_registry().names()
     oracle_names = frozenset(default_oracles())
 
+    # A suite shorter than the registry cannot cover every pass by
+    # rotation alone: hand the leftover passes out as secondary targets
+    # on programs whose primary fault recovers (oracle-backed), so the
+    # run survives long enough to trigger them.
+    forced_by_index: dict[int, tuple[str, ...]] = {}
+    hosts = [
+        i for i in range(len(suite))
+        if pass_names[i % len(pass_names)] in oracle_names
+    ]
+    if len(suite) < len(pass_names) and hosts:
+        leftover = pass_names[len(suite):]
+        assignments: dict[int, list[str]] = {}
+        for k, name in enumerate(leftover):
+            assignments.setdefault(hosts[k % len(hosts)], []).append(name)
+        forced_by_index = {
+            i: tuple(names) for i, names in assignments.items()
+        }
+
     rows: list[dict] = []
     triggered_passes: set[str] = set()
     quarantine_records: list[dict] = []
@@ -291,7 +318,8 @@ def run_chaos(
         clean = AnalysisManager(graph, metrics=Metrics()).run_all()
 
         plan = make_plan(
-            seed, index, spec["label"], pass_names, oracle_names, extra_rate
+            seed, index, spec["label"], pass_names, oracle_names, extra_rate,
+            forced=forced_by_index.get(index, ()),
         )
         manager, injector, log = _chaos_manager(graph, dict(plan), budget_s)
         row: dict = {

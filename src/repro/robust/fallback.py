@@ -16,8 +16,12 @@ The oracle table (:func:`default_oracles`) covers exactly the passes
 whose fast path has a reference twin: ``dfs``, ``dom``, ``pdom``,
 ``cycle-equiv``, ``sese`` (rebuilt from the reference substrates),
 ``liveness``, ``reaching``, ``available``, ``pavailable``,
-``region-summaries`` and ``arena-dataflow`` (the fused arena solve
-degrades onto the object-graph five-pass menu it replaces).
+``region-summaries``, ``arena-dataflow`` (the fused arena solve
+degrades onto the object-graph five-pass menu it replaces), ``defuse``
+(the sparse-engine projection degrades onto the dense
+reaching-definitions construction), and the sparse clients
+``sparse-range``, ``sparse-taint`` and ``ntscd`` (dense / brute-force
+reference twins).
 :func:`results_equal` knows how to compare each pass's result shape --
 the same comparisons the equivalence suite makes.
 """
@@ -153,6 +157,30 @@ def _oracle_arena_dataflow(graph, deps, counter):
     }
 
 
+def _oracle_defuse(graph, deps, counter):
+    from repro.defuse.chains import build_def_use_chains_reference
+
+    return build_def_use_chains_reference(graph, counter)
+
+
+def _oracle_sparse_range(graph, deps, counter):
+    from repro.sparse.range_analysis import range_analysis_reference
+
+    return range_analysis_reference(graph, counter)
+
+
+def _oracle_sparse_taint(graph, deps, counter):
+    from repro.sparse.taint import taint_analysis_reference
+
+    return taint_analysis_reference(graph, counter=counter)
+
+
+def _oracle_ntscd(graph, deps, counter):
+    from repro.controldep.ntscd import ntscd_reference
+
+    return ntscd_reference(graph, counter)
+
+
 _ORACLES: dict[str, OracleFn] = {
     "dfs": _oracle_dfs,
     "dom": _oracle_dom,
@@ -165,6 +193,10 @@ _ORACLES: dict[str, OracleFn] = {
     "pavailable": _oracle_pavailable,
     "region-summaries": _oracle_region_summaries,
     "arena-dataflow": _oracle_arena_dataflow,
+    "defuse": _oracle_defuse,
+    "sparse-range": _oracle_sparse_range,
+    "sparse-taint": _oracle_sparse_taint,
+    "ntscd": _oracle_ntscd,
 }
 
 
@@ -207,7 +239,17 @@ def _csr_eq(a, b) -> bool:
 
 
 def _chains_eq(a, b) -> bool:
-    return a.chains == b.chains
+    # The sparse fast path emits chains canonically sorted; the dense
+    # reference's order is reaching-frozenset iteration order.  Same
+    # answer means the same chain *set*.
+    key = lambda c: (c.use_node, c.var, c.def_node)  # noqa: E731
+    return sorted(a.chains, key=key) == sorted(b.chains, key=key)
+
+
+def _facts_eq(a, b) -> bool:
+    """Results exposing a canonical ``facts()`` comparison surface
+    (sparse range/taint, NTSCD) are the same answer iff it matches."""
+    return a.facts() == b.facts()
 
 
 def _arena_eq(a, b) -> bool:
@@ -253,6 +295,9 @@ _COMPARATORS: dict[str, Callable[[object, object], bool]] = {
     "defuse": _chains_eq,
     "regions": _regions_eq,
     "arena": _arena_eq,
+    "sparse-range": _facts_eq,
+    "sparse-taint": _facts_eq,
+    "ntscd": _facts_eq,
 }
 
 

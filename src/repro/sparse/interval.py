@@ -1,0 +1,267 @@
+"""A finite "ladder" interval lattice for deterministic range analysis.
+
+Classic interval analysis needs widening to terminate, and widening
+makes the result depend on iteration order -- unacceptable here, where
+the sparse client must be *byte-identical* to its dense reference twin
+and to itself under ``PYTHONHASHSEED`` permutation.  Instead we make the
+lattice finite: interval bounds produced by arithmetic are snapped
+*outward* to a ladder of landmark integers (every integer of magnitude
+<= 256, then powers of two up to 2**40, then infinity).  Transfer
+functions stay monotone, the value set is finite, and the unique least
+fixpoint is reached by any fair iteration order -- no widening, no
+order sensitivity, no divergence on ``while (1) x := x + 1``.
+
+Literals and branch refinements keep their exact program constants
+(only *derived* arithmetic snaps), so ``if (x == 1000)`` still refines
+``x`` to ``[1000, 1000]``; the constant pool of a program is finite, so
+finiteness is preserved.
+
+Bounds are Python ints, with ``math.inf`` / ``-math.inf`` for the
+unbounded ends.  The empty interval (bottom: "no execution reaches
+this") is canonically ``Interval(1, 0)``.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+INF = math.inf
+
+_LADDER = tuple(
+    sorted(
+        set(range(-256, 257))
+        | {1 << k for k in range(9, 41)}
+        | {-(1 << k) for k in range(9, 41)}
+    )
+)
+
+
+def snap_lo(value):
+    """Largest ladder element <= ``value`` (or ``-inf``)."""
+    if value == -INF:
+        return -INF
+    if value == INF:  # pragma: no cover - lo bounds never reach +inf
+        return _LADDER[-1]
+    i = bisect_right(_LADDER, value)
+    return -INF if i == 0 else _LADDER[i - 1]
+
+
+def snap_hi(value):
+    """Smallest ladder element >= ``value`` (or ``+inf``)."""
+    if value == INF:
+        return INF
+    if value == -INF:  # pragma: no cover - hi bounds never reach -inf
+        return _LADDER[0]
+    i = bisect_left(_LADDER, value)
+    return INF if i == len(_LADDER) else _LADDER[i]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]``; ``lo > hi`` means empty."""
+
+    lo: object
+    hi: object
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_constant(self) -> bool:
+        return self.lo == self.hi and not isinstance(self.lo, float)
+
+    def contains(self, value) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_empty:
+            return "Interval(empty)"
+        return f"Interval({self.lo}, {self.hi})"
+
+
+EMPTY = Interval(1, 0)
+TOP = Interval(-INF, INF)
+_BOOL = Interval(0, 1)
+
+
+def const(value: int) -> Interval:
+    """The exact singleton interval for a program literal."""
+    return Interval(value, value)
+
+
+def join(a: Interval, b: Interval) -> Interval:
+    """Least upper bound: the convex hull (empty is the identity)."""
+    if a.is_empty:
+        return b
+    if b.is_empty:
+        return a
+    return Interval(min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def meet(a: Interval, b: Interval) -> Interval:
+    """Intersection; used by branch refinement (kept exact, not snapped)."""
+    lo = max(a.lo, b.lo)
+    hi = min(a.hi, b.hi)
+    return EMPTY if lo > hi else Interval(lo, hi)
+
+
+def snap(iv: Interval) -> Interval:
+    """Snap both bounds outward to the ladder (monotone, idempotent)."""
+    if iv.is_empty:
+        return EMPTY
+    return Interval(snap_lo(iv.lo), snap_hi(iv.hi))
+
+
+def truth(iv: Interval):
+    """Three-valued truthiness: True, False, or None (unknown)."""
+    if iv.is_empty:
+        return None
+    if iv.lo == 0 and iv.hi == 0:
+        return False
+    if not iv.contains(0):
+        return True
+    return None
+
+
+def _from_truth(t) -> Interval:
+    if t is True:
+        return Interval(1, 1)
+    if t is False:
+        return Interval(0, 0)
+    return _BOOL
+
+
+def _mul_corner(a, b):
+    if a == 0 or b == 0:
+        return 0
+    if a in (INF, -INF) or b in (INF, -INF):
+        return INF if (a > 0) == (b > 0) else -INF
+    return a * b
+
+
+def _mul(a: Interval, b: Interval) -> Interval:
+    corners = [
+        _mul_corner(a.lo, b.lo),
+        _mul_corner(a.lo, b.hi),
+        _mul_corner(a.hi, b.lo),
+        _mul_corner(a.hi, b.hi),
+    ]
+    return Interval(min(corners), max(corners))
+
+
+def _floordiv(a: Interval, b: Interval) -> Interval:
+    # Conservative: only finite operands with a zero-free divisor get a
+    # bounded answer (division by zero traps in the interpreter, so any
+    # result is sound for those executions).
+    finite = not any(
+        isinstance(v, float) for v in (a.lo, a.hi, b.lo, b.hi)
+    )
+    if not finite or b.contains(0):
+        return TOP
+    corners = [a.lo // b.lo, a.lo // b.hi, a.hi // b.lo, a.hi // b.hi]
+    return Interval(min(corners), max(corners))
+
+
+def _mod(a: Interval, b: Interval) -> Interval:
+    # Python modulo takes the divisor's sign.
+    if isinstance(b.lo, float) or isinstance(b.hi, float):
+        return TOP
+    if b.lo > 0:
+        return Interval(0, b.hi - 1)
+    if b.hi < 0:
+        return Interval(b.lo + 1, 0)
+    return TOP
+
+
+def _compare(op: str, a: Interval, b: Interval) -> Interval:
+    if op == "==":
+        if meet(a, b).is_empty:
+            return Interval(0, 0)
+        if a.is_constant and b.is_constant and a.lo == b.lo:
+            return Interval(1, 1)
+        return _BOOL
+    if op == "!=":
+        inner = _compare("==", a, b)
+        return unop("!", inner)
+    if op == "<":
+        if a.hi < b.lo:
+            return Interval(1, 1)
+        if a.lo >= b.hi:
+            return Interval(0, 0)
+        return _BOOL
+    if op == "<=":
+        if a.hi <= b.lo:
+            return Interval(1, 1)
+        if a.lo > b.hi:
+            return Interval(0, 0)
+        return _BOOL
+    if op == ">":
+        return _compare("<", b, a)
+    if op == ">=":
+        return _compare("<=", b, a)
+    raise ValueError(f"not a comparison: {op!r}")
+
+
+def binop(op: str, a: Interval, b: Interval) -> Interval:
+    """Sound abstract transfer for the interpreter's binary operators.
+
+    Arithmetic results (``+ - * / %``) snap outward to the ladder;
+    comparisons and logical connectives land in ``[0, 1]`` already.
+    """
+    if a.is_empty or b.is_empty:
+        return EMPTY
+    if op == "+":
+        return snap(Interval(a.lo + b.lo, a.hi + b.hi))
+    if op == "-":
+        return snap(Interval(a.lo - b.hi, a.hi - b.lo))
+    if op == "*":
+        return snap(_mul(a, b))
+    if op == "/":
+        return snap(_floordiv(a, b))
+    if op == "%":
+        return snap(_mod(a, b))
+    if op == "&&":
+        ta, tb = truth(a), truth(b)
+        if ta is False or tb is False:
+            return Interval(0, 0)
+        if ta is True and tb is True:
+            return Interval(1, 1)
+        return _BOOL
+    if op == "||":
+        ta, tb = truth(a), truth(b)
+        if ta is True or tb is True:
+            return Interval(1, 1)
+        if ta is False and tb is False:
+            return Interval(0, 0)
+        return _BOOL
+    return _compare(op, a, b)
+
+
+def unop(op: str, a: Interval) -> Interval:
+    """Sound abstract transfer for unary ``-`` and ``!``."""
+    if a.is_empty:
+        return EMPTY
+    if op == "-":
+        return snap(Interval(-a.hi, -a.lo))
+    if op == "!":
+        t = truth(a)
+        return _from_truth(None if t is None else not t)
+    raise ValueError(f"unknown unary operator: {op!r}")
+
+
+class IntervalLattice:
+    """Namespace handle bundling the lattice ops for client code."""
+
+    Interval = Interval
+    EMPTY = EMPTY
+    TOP = TOP
+    const = staticmethod(const)
+    join = staticmethod(join)
+    meet = staticmethod(meet)
+    snap = staticmethod(snap)
+    truth = staticmethod(truth)
+    binop = staticmethod(binop)
+    unop = staticmethod(unop)

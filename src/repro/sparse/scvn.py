@@ -1,0 +1,175 @@
+"""Sparse conditional value numbering layered on SCCP.
+
+Optimistic hash-based value numbering over SSA names (Simpson-style
+iterate-to-fixpoint): start with every name congruent, then repeatedly
+re-key each name by its defining expression's *skeleton* with operand
+names replaced by their current class, until the partition stabilizes.
+The "conditional" part comes from SCCP: names SCCP proves constant key
+by their constant (so ``x := 2 * 3`` and ``y := 5 + 1`` land in one
+class), phi-functions key only over SCCP-*executable* in-edges, and a
+phi with a single live argument collapses into its argument's class --
+congruences that flow across branches SCCP has folded away, which plain
+hash-based value numbering cannot see.
+
+The result is deterministic: names are visited in program order and
+class ids are allocated first-seen, so equal programs yield equal
+numberings under any ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import NodeKind
+from repro.dataflow.lattice import BOTTOM, TOP
+from repro.lang.ast_nodes import BinOp, Expr, Index, IntLit, UnOp, Update, Var
+from repro.ssa.sccp import SCCPResult, sparse_conditional_constant_propagation
+from repro.ssa.ssagraph import SSAForm
+from repro.util.counters import WorkCounter
+
+
+@dataclass
+class SCVNResult:
+    """The congruence partition: ``classes[name]`` is the class id."""
+
+    classes: dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+
+    def congruent(self, a: str, b: str) -> bool:
+        return self.classes[a] == self.classes[b]
+
+    def num_classes(self) -> int:
+        return len(set(self.classes.values()))
+
+    def facts(self):
+        """Partition as sorted tuples of names, order-insensitive."""
+        groups: dict[int, list[str]] = {}
+        for name in sorted(self.classes):
+            groups.setdefault(self.classes[name], []).append(name)
+        return tuple(sorted(tuple(g) for g in groups.values()))
+
+
+def _skeleton(expr: Expr, lookup) -> tuple:
+    if isinstance(expr, IntLit):
+        return ("lit", expr.value)
+    if isinstance(expr, Var):
+        return ("var", lookup(expr.name))
+    if isinstance(expr, UnOp):
+        return ("un", expr.op, _skeleton(expr.operand, lookup))
+    if isinstance(expr, BinOp):
+        left = _skeleton(expr.left, lookup)
+        right = _skeleton(expr.right, lookup)
+        if expr.op in ("+", "*", "==", "!=", "&&", "||") and right < left:
+            left, right = right, left  # commutative: canonical operand order
+        return ("bin", expr.op, left, right)
+    if isinstance(expr, Index):
+        return ("index", lookup(expr.array), _skeleton(expr.index, lookup))
+    if isinstance(expr, Update):
+        return (
+            "update",
+            lookup(expr.array),
+            _skeleton(expr.index, lookup),
+            _skeleton(expr.value, lookup),
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def sparse_value_numbering(
+    ssa: SSAForm,
+    sccp: SCCPResult | None = None,
+    counter: WorkCounter | None = None,
+) -> SCVNResult:
+    """Value-number the names of ``ssa`` using ``sccp``'s facts."""
+    counter = counter if counter is not None else WorkCounter()
+    if sccp is None:
+        sccp = sparse_conditional_constant_propagation(ssa, counter=counter)
+    graph = ssa.graph
+
+    # Names in deterministic program order: entry values, then each
+    # node's phis and definition in node order.
+    names: list[str] = [ssa.entry_names[v] for v in sorted(ssa.entry_names)]
+    keyers: dict[str, object] = {}
+    for var in sorted(ssa.entry_names):
+        keyers[ssa.entry_names[var]] = ("entry", var)
+    for nid in graph.nodes:
+        for var, phi in ssa.phis.get(nid, {}).items():
+            names.append(phi.result)
+            keyers[phi.result] = ("phi", phi)
+        name = ssa.def_names.get(nid)
+        if name is not None:
+            names.append(name)
+            keyers[name] = ("def", graph.node(nid))
+
+    # The conditional collapse: a phi with exactly one SCCP-executable
+    # in-edge is a copy of that argument -- the congruence plain value
+    # numbering misses when SCCP has folded a branch away.  Resolved
+    # statically (chains compress; cycles, impossible for live phis,
+    # would simply stop resolving).
+    canon: dict[str, str] = {}
+    for name in names:
+        kind, payload = keyers[name]
+        if kind != "phi":
+            continue
+        phi = payload
+        live = sorted(
+            {
+                arg
+                for eid, arg in phi.args.items()
+                if eid in sccp.executable_edges
+            }
+        )
+        if phi.node in sccp.executable_nodes and len(live) == 1:
+            canon[phi.result] = live[0]
+            counter.tick("scvn_phi_copies")
+
+    def resolve(name: str) -> str:
+        seen = {name}
+        while name in canon and canon[name] not in seen:
+            name = canon[name]
+            seen.add(name)
+        return name
+
+    solved = [name for name in names if resolve(name) == name]
+
+    def key_of(name: str, classes: dict[str, int]) -> tuple:
+        value = sccp.values.get(name, BOTTOM)
+        if value is not TOP and value is not BOTTOM:
+            return ("const", value)
+        kind, payload = keyers[name]
+        if kind == "entry":
+            return ("entry", payload)
+        if kind == "def":
+            node = payload
+            if node.id not in sccp.executable_nodes:
+                return ("dead",)
+            lookup = lambda v: classes[  # noqa: E731
+                resolve(ssa.use_names[(node.id, v)])
+            ]
+            return ("expr", _skeleton(node.expr, lookup))
+        phi = payload
+        if phi.node not in sccp.executable_nodes:
+            return ("dead",)
+        args = sorted(
+            {
+                classes[resolve(arg)]
+                for eid, arg in phi.args.items()
+                if eid in sccp.executable_edges
+            }
+        )
+        return ("phi", phi.node, tuple(args))
+
+    classes = {name: 0 for name in solved}
+    rounds = 0
+    while True:
+        rounds += 1
+        counter.tick("scvn_rounds")
+        table: dict[tuple, int] = {}
+        new: dict[str, int] = {}
+        for name in solved:
+            counter.tick("scvn_keys")
+            new[name] = table.setdefault(key_of(name, classes), len(table))
+        if new == classes or rounds > len(solved) + 2:
+            classes = new
+            break
+        classes = new
+    return SCVNResult({name: classes[resolve(name)] for name in names}, rounds)

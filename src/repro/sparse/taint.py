@@ -1,0 +1,181 @@
+"""Forward taint tracking: the engine's simplest non-SSA client.
+
+Sources are *entry values*: the values variables hold before the
+program runs (externally controlled, hence untrusted).  By default
+every variable's entry value is a source; passing ``source_nodes``
+restricts sources to the variables whose entry value is actually read
+inside that statement set (the "variables first read inside a chosen
+region" notion from the issue).  Taint propagates through assignments
+(any tainted operand taints the target; literals are clean) and joins
+by disjunction at merges.  Sinks are the observable statements:
+``print`` and array stores (``a[i] := v``, encoded as ``a :=
+update(a, i, v)``).
+
+The lattice is two-point (clean < tainted), the strategy never splits,
+and the dense reference twin (:func:`taint_analysis_reference`)
+iterates tainted-variable *sets* per CFG edge; the two agree at every
+use site and sink across the corpus.  Lint rule R011 reports tainted
+prints from the sparse client, verified against the dense witness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cfg.graph import CFG, NodeKind
+from repro.lang.ast_nodes import Update, expr_vars
+from repro.sparse.engine import (
+    SplittingStrategy,
+    build_sparse_form,
+    solve,
+    sparse_chain_items,
+)
+from repro.util.counters import WorkCounter
+
+
+class TaintStrategy(SplittingStrategy):
+    """Defs at assignments, no splitting: taint needs only SSA shape."""
+
+
+class _TaintClient:
+    bottom = False
+
+    def __init__(self, sources: frozenset[str]) -> None:
+        self.sources = sources
+
+    def entry_value(self, graph: CFG, var: str) -> bool:
+        return var in self.sources
+
+    def join(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def transfer_def(self, graph: CFG, node, var: str, inputs) -> bool:
+        assert node.expr is not None
+        return any(
+            inputs.get(v, False) for v in sorted(expr_vars(node.expr))
+        )
+
+
+def is_sink(node) -> bool:
+    """Print statements and array stores observe values."""
+    if node.kind is NodeKind.PRINT:
+        return True
+    return node.kind is NodeKind.ASSIGN and isinstance(node.expr, Update)
+
+
+@dataclass
+class TaintResult:
+    """Per-use taint plus the sink report.
+
+    * ``use_taint[(node, var)]`` -- whether the use may see a source;
+    * ``sinks[node]`` -- for each reachable sink, whether any operand
+      is tainted;
+    * ``sources`` -- the variables whose entry values are tainted.
+    """
+
+    graph: CFG
+    sources: frozenset[str]
+    use_taint: dict[tuple[int, str], bool] = field(default_factory=dict)
+    sinks: dict[int, bool] = field(default_factory=dict)
+
+    def facts(self):
+        return (
+            tuple(sorted(self.sources)),
+            sorted(self.use_taint.items()),
+            sorted(self.sinks.items()),
+        )
+
+
+def _resolve_sources(
+    graph: CFG, source_nodes, form=None
+) -> frozenset[str]:
+    if source_nodes is None:
+        return graph.variables()
+    if form is None:
+        from repro.sparse.engine import DefUseStrategy
+
+        form = build_sparse_form(graph, DefUseStrategy())
+    chosen = set(source_nodes)
+    sources = {
+        var
+        for var, def_node, use_node in sparse_chain_items(form)
+        if use_node in chosen and def_node == graph.start
+    }
+    return frozenset(sources)
+
+
+def taint_analysis(
+    graph: CFG,
+    source_nodes=None,
+    counter: WorkCounter | None = None,
+) -> TaintResult:
+    """Sparse forward taint tracking."""
+    counter = counter if counter is not None else WorkCounter()
+    form = build_sparse_form(graph, TaintStrategy(), counter=counter)
+    sources = _resolve_sources(graph, source_nodes, form)
+    values = solve(form, _TaintClient(sources), counter=counter)
+
+    use_taint = {key: values[name] for key, name in form.use_names.items()}
+    sinks: dict[int, bool] = {}
+    for nid in sorted(graph.reachable_from_start()):
+        node = graph.node(nid)
+        if is_sink(node):
+            sinks[nid] = any(
+                use_taint[(nid, var)] for var in sorted(node.uses())
+            )
+    return TaintResult(graph, sources, use_taint, sinks)
+
+
+def taint_analysis_reference(
+    graph: CFG,
+    source_nodes=None,
+    counter: WorkCounter | None = None,
+) -> TaintResult:
+    """Dense reference twin: tainted-variable sets per CFG edge."""
+    counter = counter if counter is not None else WorkCounter()
+    sources = _resolve_sources(graph, source_nodes)
+    edge_taint: dict[int, frozenset[str]] = {
+        eid: frozenset() for eid in graph.edges
+    }
+
+    def in_set(nid: int) -> frozenset[str]:
+        if nid == graph.start:
+            return frozenset(sources)
+        result: frozenset[str] = frozenset()
+        for edge in graph.in_edges(nid):
+            result |= edge_taint[edge.id]
+        return result
+
+    work = deque(sorted(graph.nodes))
+    pending = set(work)
+    while work:
+        nid = work.popleft()
+        pending.discard(nid)
+        counter.tick("dense_taint_visits", max(1, len(graph.variables())))
+        node = graph.node(nid)
+        tainted = in_set(nid)
+        if node.kind is NodeKind.ASSIGN:
+            if expr_vars(node.expr) & tainted:
+                tainted |= {node.target}
+            else:
+                tainted -= {node.target}
+        for edge in graph.out_edges(nid):
+            if tainted != edge_taint[edge.id]:
+                edge_taint[edge.id] = tainted
+                if edge.dst not in pending:
+                    pending.add(edge.dst)
+                    work.append(edge.dst)
+
+    use_taint: dict[tuple[int, str], bool] = {}
+    sinks: dict[int, bool] = {}
+    for nid in sorted(graph.reachable_from_start()):
+        node = graph.node(nid)
+        tainted = in_set(nid)
+        for var in sorted(node.uses()):
+            use_taint[(nid, var)] = var in tainted
+        if is_sink(node):
+            sinks[nid] = any(
+                use_taint[(nid, var)] for var in sorted(node.uses())
+            )
+    return TaintResult(graph, sources, use_taint, sinks)

@@ -14,7 +14,7 @@ Three roles in the reproduction:
 """
 
 from repro.ssa.ssagraph import Phi, SSAForm
-from repro.ssa.cytron import build_ssa_cytron
+from repro.ssa.cytron import build_ssa_cytron, build_ssa_cytron_reference
 from repro.ssa.destruct import destruct_ssa, sequentialize_parallel_copies
 from repro.ssa.from_dfg import build_ssa_from_dfg
 from repro.ssa.sccp import SCCPResult, sparse_conditional_constant_propagation
@@ -24,6 +24,7 @@ __all__ = [
     "SCCPResult",
     "SSAForm",
     "build_ssa_cytron",
+    "build_ssa_cytron_reference",
     "build_ssa_from_dfg",
     "destruct_ssa",
     "sequentialize_parallel_copies",

@@ -7,6 +7,14 @@ over the dominator tree.  With ``pruned=True`` a phi is placed only where
 its variable is live -- pruned SSA -- which is the form the paper's
 DFG-derived construction produces (dead dependence edges are removed, so
 merges that feed no use never become phis).
+
+Since the sparse framework landed (ROADMAP item 4), the construction is
+an *instantiation* of the parameterized live-range-splitting engine:
+:func:`build_ssa_cytron` runs :func:`repro.sparse.engine.build_sparse_form`
+with the no-split :class:`~repro.sparse.engine.SSAStrategy` and projects
+the result onto the classic overlay.  The historical self-contained
+implementation survives as :func:`build_ssa_cytron_reference`; the two
+are byte-identical across the corpus (``tests/test_sparse_framework.py``).
 """
 
 from __future__ import annotations
@@ -27,6 +35,23 @@ def build_ssa_cytron(
     counter: WorkCounter | None = None,
 ) -> SSAForm:
     """Construct (minimal or pruned) SSA form for ``graph``."""
+    from repro.sparse.engine import SSAStrategy, build_sparse_form
+
+    counter = counter if counter is not None else WorkCounter()
+    live = live_variables(graph) if pruned else None
+    form = build_sparse_form(
+        graph, SSAStrategy(), counter=counter, prune_live=live
+    )
+    return form.to_ssa()
+
+
+def build_ssa_cytron_reference(
+    graph: CFG,
+    pruned: bool = False,
+    counter: WorkCounter | None = None,
+) -> SSAForm:
+    """The historical dense construction, kept as the byte-identity
+    oracle for the sparse engine's :class:`SSAStrategy` instantiation."""
     counter = counter if counter is not None else WorkCounter()
     dom = cfg_dominators(graph)
     frontier = dominance_frontiers(dom, graph.preds)

@@ -6,8 +6,12 @@ defect carries the exact 1-based line the linter must point at --
 of the diagnostics against these labels.
 
 The planted patterns cover every definite rule plus the possible-paths
-one (R002); the info rules (R007/R008/R010) fire opportunistically on
-any program and are not scored.  Benign machinery is built to be
+ones (R002, R011); the info rules (R007/R008/R010) fire
+opportunistically on any program and are not scored.  The sparse-client
+rules get dedicated templates: a transitive entry-value flow into a
+print (R011), a branch decided by interval reasoning but opaque to
+constant propagation (R012 with a range-dead arm, R013 inside it), and
+code after a provably non-terminating loop (R013 via NTSCD).  Benign machinery is built to be
 analysis-opaque: a mixing loop makes the filler variables non-constant
 (so planted constant branches are the *only* constant branches), filler
 writes always read their own previous value (so planted dead stores are
@@ -24,7 +28,10 @@ from repro.lang.ast_nodes import Program
 from repro.lang.parser import parse_program
 
 #: The rule codes the generator plants (and the sweep scores).
-PLANTED_RULES = ("R001", "R002", "R003", "R004", "R005", "R006", "R009")
+PLANTED_RULES = (
+    "R001", "R002", "R003", "R004", "R005", "R006", "R009",
+    "R011", "R012", "R013",
+)
 
 
 @dataclass(frozen=True)
@@ -75,6 +82,12 @@ def _prologue(case: _Case) -> None:
     case.emit("    s1 := s1 + s0;")
     case.emit("    n0 := n0 - 1;")
     case.emit("}")
+    # Launder the *ranges* too: subtracting the unbounded accumulators
+    # from each other drives both intervals to [-inf, +inf], so no
+    # downstream guard on a filler variable is ever range-decided --
+    # planted R012 branches are the only range-decided branches.
+    case.emit("s0 := s0 - s1;")
+    case.emit("s1 := s1 - s0;")
 
 
 def _filler(case: _Case) -> None:
@@ -160,6 +173,58 @@ def _plant_self_assign(case: _Case) -> None:
     case.plant("R009", line, var)
 
 
+def _plant_tainted_print(case: _Case) -> None:
+    # The entry value flows through two assignments before the print, so
+    # R001/R002 do not claim the sink and only taint tracking sees it.
+    src = case.name("u")
+    mid = case.name("t")
+    out = case.name("t")
+    first = case.emit(f"{mid} := {src} + {case.rng.randint(1, 5)};")
+    case.emit(f"{out} := {mid} * {case.rng.randint(2, 4)};")
+    line = case.emit(f"print {out};")
+    case.plant("R001", first, src)
+    case.plant("R011", line, out)
+
+
+def _plant_empty_range_branch(case: _Case) -> None:
+    # The guard variable is a merge of two positive constants -- never a
+    # compile-time constant (so R005 stays silent) but its interval is
+    # decided, so the false arm is range-dead (R012) and the statement
+    # inside it is range-dead code (R013).
+    var = case.name("r")
+    lo = case.rng.randint(2, 5)
+    case.emit(f"{var} := {lo};")
+    case.emit(f"if ({case.mixed()} > {case.rng.randint(10, 30)}) {{")
+    case.emit(f"    {var} := {lo + case.rng.randint(1, 4)};")
+    case.emit("}")
+    branch = case.emit(f"if ({var} > 0) {{")
+    case.emit(f"    s0 := s0 + {var};")
+    case.emit("} else {")
+    dead = case.emit(f"    s1 := s1 - {var};")
+    case.emit("}")
+    case.plant("R012", branch)
+    case.plant("R013", dead)
+
+
+def _plant_ntscd_dead(case: _Case) -> None:
+    # Code after a provably non-terminating loop: the loop's exit edge is
+    # range-dead, so the print is unreachable (R013) -- but only
+    # *non-termination-sensitive* control dependence attributes it to the
+    # loop predicate.  The outer guard is never true at runtime (the
+    # mixed variables stay far below the threshold), so probe runs stay
+    # conclusive.
+    var = case.name("w")
+    case.emit(f"if ({case.mixed()} > {case.rng.randint(500, 900)}) {{")
+    case.emit(f"    {var} := {case.rng.randint(3, 9)};")
+    loop = case.emit(f"    while ({var} > 0) {{")
+    case.emit(f"        {var} := {var} + {case.rng.randint(1, 3)};")
+    case.emit("    }")
+    dead = case.emit(f"    print {var};")
+    case.emit("}")
+    case.plant("R012", loop)
+    case.plant("R013", dead)
+
+
 _TEMPLATES = (
     _plant_use_before_def,
     _plant_maybe_uninit,
@@ -168,6 +233,9 @@ _TEMPLATES = (
     _plant_always_branch,
     _plant_dead_chain,
     _plant_self_assign,
+    _plant_tainted_print,
+    _plant_empty_range_branch,
+    _plant_ntscd_dead,
 )
 
 

@@ -99,6 +99,16 @@ def test_structure_oracle_flags_shape_change_under_same_shape_expectation():
     assert not verdict.ok
 
 
+def test_sparse_vs_dense_oracle_checks_every_client():
+    from repro.fuzz.oracles import oracle_sparse_vs_dense
+
+    graph_a, graph_b, context = _pair(CLEAN, CLEAN)
+    verdict = oracle_sparse_vs_dense(graph_a, graph_b, context)
+    assert verdict.ok
+    # chains, ssa, pruned ssa, range, taint, ntscd -- one check each.
+    assert verdict.checks == 6
+
+
 def test_determinism_oracle_and_digest_stability():
     graph = build_cfg(parse_program(CLEAN))
     assert dfg_digest(graph) == dfg_digest(graph.copy())

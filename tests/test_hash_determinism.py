@@ -270,3 +270,62 @@ def test_fuzz_payload_bytes_identical_across_hash_seeds(tmp_path) -> None:
     assert b'"wall_ms"' not in baseline and b'"dur_ms"' not in baseline
     for seed in ("2", "42"):
         assert _fuzz_bytes(tmp_path, seed) == baseline, seed
+
+
+# -- the sparse-engine clients ------------------------------------------------
+#
+# The PR-9 surfaces: def-use chains, interval ranges, taint, NTSCD and
+# SCVN all key worklists on variable *names*, so a single unsorted set
+# iteration anywhere in the splitting engine or a client would leak the
+# hash seed into fact order, SSA numbering, or work counters.
+
+_SPARSE_SCRIPT = """\
+from repro.cfg.builder import build_cfg
+from repro.controldep.ntscd import ntscd
+from repro.defuse.chains import build_def_use_chains
+from repro.pipeline.manager import AnalysisManager
+from repro.sparse.range_analysis import range_analysis
+from repro.sparse.taint import taint_analysis
+from repro.util.counters import WorkCounter
+from repro.workloads.generators import (
+    irreducible_program,
+    random_jump_program,
+    random_program,
+)
+
+for builder, args in (
+    (random_program, (3, 18, 4)),
+    (irreducible_program, (1, 5)),
+    (random_jump_program, (2, 7)),
+):
+    graph = build_cfg(builder(*args))
+    counter = WorkCounter()
+    chains = build_def_use_chains(graph, counter=counter)
+    print([(c.var, c.def_node, c.use_node) for c in chains.chains])
+    print(range_analysis(graph, counter=counter).facts())
+    print(taint_analysis(graph, counter=counter).facts())
+    print(ntscd(graph, counter=counter).facts())
+    print(sorted(counter.snapshot().items()))
+    manager = AnalysisManager(graph)
+    print(manager.get("scvn").facts())
+"""
+
+
+def _sparse_bytes(seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", _SPARSE_SCRIPT],
+        capture_output=True,
+        env=env,
+        check=True,
+    )
+    assert proc.stdout
+    return proc.stdout
+
+
+def test_sparse_clients_identical_across_hash_seeds() -> None:
+    baseline = _sparse_bytes("1")
+    for seed in ("2", "42", "12345"):
+        assert _sparse_bytes(seed) == baseline, seed

@@ -95,11 +95,20 @@ def test_bogus_constant_branch_is_refuted_when_probes_disagree():
     assert out.demoted is True and out.refuted is True
 
 
-def test_non_definite_findings_pass_through_untouched():
-    diag = make_diagnostic("R010", None, "copy chain", node=3, var="y")
+def test_non_definite_findings_earn_witness_verdicts():
+    # Every rule now has a checker, so possible/info findings no longer
+    # pass through untouched: a genuine copy chain comes back as a *new*
+    # diagnostic carrying verified=True (severity unchanged -- only
+    # definite findings are demoted on failure).
     graph = graph_of("x := 1;\ny := x;\nprint y;\n")
-    (out,) = verify_diagnostics(graph, [diag])
-    assert out is diag  # not even copied: nothing to verify
+    result = LintEngine(graph).run(verify=True)
+    r010 = [d for d in result.diagnostics if d.rule == "R010"]
+    assert r010
+    assert all(d.verified is True for d in r010)
+    assert all(d.severity == "info" and not d.refuted for d in r010)
+    # Without verification the same findings stay unjudged.
+    plain = LintEngine(graph).run(verify=False).diagnostics
+    assert all(d.verified is None for d in plain if d.rule == "R010")
 
 
 def test_verification_never_mutates_inputs():
@@ -139,3 +148,59 @@ def test_inconclusive_probes_still_allow_static_confirmation():
     result = LintEngine(graph_of(source)).run(verify=True, max_steps=100)
     r003 = [d for d in result.diagnostics if d.rule == "R003"]
     assert r003 and all(d.verified is True for d in r003)
+
+
+def test_checker_exception_is_routed_to_failures_not_raised(monkeypatch):
+    import repro.lint.oracle as oracle_mod
+
+    def boom(oracle, diag):
+        raise RuntimeError("synthetic checker crash")
+
+    monkeypatch.setitem(oracle_mod._CHECKERS, "R003", boom)
+    graph = graph_of("x := 1;\nx := 2;\nprint x;\n")
+    result = LintEngine(graph).run(verify=True)
+    # The error is recorded, attributed to the rule's oracle...
+    assert len(result.oracle_failures) == 1
+    record = result.oracle_failures[0]
+    assert record["pass"] == "oracle:R003"
+    assert record["phase"] == "lint-verify"
+    assert record["type"] == "RuntimeError"
+    # ...and the definite finding is demoted, never shipped bare.
+    r003 = [d for d in result.diagnostics if d.rule == "R003"]
+    assert r003
+    assert all(d.severity == "possible" and d.demoted for d in r003)
+    assert result.unverified_definite() == 0
+
+
+def test_checker_exception_on_info_finding_marks_it_unverified(monkeypatch):
+    import repro.lint.oracle as oracle_mod
+
+    def boom(oracle, diag):
+        raise ValueError("synthetic checker crash")
+
+    monkeypatch.setitem(oracle_mod._CHECKERS, "R010", boom)
+    graph = graph_of("x := 1;\ny := x;\nprint y;\n")
+    result = LintEngine(graph).run(verify=True)
+    assert result.oracle_failures
+    r010 = [d for d in result.diagnostics if d.rule == "R010"]
+    # Severity survives; the finding just loses its witness.
+    assert r010
+    assert all(d.severity == "info" and d.verified is False for d in r010)
+    assert all(not d.refuted for d in r010)
+
+
+def test_cli_reports_oracle_failures_as_analysis_error(monkeypatch, tmp_path, capsys):
+    import repro.lint.oracle as oracle_mod
+    from repro.cli import main
+
+    def boom(oracle, diag):
+        raise RuntimeError("synthetic checker crash")
+
+    monkeypatch.setitem(oracle_mod._CHECKERS, "R003", boom)
+    path = tmp_path / "prog.dfg"
+    path.write_text("x := 1;\nx := 2;\nprint x;\n")
+    code = main(["lint", str(path), "--fail-on", "never"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "repro: analysis error:" in err
+    assert "RuntimeError" in err and "synthetic checker crash" in err

@@ -1,0 +1,145 @@
+"""Non-termination-sensitive control dependence (PR 9).
+
+NTSCD differs from the classic postdominance CDG exactly on CFGs with
+infinite or irreducible control flow: a statement *after* a loop is
+NTSCD-dependent on the loop predicate (looping forever is a maximal path
+that avoids it), and goto soup that never terminates still gets a
+well-defined dependence relation.  The fast edge-counter fixpoint must
+agree with the first-principles escape-analysis twin everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import NodeKind
+from repro.controldep.ntscd import ntscd, ntscd_reference
+from repro.lang.parser import parse_program
+from repro.workloads.generators import (
+    irreducible_program,
+    random_jump_program,
+    random_program,
+)
+
+
+def graph_of(source: str):
+    return build_cfg(parse_program(source))
+
+
+def nodes_of_kind(graph, kind):
+    return [
+        nid for nid in sorted(graph.nodes) if graph.node(nid).kind is kind
+    ]
+
+
+def test_statement_after_loop_depends_on_loop_predicate():
+    # The classic CDG says 'print n' postdominates the loop and depends
+    # on nothing; NTSCD says it depends on the predicate, because the
+    # infinite iteration of the loop is a maximal path avoiding it.
+    graph = graph_of(
+        "n := 3;\nwhile (n > 0) {\n    n := n - 1;\n}\nprint n;\n"
+    )
+    (switch,) = nodes_of_kind(graph, NodeKind.SWITCH)
+    (print_node,) = nodes_of_kind(graph, NodeKind.PRINT)
+    result = ntscd(graph)
+    assert switch in result.deps[print_node]
+    assert print_node in result.controls(switch)
+
+
+def test_code_after_infinite_loop_still_depends_on_predicate():
+    # 'while (1)' never exits, but the CFG still has both arms; the exit
+    # path exists structurally, so the print is controlled by the switch.
+    graph = graph_of("x := 1;\nwhile (1) {\n    x := x + 1;\n}\nprint x;\n")
+    (switch,) = nodes_of_kind(graph, NodeKind.SWITCH)
+    (print_node,) = nodes_of_kind(graph, NodeKind.PRINT)
+    result = ntscd(graph)
+    assert switch in result.deps[print_node]
+    assert result.facts() == ntscd_reference(graph).facts()
+
+
+def test_loop_body_depends_on_its_predicate():
+    graph = graph_of(
+        "n := 3;\nwhile (n > 0) {\n    n := n - 1;\n}\nprint n;\n"
+    )
+    (switch,) = nodes_of_kind(graph, NodeKind.SWITCH)
+    body = [
+        nid for nid in nodes_of_kind(graph, NodeKind.ASSIGN)
+        if graph.node(nid).span and graph.node(nid).span.line == 3
+    ]
+    result = ntscd(graph)
+    assert body and all(switch in result.deps[nid] for nid in body)
+
+
+IRREDUCIBLE = """\
+n := 5;
+if (n > 2) {
+    goto second;
+}
+label first:
+n := n - 1;
+label second:
+n := n - 2;
+if (n > 0) {
+    goto first;
+}
+print n;
+"""
+
+
+def test_irreducible_goto_cfg_matches_reference():
+    graph = graph_of(IRREDUCIBLE)
+    fast = ntscd(graph)
+    assert fast.facts() == ntscd_reference(graph).facts()
+    # The loop formed by 'goto first' has two entries; dependences still
+    # exist and both branch nodes control something.
+    switches = nodes_of_kind(graph, NodeKind.SWITCH)
+    assert len(switches) == 2
+    assert all(fast.controls(p) for p in switches)
+
+
+NONTERMINATING = """\
+x := p;
+label spin:
+x := x + 1;
+if (x > 0) {
+    goto spin;
+}
+print x;
+"""
+
+
+def test_nonterminating_goto_cfg_matches_reference():
+    graph = graph_of(NONTERMINATING)
+    fast = ntscd(graph)
+    assert fast.facts() == ntscd_reference(graph).facts()
+    (switch,) = nodes_of_kind(graph, NodeKind.SWITCH)
+    (print_node,) = nodes_of_kind(graph, NodeKind.PRINT)
+    assert switch in fast.deps[print_node]
+
+
+def test_straight_line_code_has_no_dependences():
+    graph = graph_of("x := 1;\ny := x + 1;\nprint y;\n")
+    result = ntscd(graph)
+    assert result.facts() == ()
+    assert all(not deps for deps in result.deps.values())
+
+
+def test_generated_families_match_reference():
+    cases = (
+        [random_program(seed, size=18, num_vars=4) for seed in range(6)]
+        + [irreducible_program(seed, 5) for seed in range(4)]
+        + [random_jump_program(seed, 7) for seed in range(4)]
+    )
+    for program in cases:
+        graph = build_cfg(program)
+        assert ntscd(graph).facts() == ntscd_reference(graph).facts()
+
+
+def test_controls_is_the_inverse_of_deps():
+    graph = graph_of(IRREDUCIBLE)
+    result = ntscd(graph)
+    for p in nodes_of_kind(graph, NodeKind.SWITCH):
+        for n in result.controls(p):
+            assert p in result.deps[n]
+    for n, ps in result.deps.items():
+        for p in ps:
+            assert n in result.controls(p)

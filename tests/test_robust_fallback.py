@@ -183,6 +183,7 @@ def test_default_oracles_cover_reference_twins() -> None:
         "dfs", "dom", "pdom", "cycle-equiv", "sese",
         "liveness", "reaching", "available", "pavailable",
         "region-summaries", "arena-dataflow",
+        "defuse", "sparse-range", "sparse-taint", "ntscd",
     }
     registered = set(default_registry().names())
     assert names <= registered
