@@ -14,7 +14,10 @@ tagged varint stream (``to_bytes``/``from_bytes``).  That stream is what
 :class:`~repro.robust.pool.SupervisedPool` workers receive in arena
 batch mode, replacing per-spec pickles of AST/CFG object graphs: the
 pool tables ship once per chunk and amortize across every program in
-it.
+it.  The serve daemon's content-addressed cache reuses the same stream
+as the ``arena`` pass's export codec (a one-program corpus per entry):
+decoding rebuilds the pool's derived tables from scratch, so a cached
+arena blob is detached from any live graph by construction.
 
 Wire format (version 1): the magic ``b"RPA1"``, then varint-framed
 sections in fixed order (pool names, pool literals, expression rows,

@@ -8,6 +8,8 @@
     python -m repro profile program.dfg
     python -m repro trace program.dfg --optimize
     python -m repro lint program.dfg --format sarif
+    python -m repro serve --socket /tmp/repro.sock
+    python -m repro request analyze program.dfg --socket /tmp/repro.sock
 
 The source language is the small imperative language of
 :mod:`repro.lang` (see README).  ``analyze`` prints the control
@@ -355,6 +357,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         repeat=args.repeat,
         batch_workers=args.workers,
+        serve=args.serve,
     )
     out = args.output or f"BENCH_{args.tag}.json"
     write_payload(payload, out)
@@ -419,6 +422,74 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"{result['errors']} programs failed "
               f"({result.get('quarantined', 0)} quarantined)",
               file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ReproServer
+
+    server = ReproServer(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        warm=args.warm,
+        pool_workers=args.pool_workers,
+        pool_timeout_s=args.timeout,
+    )
+    address = server.address
+    if address[0] == "unix":
+        print(f"repro daemon listening on unix socket {address[1]} "
+              f"(cache {server.broker.cache.root})", file=sys.stderr)
+    else:
+        print(f"repro daemon listening on {address[1]}:{address[2]} "
+              f"(cache {server.broker.cache.root})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    stats = server.broker.stats
+    print(f"repro daemon stopped: {stats['requests']} requests, "
+          f"{stats['warm_hits']} warm, {stats['disk_hits']} disk, "
+          f"{stats['misses']} miss", file=sys.stderr)
+    return 0
+
+
+def cmd_request(args: argparse.Namespace) -> int:
+    from repro.robust.errors import InputError
+    from repro.serve.client import ServeClient, one_shot, raise_for_error
+    from repro.serve.ops import SOURCE_OPS
+
+    source = None
+    if args.op in SOURCE_OPS:
+        if not args.file:
+            raise InputError(
+                f"op {args.op!r} needs a source file argument",
+                phase="serve-client",
+            )
+        with open(args.file) as fh:
+            source = fh.read()
+    offline = args.socket is None and args.port is None
+    if offline:
+        # The daemon-free twin: byte-identical to a warm daemon answer.
+        if args.op not in SOURCE_OPS:
+            raise InputError(
+                f"op {args.op!r} needs a daemon; pass --socket or --port",
+                phase="serve-client",
+            )
+        result = one_shot(args.op, source, label=args.file)
+    else:
+        with ServeClient(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port or 0,
+            timeout_s=args.timeout,
+        ) as client:
+            params = {}
+            if source is not None:
+                params = {"source": source, "file": args.file}
+            result = raise_for_error(client.request(args.op, **params))
+    print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -622,7 +693,61 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--check", metavar="BASELINE",
         help="fail on >25%% speedup regression vs this baseline JSON",
     )
+    bench_p.add_argument(
+        "--serve", action="store_true",
+        help="include the serve-loadgen workload (live daemon, warm-vs-"
+        "one-shot timing and byte-equality, seeded request mix)",
+    )
     bench_p.set_defaults(handler=cmd_bench)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the analysis daemon (repro.serve/1 over a unix or "
+        "localhost TCP socket, content-addressed cross-run cache)",
+    )
+    serve_p.add_argument(
+        "--socket", metavar="PATH",
+        help="bind a unix-domain socket here (default: localhost TCP)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick a free port, printed on stderr)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="result cache root (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    serve_p.add_argument(
+        "--warm", type=int, default=32,
+        help="LRU capacity of warm analysis managers",
+    )
+    serve_p.add_argument(
+        "--pool-workers", type=int, default=0,
+        help="supervised worker processes for batch-sarif misses "
+        "(0 = inline)",
+    )
+    serve_p.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-document budget in the batch pool",
+    )
+    serve_p.set_defaults(handler=cmd_serve)
+
+    req_p = sub.add_parser(
+        "request",
+        help="send one request to a running daemon (or answer offline "
+        "when no address is given -- byte-identical either way)",
+    )
+    req_p.add_argument(
+        "op", choices=("analyze", "constprop", "lint", "ping", "stats",
+                       "shutdown"),
+    )
+    req_p.add_argument("file", nargs="?", help="source file (source ops)")
+    req_p.add_argument("--socket", metavar="PATH", help="daemon unix socket")
+    req_p.add_argument("--host", default="127.0.0.1")
+    req_p.add_argument("--port", type=int, help="daemon TCP port")
+    req_p.add_argument("--timeout", type=float, default=30.0)
+    req_p.set_defaults(handler=cmd_request)
 
     batch_p = sub.add_parser(
         "batch",

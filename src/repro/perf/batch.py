@@ -371,9 +371,16 @@ def run_bench(
     repeat: int | None = None,
     batch_workers: int = 0,
     batch_programs: int = 6,
+    serve: bool = False,
 ) -> dict[str, Any]:
     """Run the comparative batteries and a small batch sweep; return the
-    ``repro.bench/1`` payload."""
+    ``repro.bench/1`` payload.
+
+    ``serve=True`` appends the ``serve-loadgen`` workload: a live daemon
+    on a private port, timed warm vs the cold one-shot twin and
+    byte-compared against it, plus the seeded hot/cold/edit request mix
+    (hit-rate, p50/p95, QPS).
+    """
     if repeat is None:
         repeat = 3 if smoke else 7
     c1_sizes = C1_SIZES_SMOKE if smoke else C1_SIZES
@@ -404,6 +411,10 @@ def run_bench(
     workloads.append(bench_root_balance(balance_sizes, repeat=repeat))
     workloads.append(bench_arena_fused(smoke=smoke, repeat=repeat))
     workloads.append(bench_sparse_clients(smoke=smoke, repeat=repeat))
+    if serve:
+        from repro.serve.loadgen import bench_serve_loadgen
+
+        workloads.append(bench_serve_loadgen(smoke=smoke))
     return {
         "schema": BENCH_SCHEMA,
         "tag": tag,
@@ -650,7 +661,10 @@ def _analyze_one(spec: dict) -> dict:
     diagnostics engine (rule passes
     plus oracle verification) instead of the plain analysis menu; the
     program is round-tripped through the pretty-printer so diagnostics
-    carry genuine source spans.  Specs with a ``"fuzz"`` entry dispatch
+    carry genuine source spans.  Specs may carry raw ``"source"`` text
+    instead of ``"family"``/``"args"`` (the serve daemon's batch path),
+    and lint specs with ``"sarif": True`` attach the SARIF 2.1.0
+    document to the row.  Specs with a ``"fuzz"`` entry dispatch
     to one mutation trial of :mod:`repro.fuzz.harness` (mutate, run
     oracles, report verdicts) -- that is how ``repro fuzz --jobs`` fans
     trials across the supervised pool.  Specs with ``"regions": True``
@@ -676,7 +690,15 @@ def _analyze_one(spec: dict) -> dict:
             from repro.regions.parallel import summarize_subtree
 
             return summarize_subtree(spec)
-        program = resolve_family(spec["family"])(*spec["args"])
+        if "source" in spec:
+            # A raw-source spec (the serve daemon's batch-sarif path):
+            # the text is the document, so spans stay genuine without a
+            # pretty-print round trip.
+            from repro.lang.parser import parse_program
+
+            program = parse_program(spec["source"])
+        else:
+            program = resolve_family(spec["family"])(*spec["args"])
         if spec.get("sparse"):
             from repro.controldep.ntscd import ntscd_reference
             from repro.defuse.chains import build_def_use_chains_reference
@@ -737,7 +759,8 @@ def _analyze_one(spec: dict) -> dict:
             from repro.lint.engine import LintEngine
             from repro.lint.rules import lint_registry
 
-            program = parse_program(pretty_program(program))
+            if "source" not in spec:
+                program = parse_program(pretty_program(program))
             graph = build_cfg(program)
             manager = AnalysisManager(
                 graph, registry=lint_registry(), metrics=Metrics()
@@ -746,7 +769,7 @@ def _analyze_one(spec: dict) -> dict:
             result = LintEngine(graph, manager=manager).run(verify=True)
             wall_ms = (time.perf_counter() - t0) * 1000.0
             summary = result.summary()
-            return {
+            out = {
                 "label": spec["label"],
                 "nodes": graph.num_nodes,
                 "edges": graph.num_edges,
@@ -767,6 +790,13 @@ def _analyze_one(spec: dict) -> dict:
                     for row in manager.report()
                 },
             }
+            if spec.get("sarif"):
+                from repro.lint.output import sarif_payload
+
+                out["sarif"] = sarif_payload(
+                    spec.get("label") or "", result.diagnostics
+                )
+            return out
         graph = build_cfg(program)
         manager = AnalysisManager(graph, metrics=Metrics())
         t0 = time.perf_counter()

@@ -28,12 +28,37 @@ farmed out, because its inputs and outputs are explicit.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Mapping
 
 from repro.cfg.graph import CFG
 from repro.util.counters import WorkCounter
 from repro.util.metrics import Metrics
+
+#: Serialization protocol for exported pass results.  Pinned (rather
+#: than ``pickle.HIGHEST_PROTOCOL``) so the bytes a cache entry holds do
+#: not silently change shape under an interpreter upgrade without an
+#: :data:`repro.serve.cache.ENGINE_VERSION` bump.
+EXPORT_PICKLE_PROTOCOL = 4
+
+#: Per-pass ``(encode, decode)`` overrides for result export/import.
+#: Passes whose results have a better wire form than a pickle register
+#: one here (the ``arena`` pass ships its RPA1 corpus payload); every
+#: other pass gets the default pickle codec.  Module-level so codecs
+#: survive :meth:`PassRegistry.clone`.
+_RESULT_CODECS: dict[
+    str, tuple[Callable[[object], bytes], Callable[[bytes], object]]
+] = {}
+
+
+def register_result_codec(
+    name: str,
+    encode: Callable[[object], bytes],
+    decode: Callable[[bytes], object],
+) -> None:
+    """Override the export/import serialization for pass ``name``."""
+    _RESULT_CODECS[name] = (encode, decode)
 
 #: A pass body: receives the graph, its resolved dependencies (keyed by
 #: pass name), and the shared work counter; returns the analysis result.
@@ -276,6 +301,47 @@ class AnalysisManager:
             stats.work[key] = stats.work.get(key, 0) + amount
         stats.wall += span.duration
         self._cache[name] = result
+        return result
+
+    # -- export / import (the serve daemon's cache boundary) ----------------
+
+    def export_result(self, name: str) -> bytes:
+        """Pass ``name``'s result as a detached byte blob.
+
+        **Detach discipline:** many results capture the live CFG (the
+        ``sese`` structure, the DFG, the validated graph itself).
+        Handing such an object to a cross-run cache would let a later
+        mutation of this manager's graph -- an :class:`~repro.regions.
+        edits.EditSession` rewriting a statement -- silently corrupt the
+        "cached" answer, because both alias the same mutable graph.
+        Serializing *immediately, at export time* snapshots the result:
+        the returned bytes share no state with this manager, and
+        :meth:`import_result` materializes a fresh object graph on the
+        far side.  The regression test
+        ``tests/test_serve_cache.py::test_export_detaches_from_live_graph``
+        mutates the warm graph after exporting and asserts the cached
+        answer is unaffected.
+        """
+        result = self.get(name)
+        codec = _RESULT_CODECS.get(name)
+        if codec is not None:
+            return codec[0](result)
+        return pickle.dumps(result, protocol=EXPORT_PICKLE_PROTOCOL)
+
+    def import_result(self, name: str, blob: bytes) -> object:
+        """Materialize an exported blob and adopt it as pass ``name``.
+
+        The caller must guarantee the blob was exported for *this
+        manager's source content* (the serve cache keys entries by
+        source SHA-256 and engine version for exactly this reason);
+        adopting a blob from a different program would poison dependents.
+        """
+        codec = _RESULT_CODECS.get(name)
+        if codec is not None:
+            result = codec[1](blob)
+        else:
+            result = pickle.loads(blob)
+        self.adopt(name, result)
         return result
 
     def run_all(self, names: list[str] | None = None) -> dict[str, object]:

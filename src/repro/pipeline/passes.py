@@ -51,7 +51,7 @@ from repro.graphs.dfs import depth_first_search_csr
 from repro.graphs.dominance import edge_dominators, edge_postdominators
 from repro.opt.cfg_constprop import cfg_constant_propagation
 from repro.perf.csr import build_csr
-from repro.pipeline.manager import PassRegistry
+from repro.pipeline.manager import PassRegistry, register_result_codec
 from repro.ssa.from_dfg import build_ssa_from_dfg
 from repro.ssa.sccp import sparse_conditional_constant_propagation
 
@@ -324,3 +324,24 @@ def _arena_dataflow(graph, deps, counter):
 
     pool, arena = deps["arena"]
     return analyze_arena(arena, pool, counter=counter)
+
+
+def _arena_encode(result) -> bytes:
+    """Export the ``arena`` pass as its RPA1 wire payload (a one-program
+    corpus) instead of a pickle: the versioned varint format is smaller,
+    and decode rebuilds the pool's derived tables from scratch -- a
+    detach by construction."""
+    from repro.arena.arena import ArenaCorpus
+
+    pool, arena = result
+    return ArenaCorpus(pool, [arena]).to_bytes()
+
+
+def _arena_decode(blob: bytes):
+    from repro.arena.arena import ArenaCorpus
+
+    corpus = ArenaCorpus.from_bytes(blob)
+    return (corpus.pool, corpus.programs[0])
+
+
+register_result_codec("arena", _arena_encode, _arena_decode)

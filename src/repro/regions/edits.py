@@ -112,6 +112,24 @@ class EditSession:
 
     # -- results -------------------------------------------------------------
 
+    def statement_rows(self) -> list[dict]:
+        """The editable statements, in node-id order, as plain dicts --
+        the shape the serve daemon's ``edit open`` response puts on the
+        wire, and what an editor needs to target ``rewrite_rhs``."""
+        from repro.lang.pretty import pretty_expr
+
+        return [
+            {
+                "id": nid,
+                "kind": node.kind.name,
+                "target": node.target,
+                "expr": pretty_expr(node.expr)
+                if node.expr is not None else None,
+            }
+            for nid, node in sorted(self.graph.nodes.items())
+            if node.kind in (NodeKind.ASSIGN, NodeKind.PRINT, NodeKind.SWITCH)
+        ]
+
     def solve_all(self) -> dict[str, dict[int, frozenset]]:
         """Decoded facts for all four analyses at the current state."""
         return self.engine.solve_all()

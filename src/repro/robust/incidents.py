@@ -21,7 +21,9 @@ INCIDENT_SCHEMA = "repro.incident/1"
 
 #: The incident vocabulary.  ``oracle-fallback`` and ``timeout-fallback``
 #: are recoveries; ``cross-check-mismatch`` is a recovery that *caught a
-#: wrong answer*; the rest record failures the runtime contained.
+#: wrong answer*; ``cache-corrupt`` is a recovery in the serve cache (a
+#: damaged entry was evicted and recomputed); the rest record failures
+#: the runtime contained.
 KINDS = (
     "oracle-fallback",
     "timeout-fallback",
@@ -33,6 +35,7 @@ KINDS = (
     "worker-crash",
     "retry",
     "quarantine",
+    "cache-corrupt",
 )
 
 

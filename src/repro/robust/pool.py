@@ -6,9 +6,9 @@ whole chunk, a hung worker stalls the pool forever, and a crashed worker
 (hard exit, OOM kill) deadlocks the join.  This supervisor runs **one
 program per worker process** and owns the full lifecycle:
 
-* a per-program wall-clock deadline -- an overrunning worker is
-  terminated (then killed) and the attempt is recorded as a
-  ``worker-timeout`` incident;
+* a per-program wall-clock deadline (the pool default, overridable per
+  spec via ``timeout_s``) -- an overrunning worker is terminated (then
+  killed) and the attempt is recorded as a ``worker-timeout`` incident;
 * crash isolation -- a worker that dies without reporting becomes a
   ``worker-crash`` incident, never a hang;
 * bounded retry with deterministic exponential backoff, scheduled so a
@@ -129,9 +129,8 @@ class SupervisedPool:
             proc.start()
             send.close()  # parent keeps only the receiving end
             self.stats["spawned"] += 1
-            deadline = (
-                now + self.timeout_s if self.timeout_s is not None else None
-            )
+            budget = task.spec.get("timeout_s", self.timeout_s)
+            deadline = now + budget if budget is not None else None
             live[task.index] = (proc, recv, deadline, task)
 
     def _poll(self, live, pending, results) -> bool:
@@ -147,12 +146,13 @@ class SupervisedPool:
                     failure = self._crash_record(task, proc)
             elif deadline is not None and now >= deadline:
                 self._terminate(proc)
+                budget = task.spec.get("timeout_s", self.timeout_s)
                 failure = {
                     "kind": "worker-timeout",
                     "error": {
                         "type": "PassTimeout",
                         "message": (
-                            f"worker exceeded {self.timeout_s:.3f}s budget"
+                            f"worker exceeded {budget:.3f}s budget"
                         ),
                     },
                 }

@@ -1,0 +1,261 @@
+"""A deterministic load generator for the serve daemon.
+
+Two layers:
+
+* :func:`loadgen_schedule` is a *pure* function from a seed to a request
+  schedule -- a hot/cold/edit mix over a corpus of seeded workload
+  programs (80/20-style skew toward a small hot set, with an edit-session
+  burst every ``edit_every``-th slot).  Byte-determinism of the schedule
+  across ``PYTHONHASHSEED`` is pinned by
+  ``tests/test_hash_determinism.py``.
+* :func:`bench_serve_loadgen` is the ``serve-loadgen`` benchmark
+  workload behind ``repro bench --serve`` and the CI smoke job: it
+  starts a daemon on a private TCP port with a fresh cache directory,
+  measures the cold one-shot answer for every program of the
+  equivalence corpus, replays the same requests against the daemon cold
+  (miss, populating the cache) and hot (warm LRU), verifies the warm
+  responses are **byte-identical** to the one-shot answers, then runs
+  the seeded mix and reports hit-rate, p50/p95 latency and QPS into
+  ``BENCH_<tag>.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable
+
+from repro.serve.ops import run_op
+from repro.serve.server import canonical_json
+
+#: The seeded mix: mostly reads, skewed hot, with periodic edit bursts.
+DEFAULT_REQUESTS = 160
+DEFAULT_REQUESTS_SMOKE = 48
+MIX_OPS = ("analyze", "constprop", "lint")
+
+
+def loadgen_corpus(smoke: bool = False) -> list[tuple[str, str]]:
+    """``(label, source)`` for every program of the equivalence corpus
+    (204 programs; 24 in smoke mode), pretty-printed so the daemon and
+    the one-shot twin see the exact same text."""
+    from repro.lang.pretty import pretty_program
+    from repro.perf.batch import equivalence_suite, resolve_family
+
+    out = []
+    for spec in equivalence_suite(smoke=smoke):
+        program = resolve_family(spec["family"])(*spec["args"])
+        out.append((spec["label"], pretty_program(program)))
+    return out
+
+
+def loadgen_schedule(
+    seed: int = 11,
+    requests: int = DEFAULT_REQUESTS,
+    programs: int = 24,
+    hot_set: int = 6,
+    hot_fraction: float = 0.8,
+    edit_every: int = 20,
+) -> list[dict]:
+    """The deterministic request schedule (no I/O, no clock, no daemon).
+
+    Each entry is ``{"kind": "op", "op": ..., "program": i}`` or
+    ``{"kind": "edit", "program": i}``; ``program`` indexes the corpus.
+    """
+    rng = random.Random(seed)
+    hot = min(max(1, hot_set), programs)
+    schedule: list[dict] = []
+    for i in range(requests):
+        if edit_every and (i + 1) % edit_every == 0:
+            schedule.append({
+                "kind": "edit", "program": rng.randrange(programs),
+            })
+            continue
+        if rng.random() < hot_fraction:
+            index = rng.randrange(hot)
+        else:
+            index = rng.randrange(programs)
+        schedule.append({
+            "kind": "op",
+            "op": MIX_OPS[rng.randrange(len(MIX_OPS))],
+            "program": index,
+        })
+    return schedule
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_loadgen(
+    client,
+    corpus: list[tuple[str, str]],
+    schedule: list[dict],
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict[str, Any]:
+    """Replay ``schedule`` against a connected client; return mix stats.
+
+    Every wire round-trip (edit bursts issue four) contributes one
+    latency sample; ``hit_rate`` counts warm+disk over all source-op
+    requests.
+    """
+    latencies: list[float] = []
+    states = {"warm": 0, "disk": 0, "miss": 0}
+    errors = 0
+    edits = 0
+
+    def timed(op: str, **params) -> dict:
+        t0 = clock()
+        response = client.request(op, **params)
+        latencies.append((clock() - t0) * 1000.0)
+        if not response.get("ok"):
+            nonlocal errors
+            errors += 1
+        state = response.get("cache")
+        if state in states:
+            states[state] += 1
+        return response
+
+    t_start = clock()
+    for i, entry in enumerate(schedule):
+        label, source = corpus[entry["program"] % len(corpus)]
+        if entry["kind"] == "op":
+            timed(entry["op"], source=source, file=label)
+            continue
+        edits += 1
+        name = f"loadgen-{i}"
+        opened = timed("edit", action="open", session=name, source=source)
+        node = None
+        if opened.get("ok"):
+            for statement in opened["result"]["statements"]:
+                if statement["kind"] == "ASSIGN":
+                    node = statement["id"]
+                    break
+        if node is not None:
+            timed(
+                "edit", action="rewrite", session=name,
+                node=node, expr="7",
+            )
+            timed("edit", action="query", session=name)
+        if opened.get("ok"):
+            timed("edit", action="close", session=name)
+    wall_ms = (clock() - t_start) * 1000.0
+
+    lookups = sum(states.values())
+    return {
+        "requests": len(latencies),
+        "errors": errors,
+        "edit_bursts": edits,
+        "warm": states["warm"],
+        "disk": states["disk"],
+        "miss": states["miss"],
+        "hit_rate": round(
+            (states["warm"] + states["disk"]) / lookups, 4
+        ) if lookups else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p95_ms": round(_percentile(latencies, 0.95), 3),
+        "wall_ms": round(wall_ms, 3),
+        "qps": round(len(latencies) / (wall_ms / 1000.0), 1)
+        if wall_ms else 0.0,
+    }
+
+
+def bench_serve_loadgen(
+    smoke: bool = False,
+    seed: int = 11,
+    requests: int | None = None,
+    cache_dir: str | None = None,
+) -> dict[str, Any]:
+    """The ``serve-loadgen`` benchmark workload.
+
+    ``legacy_ms`` is the mean cold one-shot answer (parse + analyze, no
+    daemon, no cache); ``fast_ms`` the mean warm daemon round-trip for
+    the same requests.  ``identical`` asserts byte-identity between
+    every warm response body and its one-shot twin across the whole
+    corpus -- the serve stack's correctness gate.
+    """
+    import tempfile
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ReproServer
+
+    if requests is None:
+        requests = DEFAULT_REQUESTS_SMOKE if smoke else DEFAULT_REQUESTS
+    corpus = loadgen_corpus(smoke=smoke)
+    if cache_dir is None:
+        cache_dir = tempfile.mkdtemp(prefix="repro-serve-bench-")
+
+    # Cold one-shot twin: the daemon-free answer and its wall cost.
+    oneshot_bytes: dict[str, bytes] = {}
+    t0 = time.perf_counter()
+    for label, source in corpus:
+        oneshot_bytes[label] = canonical_json(run_op("analyze", source))
+    oneshot_ms = (time.perf_counter() - t0) * 1000.0
+
+    server = ReproServer(
+        host="127.0.0.1", port=0, cache_dir=cache_dir,
+        warm=len(corpus) + 8,
+    )
+    server.start_background()
+    _, host, port = server.address
+    try:
+        with ServeClient(host=host, port=port) as client:
+            # Pass 1 (cold): every request misses and populates the
+            # cache; pass 2 (hot): every request is a warm LRU hit.
+            t0 = time.perf_counter()
+            for label, source in corpus:
+                client.request("analyze", source=source, file=label)
+            cold_ms = (time.perf_counter() - t0) * 1000.0
+
+            identical = True
+            t0 = time.perf_counter()
+            for label, source in corpus:
+                response = client.request(
+                    "analyze", source=source, file=label
+                )
+                if (
+                    response.get("cache") != "warm"
+                    or canonical_json(response["result"])
+                    != oneshot_bytes[label]
+                ):
+                    identical = False
+            warm_ms = (time.perf_counter() - t0) * 1000.0
+
+            mix = run_loadgen(
+                client,
+                corpus,
+                loadgen_schedule(
+                    seed=seed, requests=requests, programs=len(corpus)
+                ),
+            )
+            stats = client.request("stats").get("result", {})
+            client.request("shutdown")
+    finally:
+        server.join(timeout=10.0)
+
+    n = len(corpus)
+    row = {
+        "size": str(n),
+        "nodes": n,  # corpus programs, not CFG nodes: a request count
+        "edges": requests,
+        "legacy_ms": round(oneshot_ms / n, 3),
+        "fast_ms": round(warm_ms / n, 3),
+        "cold_daemon_ms": round(cold_ms / n, 3),
+        "speedup": round(oneshot_ms / warm_ms, 2) if warm_ms else 0.0,
+        "identical": identical,
+    }
+    return {
+        "name": "serve-loadgen",
+        "family": "equivalence_corpus",
+        "rows": [row],
+        "largest": row,
+        "mix": mix,
+        "daemon": {
+            "cache": stats.get("cache", {}),
+            "parses": stats.get("parses", 0),
+            "requests": stats.get("requests", 0),
+        },
+    }

@@ -8,6 +8,12 @@
   loop towers, wide variable sweeps).
 * :mod:`repro.workloads.suites` -- the exact programs of Figures 1-3, 6, 7
   and the Section 1 staged-redundancy example, reconstructed from the text.
+
+These families are the substrate of every driver in the repo: the
+equivalence corpus (``repro.perf.batch``), the fuzz schedules, the lint
+sweep, and the serve daemon's seeded load generator
+(``repro.serve.loadgen``), which pretty-prints the corpus so the daemon
+and its one-shot twin analyze byte-identical source.
 """
 
 from repro.workloads.generators import (

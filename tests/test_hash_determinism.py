@@ -329,3 +329,52 @@ def test_sparse_clients_identical_across_hash_seeds() -> None:
     baseline = _sparse_bytes("1")
     for seed in ("2", "42", "12345"):
         assert _sparse_bytes(seed) == baseline, seed
+
+
+# -- the serve stack: cache keys, op payloads, loadgen schedule ---------------
+#
+# The PR-10 surfaces: a content-addressed cache key must hash the same
+# bytes in every process (or a daemon restarted under a different hash
+# seed would silently miss everything it just stored), every serve op
+# payload is canonical JSON whose bytes feed the byte-identity gate, and
+# the loadgen schedule is the seeded workload replayed by CI -- drift in
+# any of them would make "warm hit equals cold one-shot" unverifiable.
+
+_SERVE_SCRIPT = """\
+from repro.serve.cache import cache_key_bytes, source_sha
+from repro.serve.loadgen import loadgen_corpus, loadgen_schedule
+from repro.serve.ops import run_op
+from repro.serve.server import canonical_json
+
+corpus = loadgen_corpus(smoke=True)
+for label, source in corpus[:6]:
+    sha = source_sha(source)
+    print(label, sha)
+    for name in ("cfg", "sese", "dfg", "constprop", "arena", "op:lint"):
+        print(cache_key_bytes(sha, name, "seed-sweep").hex())
+    for op in ("analyze", "constprop", "lint"):
+        print(canonical_json(run_op(op, source, label=label)).hex())
+
+print(loadgen_schedule(seed=11, requests=64, programs=len(corpus)))
+print(loadgen_schedule(seed=99, requests=32, programs=5, hot_set=2))
+"""
+
+
+def _serve_bytes(seed: str) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", _SERVE_SCRIPT],
+        capture_output=True,
+        env=env,
+        check=True,
+    )
+    assert proc.stdout
+    return proc.stdout
+
+
+def test_serve_cache_keys_and_loadgen_identical_across_hash_seeds() -> None:
+    baseline = _serve_bytes("1")
+    for seed in ("2", "42", "12345"):
+        assert _serve_bytes(seed) == baseline, seed
